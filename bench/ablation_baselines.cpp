@@ -1,0 +1,168 @@
+// Ablations for the design choices DESIGN.md calls out:
+//  (1) driver-level overlap vs the MPICH-GM-style chunked registration
+//      pipeline (paper §5);
+//  (2) region-cache capacity vs application working set (LRU behaviour,
+//      §3.2);
+//  (3) kernel MMU-notifier invalidation vs user-space symbol interception:
+//      hook overhead and the stale-translation hazard (§2.1/§5).
+#include <cstdio>
+#include <vector>
+
+#include "baseline/pipelined.hpp"
+#include "baseline/userspace_regcache.hpp"
+#include "bench_util.hpp"
+#include "workloads/imb.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+sim::Time chunked_transfer(const cpu::CpuModel& cpu, std::size_t len,
+                           std::size_t chunk) {
+  bench::Cluster c(cpu, core::regular_pinning_config(), 2, false);
+  auto& pa = *c.comm->process(0).lib.endpoint().driver().endpoint(0);
+  (void)pa;
+  auto& sender = c.comm->process(0);
+  auto& receiver = c.comm->process(1);
+  const auto src = sender.heap.malloc(len);
+  const auto dst = receiver.heap.malloc(len);
+  sim::spawn(c.eng, [](core::Library& lib, core::EndpointAddr to,
+                       mem::VirtAddr buf, std::size_t n,
+                       std::size_t ch) -> sim::Task<> {
+    (void)co_await baseline::chunked_send(lib, to, 500, buf, n, ch);
+  }(sender.lib, receiver.addr(), src, len, chunk));
+  sim::spawn(c.eng, [](core::Library& lib, mem::VirtAddr buf, std::size_t n,
+                       std::size_t ch) -> sim::Task<> {
+    (void)co_await baseline::chunked_recv(lib, 500, buf, n, ch);
+  }(receiver.lib, dst, len, chunk));
+  c.eng.run();
+  c.eng.rethrow_task_failures();
+  return c.eng.now();
+}
+
+sim::Time overlapped_transfer(const cpu::CpuModel& cpu, std::size_t len) {
+  bench::Cluster c(cpu, core::overlapped_pinning_config(), 2, false);
+  auto& sender = c.comm->process(0);
+  auto& receiver = c.comm->process(1);
+  const auto src = sender.heap.malloc(len);
+  const auto dst = receiver.heap.malloc(len);
+  sim::spawn(c.eng, [](core::Library& lib, core::EndpointAddr to,
+                       mem::VirtAddr buf, std::size_t n) -> sim::Task<> {
+    (void)co_await lib.send(to, 500, buf, n);
+  }(sender.lib, receiver.addr(), src, len));
+  sim::spawn(c.eng, [](core::Library& lib, mem::VirtAddr buf,
+                       std::size_t n) -> sim::Task<> {
+    (void)co_await lib.recv(500, ~std::uint64_t{0}, buf, n);
+  }(receiver.lib, dst, len));
+  c.eng.run();
+  c.eng.rethrow_task_failures();
+  return c.eng.now();
+}
+
+void pipeline_ablation(const bench::Options& opt) {
+  std::printf("-- (1) chunked registration pipeline vs driver overlap --\n");
+  const std::size_t len = opt.quick ? 2 * 1024 * 1024 : 8 * 1024 * 1024;
+  const sim::Time ours = overlapped_transfer(*opt.cpu, len);
+  std::printf("   %zu MB transfer, driver-level overlap: %.1f us\n",
+              len / (1024 * 1024), sim::to_usec(ours));
+  std::printf("   %-14s %12s %12s\n", "chunk", "time us", "vs overlap");
+  for (std::size_t chunk : {64 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024}) {
+    const sim::Time t = chunked_transfer(*opt.cpu, len, chunk);
+    std::printf("   %-14s %12.1f %+11.1f%%\n",
+                bench::human_size(chunk).c_str(), sim::to_usec(t),
+                (static_cast<double>(t) / static_cast<double>(ours) - 1.0) *
+                    100.0);
+  }
+  std::printf(
+      "   (the pipeline pays per-chunk rendezvous handshakes and puts the\n"
+      "    first chunk's pin on the critical path; §5)\n\n");
+}
+
+void cache_capacity_ablation(const bench::Options& opt) {
+  std::printf("-- (2) region cache capacity vs working set --\n");
+  std::printf("   %-10s %-12s %10s %10s %10s %12s\n", "capacity", "buffers",
+              "hits", "misses", "evictions", "pingpong us");
+  const std::size_t buffers = 4;  // working set: 4 send + 4 recv regions
+  for (std::size_t capacity : {2ull, 4ull, 8ull, 16ull}) {
+    core::StackConfig stack = core::pinning_cache_config();
+    stack.cache.capacity = capacity;
+    bench::Cluster c(*opt.cpu, stack, 2, false, 65536);
+    workloads::ImbSuite::Config cfg;
+    cfg.iterations = opt.quick ? 16 : 32;
+    cfg.buffer_rotation = buffers;
+    workloads::ImbSuite imb(*c.comm, cfg);
+    const auto r = imb.pingpong(1024 * 1024);
+    const auto& st = c.comm->process(0).lib.cache().stats();
+    std::printf("   %-10zu %-12zu %10llu %10llu %10llu %12.1f\n", capacity,
+                buffers, static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses),
+                static_cast<unsigned long long>(st.evictions), r.avg_usec);
+  }
+  std::printf(
+      "   (once the LRU capacity covers the working set the misses and\n"
+      "    evictions stop and the cache behaves like permanent pinning)\n\n");
+}
+
+void interception_ablation() {
+  std::printf("-- (3) kernel notifiers vs user-space symbol interception --\n");
+  mem::PhysicalMemory pm(4096);
+  mem::AddressSpace as(pm);
+  mem::MallocSim heap(as);
+
+  // Hook overhead: an allocation-churny application phase.
+  {
+    baseline::UserspaceRegCache cache(as);
+    baseline::HookedHeap hooked(heap, cache, /*hooks_active=*/true);
+    std::vector<mem::VirtAddr> ptrs;
+    for (int i = 0; i < 10000; ++i) {
+      const auto p = hooked.malloc(64 + (i % 32) * 16);
+      if (i % 2 == 1) {
+        hooked.free(p);  // short-lived temporary
+      } else {
+        ptrs.push_back(p);
+      }
+    }
+    for (mem::VirtAddr p : ptrs) hooked.free(p);
+    std::printf(
+        "   interception hooks fired %llu times for 0 communication "
+        "buffers\n   (kernel notifier invalidations for the same run: 0)\n",
+        static_cast<unsigned long long>(cache.stats().hook_calls));
+  }
+
+  // Stale-translation hazard with interception unavailable.
+  {
+    baseline::UserspaceRegCache cache(as);
+    baseline::HookedHeap unhooked(heap, cache, /*hooks_active=*/false);
+    const auto p = unhooked.malloc(256 * 1024);
+    std::vector<std::byte> gen1(8, std::byte{0x11});
+    as.write(p, gen1);
+    (void)cache.get(p, 256 * 1024);
+    unhooked.free(p);
+    const auto q = unhooked.malloc(256 * 1024);
+    std::vector<std::byte> gen2(8, std::byte{0x22});
+    as.write(q, gen2);
+    auto frames = cache.get(q, 256 * 1024);
+    std::vector<std::byte> wire(8);
+    cache.dma_read(frames, 0, wire);
+    const bool corrupted = wire != gen2;
+    std::printf(
+        "   static-link/custom-allocator scenario: transfer read %s data\n",
+        corrupted ? "STALE (generation-1)" : "fresh");
+    std::printf(
+        "   (the MMU-notifier design cannot hit this: the kernel always\n"
+        "    sees the munmap; see ProtocolTest.FreeDuringIdle... test)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header("Ablations: overlap vs chunked pipeline, cache "
+                      "capacity, interception reliability",
+                      "Goglin, CAC/IPDPS'09, §3.2, §5 discussion");
+  pipeline_ablation(opt);
+  cache_capacity_ablation(opt);
+  interception_ablation();
+  return 0;
+}

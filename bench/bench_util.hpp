@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/host.hpp"
+#include "mpi/communicator.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace pinsim::bench {
+
+/// A 2-host testbed like the paper's: two machines of the same CPU model on
+/// a 10G Ethernet fabric, `nranks` processes spread round-robin.
+struct Cluster {
+  Cluster(const cpu::CpuModel& cpu, core::StackConfig stack, int nranks,
+          bool with_ioat, std::size_t memory_frames = 32768) {
+    fabric = std::make_unique<net::Fabric>(eng);
+    core::Host::Config hc;
+    hc.cpu = cpu;
+    hc.with_ioat = with_ioat;
+    hc.memory_frames = memory_frames;
+    for (int h = 0; h < 2; ++h) {
+      hc.name = h == 0 ? "hostA" : "hostB";
+      hosts.push_back(std::make_unique<core::Host>(eng, *fabric, hc, stack));
+    }
+    if (nranks > 0) {
+      std::vector<core::Host::Process*> procs;
+      for (int r = 0; r < nranks; ++r) {
+        procs.push_back(
+            &hosts[static_cast<std::size_t>(r % 2)]->spawn_process());
+      }
+      comm = std::make_unique<mpi::Communicator>(procs);
+    }
+  }
+
+  sim::Engine eng;
+  std::unique_ptr<net::Fabric> fabric;
+  std::vector<std::unique_ptr<core::Host>> hosts;
+  std::unique_ptr<mpi::Communicator> comm;
+};
+
+/// Minimal CLI: --cpu=<model>, --quick and --csv are shared by all benches.
+struct Options {
+  const cpu::CpuModel* cpu = &cpu::xeon_e5460();
+  bool quick = false;
+  bool csv = false;  // machine-readable rows for plotting
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--cpu=", 0) == 0) {
+        o.cpu = &cpu::cpu_model_by_name(arg.substr(6));
+      } else if (arg == "--quick") {
+        o.quick = true;
+      } else if (arg == "--csv") {
+        o.csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("options: --cpu=<%s> --quick --csv\n",
+                    [] {
+                      std::string s;
+                      for (const auto& m : cpu::all_cpu_models()) {
+                        if (!s.empty()) s += "|";
+                        s += m.name;
+                      }
+                      return s;
+                    }()
+                        .c_str());
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+/// Emits one CSV row (series name per column) for gnuplot/matplotlib.
+inline void csv_row(std::size_t bytes, const std::vector<double>& values) {
+  std::printf("%zu", bytes);
+  for (double v : values) std::printf(",%.2f", v);
+  std::printf("\n");
+}
+
+inline void csv_header(const char* first,
+                       const std::vector<std::string>& series) {
+  std::printf("%s", first);
+  for (const auto& s : series) std::printf(",%s", s.c_str());
+  std::printf("\n");
+}
+
+/// The message sizes of Figures 6-7 (64 kB .. 16 MB, the rendezvous regime).
+inline std::vector<std::size_t> figure_sizes(bool quick) {
+  if (quick) return {64 * 1024, 1024 * 1024, 16 * 1024 * 1024};
+  return {64 * 1024,        128 * 1024,       256 * 1024,
+          512 * 1024,       1024 * 1024,      2 * 1024 * 1024,
+          4 * 1024 * 1024,  8 * 1024 * 1024,  16 * 1024 * 1024};
+}
+
+inline std::string human_size(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%zuMB", bytes / (1024 * 1024));
+  } else {
+    std::snprintf(buf, sizeof buf, "%zukB", bytes / 1024);
+  }
+  return buf;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("    reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace pinsim::bench

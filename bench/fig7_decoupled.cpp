@@ -1,0 +1,97 @@
+// Figure 7: impact of overlapped pinning and pinning cache on IMB PingPong
+// throughput — Regular / Overlapped / Pinning Cache / Overlapped Cache.
+//
+// The second table is the §4.2 discussion case: the application does NOT
+// reuse its buffers (we rotate through several), so the cache cannot help
+// and only overlapping hides the pinning cost.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/imb.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+double pingpong_mibps(const cpu::CpuModel& cpu, core::StackConfig stack,
+                      std::size_t bytes, int iters, std::size_t rotation) {
+  bench::Cluster cluster(cpu, stack, /*nranks=*/2, /*ioat=*/false,
+                         /*memory_frames=*/rotation > 1 ? 65536 : 32768);
+  workloads::ImbSuite::Config cfg;
+  cfg.iterations = iters;
+  cfg.buffer_rotation = rotation;
+  workloads::ImbSuite imb(*cluster.comm, cfg);
+  return imb.pingpong(bytes).mib_per_sec;
+}
+
+struct Config {
+  const char* label;
+  core::StackConfig stack;
+};
+
+void sweep(const cpu::CpuModel& cpu, bool quick, std::size_t rotation,
+           bool csv) {
+  Config configs[] = {
+      {"Regular", core::regular_pinning_config()},
+      {"Overlapped", core::overlapped_pinning_config()},
+      {"Cache", core::pinning_cache_config()},
+      {"Overlap+Cache", core::overlapped_cache_config()},
+      // §6 long-term idea (QsNet): no pinning at all, as an upper bound.
+      {"NoPin-ideal", core::qsnet_ideal_config()},
+  };
+  if (rotation > 1) {
+    // "No reuse": the buffer working set must exceed the cache, otherwise
+    // the LRU still serves hits after the first round.
+    for (auto& c : configs) c.stack.cache.capacity = rotation / 2;
+  }
+  const int iters = quick ? 4 : 10;
+  if (csv) {
+    bench::csv_header("bytes", {"regular", "overlapped", "cache",
+                                "overlap_cache", "nopin_ideal"});
+  } else {
+    std::printf("%-8s", "size");
+    for (const auto& c : configs) std::printf(" %14s", c.label);
+    std::printf(" %12s %12s\n", "ovl/reg", "cache/reg");
+  }
+  for (std::size_t bytes : bench::figure_sizes(quick)) {
+    std::vector<double> vals;
+    for (const auto& c : configs) {
+      vals.push_back(pingpong_mibps(cpu, c.stack, bytes, iters, rotation));
+    }
+    if (csv) {
+      bench::csv_row(bytes, vals);
+      continue;
+    }
+    std::printf("%-8s", bench::human_size(bytes).c_str());
+    for (double v : vals) std::printf(" %14.1f", v);
+    std::printf(" %11.1f%% %11.1f%%\n", (vals[1] / vals[0] - 1.0) * 100.0,
+                (vals[2] / vals[0] - 1.0) * 100.0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 7: overlapped pinning and pinning cache vs regular pinning",
+      "Goglin, CAC/IPDPS'09, Fig. 7 (IMB PingPong MiB/s)");
+  std::printf("cpu model: %s (%.2f GHz)\n", opt.cpu->name.c_str(),
+              opt.cpu->ghz);
+
+  std::printf("\n-- buffers reused every iteration (IMB default) --\n");
+  sweep(*opt.cpu, opt.quick, /*rotation=*/1, opt.csv);
+
+  std::printf(
+      "\n-- no buffer reuse (rotating 4 buffers; cache cannot help, only\n"
+      "   overlap hides the pinning --\n");
+  sweep(*opt.cpu, opt.quick, /*rotation=*/4, opt.csv);
+
+  std::printf(
+      "\nShape check vs paper: Cache and Overlap+Cache track permanent\n"
+      "pinning; Overlapped alone recovers the same ~5%% (Xeon) that the\n"
+      "cache does, and remains the only winner when buffers are not\n"
+      "reused.\n");
+  return 0;
+}

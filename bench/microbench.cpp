@@ -1,0 +1,116 @@
+// google-benchmark wall-clock microbenchmarks of the simulator's hot paths.
+// These are not paper results; they keep the infrastructure honest (a
+// simulated 16 MB PingPong sweep is only useful if the event loop and the
+// memory paths are fast enough to run thousands of them).
+#include <benchmark/benchmark.h>
+
+#include "core/region.hpp"
+#include "core/wire.hpp"
+#include "mem/address_space.hpp"
+#include "mem/physical_memory.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  sim::Engine eng;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      eng.schedule_after(static_cast<sim::Time>(i % 7), [&sink] { ++sink; });
+    }
+    eng.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::spawn(eng, [](sim::Engine& e) -> sim::Task<> {
+      for (int i = 0; i < 512; ++i) co_await sim::delay(e, 10);
+    }(eng));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_PageFaultAndWrite(benchmark::State& state) {
+  mem::PhysicalMemory pm(80000);
+  std::vector<std::byte> data(64 * 1024, std::byte{0x5a});
+  for (auto _ : state) {
+    mem::AddressSpace as(pm);
+    const auto addr = as.mmap(64 * 1024);
+    as.write(addr, data);
+    benchmark::DoNotOptimize(as.resident_pages());
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_PageFaultAndWrite);
+
+void BM_PinUnpinRange(benchmark::State& state) {
+  mem::PhysicalMemory pm(80000);
+  mem::AddressSpace as(pm);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const auto addr = as.mmap(bytes);
+  as.touch(addr, bytes);
+  for (auto _ : state) {
+    auto frames = as.pin_range(addr, bytes);
+    mem::VirtAddr va = addr;
+    for (auto f : frames) {
+      as.unpin_page(va, f);
+      va += mem::kPageSize;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_PinUnpinRange)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_RegionCopyInOut(benchmark::State& state) {
+  mem::PhysicalMemory pm(80000);
+  mem::AddressSpace as(pm);
+  const std::size_t bytes = 256 * 1024;
+  const auto addr = as.mmap(bytes);
+  core::Region region(1, as, {core::Segment{addr, bytes}});
+  std::vector<mem::FrameId> frames;
+  for (std::size_t i = 0; i < region.page_count(); ++i) {
+    frames.push_back(as.pin_page(region.page_va_at(i)));
+  }
+  region.commit_pins(frames);
+  std::vector<std::byte> buf(8192, std::byte{0x11});
+  for (auto _ : state) {
+    for (std::size_t off = 0; off + buf.size() <= bytes; off += buf.size()) {
+      benchmark::DoNotOptimize(region.copy_in(off, buf));
+      benchmark::DoNotOptimize(region.copy_out(off, buf));
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * static_cast<int64_t>(bytes));
+  for (auto& [va, f] : region.take_all_pins()) as.unpin_page(va, f);
+}
+BENCHMARK(BM_RegionCopyInOut);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  core::Packet p;
+  core::PullReplyBody body;
+  body.handle = 7;
+  body.offset = 123456;
+  body.data.assign(8192, std::byte{0x42});
+  p.body = std::move(body);
+  for (auto _ : state) {
+    auto wire = core::encode(p);
+    auto q = core::decode(wire);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetBytesProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

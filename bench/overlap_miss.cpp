@@ -1,0 +1,175 @@
+// §4.3 "Overlap Impact Discussion": how often does a packet arrive before
+// its page is pinned, and what happens when the receive bottom halves
+// exhaust the core the pinning needs?
+//
+//  (a) normal load: overlap-miss probability (paper: < 1 packet in 10^4);
+//  (b) a core overloaded by interrupt processing: throughput collapse
+//      (paper: from ~1 GB/s down to ~50 MB/s);
+//  (c) the mitigation the paper was evaluating: synchronously pre-pinning
+//      a few pages before the initiating message.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+/// Synthetic interrupt flood: keeps `core` busy at bottom-half priority for
+/// `busy` out of every `period` nanoseconds — the "interrupts bound to a
+/// single core" overload of §4.3, injected deterministically.
+struct InterruptFlood {
+  InterruptFlood(sim::Engine& eng, cpu::Core& core, sim::Time busy,
+                 sim::Time period)
+      : eng_(eng), core_(core), busy_(busy), period_(period) {}
+
+  void start() {
+    if (busy_ == 0) return;
+    tick();
+  }
+  void stop() { stopped_ = true; }
+
+ private:
+  void tick() {
+    if (stopped_) return;
+    core_.consume(cpu::Priority::kBottomHalf, busy_);
+    eng_.schedule_after(period_, [this] { tick(); });
+  }
+
+  sim::Engine& eng_;
+  cpu::Core& core_;
+  sim::Time busy_;
+  sim::Time period_;
+  bool stopped_ = false;
+};
+
+struct RunResult {
+  double mb_per_sec = 0.0;
+  double miss_rate = 0.0;
+  std::uint64_t misses = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t rerequests = 0;
+  std::uint64_t timeouts = 0;
+};
+
+/// Streams `count` one-way messages of `bytes` through the overlapped
+/// (non-cached) path while a flood of the given duty cycle occupies the
+/// receiver's core — which is also the NIC interrupt core.
+RunResult stream(const cpu::CpuModel& cpu, double duty, std::size_t bytes,
+                 int count, std::size_t prepin_pages) {
+  core::StackConfig stack = core::overlapped_pinning_config();
+  stack.pinning.sync_prepin_pages = prepin_pages;
+  // The §4.3 pathology needs "interrupts bound to a single core": disable
+  // flow steering so every bottom half lands on core 0.
+  stack.protocol.distribute_interrupts = false;
+  bench::Cluster cluster(cpu, stack, /*nranks=*/0, /*ioat=*/false);
+  auto& sender = cluster.hosts[0]->spawn_process();  // core 1 of host A
+  // The receiver shares core 0 with the interrupt handling (the §4.3 setup).
+  auto& receiver = cluster.hosts[1]->spawn_process_on(0);
+  auto& eng = cluster.eng;
+
+  const sim::Time period = 100 * sim::kMicrosecond;
+  InterruptFlood flood(eng, cluster.hosts[1]->core(0),
+                       static_cast<sim::Time>(duty * static_cast<double>(period)),
+                       period);
+  flood.start();
+
+  const auto src = sender.heap.malloc(bytes);
+  // Rotate buffers so every message needs a fresh pin on both sides.
+  std::vector<mem::VirtAddr> dsts;
+  for (int i = 0; i < 4; ++i) dsts.push_back(receiver.heap.malloc(bytes));
+
+  const sim::Time t0 = eng.now();
+  bool done_send = false;
+  bool done_recv = false;
+  sim::spawn(eng, [](core::Host::Process& p, core::EndpointAddr to,
+                     mem::VirtAddr buf, std::size_t n, int k,
+                     bool& flag) -> sim::Task<> {
+    for (int i = 0; i < k; ++i) (void)co_await p.lib.send(to, 0x7, buf, n);
+    flag = true;
+  }(sender, receiver.addr(), src, bytes, count, done_send));
+  sim::spawn(eng, [](core::Host::Process& p, std::vector<mem::VirtAddr> bufs,
+                     std::size_t n, int k, bool& flag) -> sim::Task<> {
+    for (int i = 0; i < k; ++i) {
+      (void)co_await p.lib.recv(0x7, ~std::uint64_t{0},
+                                bufs[static_cast<std::size_t>(i) % bufs.size()],
+                                n);
+    }
+    flag = true;
+  }(receiver, dsts, bytes, count, done_recv));
+
+  while ((!done_send || !done_recv) && eng.step()) {
+  }
+  eng.rethrow_task_failures();
+  flood.stop();
+
+  RunResult r;
+  const auto& cs = sender.lib.counters();
+  const auto& cr = receiver.lib.counters();
+  r.accesses = cs.region_accesses + cr.region_accesses;
+  r.misses = cs.overlap_misses + cr.overlap_misses;
+  r.miss_rate = r.accesses == 0
+                    ? 0.0
+                    : static_cast<double>(r.misses) /
+                          static_cast<double>(r.accesses);
+  r.rerequests = cr.pull_rerequests;
+  r.timeouts = cs.retransmit_timeouts + cr.retransmit_timeouts;
+  const sim::Time elapsed = eng.now() - t0;
+  if (elapsed > 0) {
+    r.mb_per_sec = static_cast<double>(bytes) * count / 1e6 /
+                   sim::to_seconds(elapsed);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Section 4.3: overlap misses under normal and overloaded receive load",
+      "Goglin, CAC/IPDPS'09, §4.3 (miss probability < 1e-4 under regular "
+      "load; 1 GB/s -> ~50 MB/s collapse when the core is exhausted)");
+  std::printf("cpu model: %s\n\n", opt.cpu->name.c_str());
+
+  const std::size_t bytes = 1024 * 1024;
+  const int count = opt.quick ? 6 : 12;
+
+  std::printf("%-28s %10s %12s %14s %12s %10s\n", "scenario", "MB/s",
+              "miss rate", "misses/total", "rerequests", "timeouts");
+  struct Row {
+    const char* label;
+    double duty;
+    std::size_t prepin;
+  };
+  // Beyond ~99% duty the bottom-half queue never drains and pinning starves
+  // outright (throughput -> one pull-retry period per window); the paper's
+  // observed range ends around there.
+  const Row rows[] = {
+      {"idle core (normal load)", 0.0, 0},
+      {"50% interrupt load", 0.50, 0},
+      {"90% interrupt load", 0.90, 0},
+      {"95% interrupt load", 0.95, 0},
+      {"99% interrupt load", 0.99, 0},
+      {"90% + pre-pin 64 pages", 0.90, 64},
+      {"99% + pre-pin 64 pages", 0.99, 64},
+  };
+  double baseline = 0.0;
+  for (const auto& row : rows) {
+    const auto r = stream(*opt.cpu, row.duty, bytes, count, row.prepin);
+    if (baseline == 0.0) baseline = r.mb_per_sec;
+    std::printf("%-28s %10.1f %12.2e %8llu/%-8llu %9llu %9llu\n", row.label,
+                r.mb_per_sec, r.miss_rate,
+                static_cast<unsigned long long>(r.misses),
+                static_cast<unsigned long long>(r.accesses),
+                static_cast<unsigned long long>(r.rerequests),
+                static_cast<unsigned long long>(r.timeouts));
+  }
+  std::printf(
+      "\nShape check vs paper: essentially no misses on an idle core, and a\n"
+      "collapse of one to two orders of magnitude once bottom halves\n"
+      "monopolize the core the receiver pins from. Pre-pinning a few pages\n"
+      "trims the wasted retransmissions (the mitigation §4.3 evaluates).\n");
+  return 0;
+}

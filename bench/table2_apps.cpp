@@ -1,0 +1,103 @@
+// Table 2: execution-time improvement brought by the pinning cache or the
+// overlapped pinning on the Intel MPI Benchmarks and NPB IS, 4 processes on
+// 2 nodes sharing the 10G NICs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/imb.hpp"
+#include "workloads/npb_is.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+// IMB runs with one rank per node ("between 2 nodes"); NPB IS uses the
+// paper's is.C.4 layout of 4 processes over the 2 nodes.
+double imb_time_us(const cpu::CpuModel& cpu, core::StackConfig stack,
+                   const std::string& name, std::size_t bytes, int iters) {
+  bench::Cluster cluster(cpu, stack, /*nranks=*/2, /*ioat=*/false, 49152);
+  workloads::ImbSuite::Config cfg;
+  cfg.iterations = iters;
+  workloads::ImbSuite imb(*cluster.comm, cfg);
+  return imb.run(name, bytes).avg_usec;
+}
+
+double is_time_us(const cpu::CpuModel& cpu, core::StackConfig stack,
+                  std::size_t keys, int iters) {
+  bench::Cluster cluster(cpu, stack, /*nranks=*/4, /*ioat=*/false, 49152);
+  workloads::IsConfig cfg;
+  cfg.total_keys = keys;
+  cfg.iterations = iters;
+  auto r = workloads::run_is(*cluster.comm, cfg);
+  if (!r.verified) std::printf("  !! IS verification FAILED\n");
+  return sim::to_usec(r.elapsed);
+}
+
+double improvement(double base, double other) {
+  return (1.0 - other / base) * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Table 2: pinning cache / overlapped pinning improvement, IMB + NPB IS",
+      "Goglin, CAC/IPDPS'09, Table 2 (%% execution-time improvement over "
+      "regular pinning, 4 ranks on 2 nodes)");
+  std::printf("cpu model: %s\n\n", opt.cpu->name.c_str());
+
+  struct PaperRow {
+    const char* app;
+    double cache_pct;
+    double overlap_pct;
+  };
+  const PaperRow paper[] = {
+      {"SendRecv", 8.4, 5.5},   {"Allgatherv", 7.5, 6.8},
+      {"Bcast", 4.4, 2.0},      {"Reduce", 7.6, 0.2},
+      {"Allreduce", 2.2, -0.6}, {"Reduce_scatter", 7.9, -0.8},
+      {"Exchange", -1.4, -2.7},
+  };
+
+  const int iters = opt.quick ? 4 : 8;
+  const std::size_t bytes = 1024 * 1024;
+
+  std::printf("%-16s | %12s %12s | %12s %12s\n", "Application",
+              "cache(paper)", "ovl(paper)", "cache(ours)", "ovl(ours)");
+  for (const auto& row : paper) {
+    const double t_reg = imb_time_us(*opt.cpu, core::regular_pinning_config(),
+                                     row.app, bytes, iters);
+    const double t_cache = imb_time_us(
+        *opt.cpu, core::pinning_cache_config(), row.app, bytes, iters);
+    const double t_ovl = imb_time_us(
+        *opt.cpu, core::overlapped_pinning_config(), row.app, bytes, iters);
+    std::printf("IMB %-12s | %11.1f%% %11.1f%% | %11.1f%% %11.1f%%\n",
+                row.app, row.cache_pct, row.overlap_pct,
+                improvement(t_reg, t_cache), improvement(t_reg, t_ovl));
+  }
+
+  {
+    const std::size_t keys = opt.quick ? (std::size_t{1} << 19)
+                                       : (std::size_t{1} << 21);
+    const int is_iters = opt.quick ? 3 : 10;
+    const double t_reg =
+        is_time_us(*opt.cpu, core::regular_pinning_config(), keys, is_iters);
+    const double t_cache =
+        is_time_us(*opt.cpu, core::pinning_cache_config(), keys, is_iters);
+    const double t_ovl = is_time_us(
+        *opt.cpu, core::overlapped_pinning_config(), keys, is_iters);
+    std::printf("%-16s | %11.1f%% %11.1f%% | %11.1f%% %11.1f%%\n",
+                "NPB is (scaled)", 4.2, 1.9, improvement(t_reg, t_cache),
+                improvement(t_reg, t_ovl));
+  }
+
+  std::printf(
+      "\nShape check vs paper: the cache helps every reuse-heavy kernel by\n"
+      "several percent; overlapping helps the blocking-dominated patterns\n"
+      "(SendRecv, Allgatherv) most, and can be neutral-to-negative where\n"
+      "the collective already overlaps internally (Allreduce,\n"
+      "Reduce_scatter, Exchange).\n");
+  return 0;
+}

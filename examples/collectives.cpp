@@ -1,0 +1,105 @@
+// Collectives over the simulated cluster: 4 MPI ranks on 2 hosts run an
+// allreduce and a ring allgatherv under each pinning configuration, with
+// element-wise verification — a small version of what the Table 2 harness
+// measures.
+//
+//   $ ./collectives
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/host.hpp"
+#include "mpi/communicator.hpp"
+
+using namespace pinsim;
+
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  core::StackConfig stack;
+};
+
+void run_config(const NamedConfig& cfg) {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::Host::Config hc;
+  hc.memory_frames = 24576;
+  core::Host host_a(eng, fabric, hc, cfg.stack);
+  core::Host host_b(eng, fabric, hc, cfg.stack);
+  std::vector<core::Host::Process*> procs;
+  for (int r = 0; r < 4; ++r) {
+    procs.push_back(r % 2 == 0 ? &host_a.spawn_process()
+                               : &host_b.spawn_process());
+  }
+  mpi::Communicator comm(procs);
+
+  constexpr std::size_t kCount = 256 * 1024;  // 1 MiB of int32 per rank
+  std::vector<mem::VirtAddr> src(4), dst(4), gat(4);
+  for (int r = 0; r < 4; ++r) {
+    auto& p = comm.process(r);
+    const auto ri = static_cast<std::size_t>(r);
+    src[ri] = p.heap.malloc(kCount * 4);
+    dst[ri] = p.heap.malloc(kCount * 4);
+    gat[ri] = p.heap.malloc(4 * kCount * 4);
+    std::vector<std::int32_t> vals(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      vals[i] = static_cast<std::int32_t>(i % 1000) + r;
+    }
+    std::vector<std::byte> raw(kCount * 4);
+    std::memcpy(raw.data(), vals.data(), raw.size());
+    p.as.write(src[ri], raw);
+  }
+
+  std::vector<std::size_t> counts(4, kCount * 4), displs(4);
+  for (std::size_t i = 0; i < 4; ++i) displs[i] = i * kCount * 4;
+
+  const sim::Time elapsed = mpi::run_ranks(eng, 4, [&](int me) -> sim::Task<> {
+    const auto mi = static_cast<std::size_t>(me);
+    co_await comm.allreduce(me, src[mi], dst[mi], kCount,
+                            mpi::Datatype::kInt32, mpi::Op::kSum);
+    co_await comm.allgatherv(me, src[mi], gat[mi], counts, displs);
+  });
+
+  // Verify on rank 0: allreduce sum = 4*(i%1000) + 0+1+2+3.
+  bool ok = true;
+  {
+    std::vector<std::byte> raw(kCount * 4);
+    comm.process(0).as.read(dst[0], raw);
+    std::vector<std::int32_t> vals(kCount);
+    std::memcpy(vals.data(), raw.data(), raw.size());
+    for (std::size_t i = 0; i < kCount; i += 1234) {
+      if (vals[i] != static_cast<std::int32_t>(i % 1000) * 4 + 6) ok = false;
+    }
+    // allgatherv block b starts with b (i=0 element of rank b).
+    comm.process(0).as.read(gat[0] + displs[2], raw);
+    std::memcpy(vals.data(), raw.data(), 4);
+    if (vals[0] != 2) ok = false;
+  }
+
+  std::uint64_t pins = 0;
+  for (int r = 0; r < 4; ++r) pins += comm.process(r).lib.counters().pin_ops;
+  std::printf("%-16s  allreduce+allgatherv: %8.1f us   verified: %-3s  "
+              "pin ops: %llu\n",
+              cfg.name, sim::to_usec(elapsed), ok ? "yes" : "NO",
+              static_cast<unsigned long long>(pins));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 ranks on 2 hosts, 1 MiB per rank, all pinning configs:\n\n");
+  const NamedConfig configs[] = {
+      {"regular", core::regular_pinning_config()},
+      {"overlapped", core::overlapped_pinning_config()},
+      {"cache", core::pinning_cache_config()},
+      {"overlap+cache", core::overlapped_cache_config()},
+      {"permanent", core::permanent_pinning_config()},
+  };
+  for (const auto& cfg : configs) run_config(cfg);
+  std::printf(
+      "\nNote how the cached configurations do a fraction of the pin work\n"
+      "of the per-communication baseline.\n");
+  return 0;
+}

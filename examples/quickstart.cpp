@@ -1,0 +1,89 @@
+// Quickstart: the smallest complete program on the pinsim stack.
+//
+// Builds two simulated hosts on a 10G Ethernet fabric, sends one large
+// message from A to B through the Open-MX-like rendezvous protocol with the
+// paper's decoupled pinning (on-demand + overlapped + region cache), and
+// verifies the bytes arrived intact.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/host.hpp"
+#include "sim/task.hpp"
+
+using namespace pinsim;
+
+int main() {
+  // 1. The world: one event engine, one switched 10G fabric.
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+
+  // 2. Two quad-core Xeon E5460 hosts (the paper's testbed), running the
+  //    stack in its full configuration: on-demand pinning, overlapped with
+  //    communication, declarations cached in user space.
+  core::Host::Config host_cfg;  // defaults: xeon-e5460, 4 cores, 128 MiB
+  core::Host host_a(engine, fabric, host_cfg, core::overlapped_cache_config());
+  core::Host host_b(engine, fabric, host_cfg, core::overlapped_cache_config());
+
+  // 3. One process per host. Each process owns an address space, a heap,
+  //    an Open-MX endpoint and the user-space library.
+  auto& sender = host_a.spawn_process();
+  auto& receiver = host_b.spawn_process();
+
+  // 4. Application buffers come from the simulated malloc; bytes are real.
+  constexpr std::size_t kLen = 4 * 1024 * 1024;
+  const mem::VirtAddr src = sender.heap.malloc(kLen);
+  const mem::VirtAddr dst = receiver.heap.malloc(kLen);
+  std::vector<std::byte> payload(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    payload[i] = static_cast<std::byte>((i * 2654435761u) >> 24);
+  }
+  sender.as.write(src, payload);
+
+  // 5. Rank programs are coroutines; blocking calls co_await completion.
+  sim::spawn(engine, [](core::Host::Process& p, core::EndpointAddr to,
+                        mem::VirtAddr buf) -> sim::Task<> {
+    const core::Status st = co_await p.lib.send(to, /*match=*/42, buf, kLen);
+    std::printf("[sender]   send %s, %zu bytes\n", st.ok ? "ok" : "FAILED",
+                st.len);
+  }(sender, receiver.addr(), src));
+
+  sim::spawn(engine, [](core::Host::Process& p, mem::VirtAddr buf,
+                        sim::Engine& eng) -> sim::Task<> {
+    const core::Status st =
+        co_await p.lib.recv(/*match=*/42, ~std::uint64_t{0}, buf, kLen);
+    std::printf("[receiver] recv %s, %zu bytes at t=%.1f us\n",
+                st.ok ? "ok" : "FAILED", st.len, sim::to_usec(eng.now()));
+  }(receiver, dst, engine));
+
+  // 6. Run the simulation to completion.
+  engine.run();
+  engine.rethrow_task_failures();
+
+  // 7. Verify the data and show what the stack did.
+  std::vector<std::byte> got(kLen);
+  receiver.as.read(dst, got);
+  std::printf("payload intact: %s\n",
+              std::memcmp(got.data(), payload.data(), kLen) == 0 ? "yes"
+                                                                 : "NO");
+  const double mibps = (kLen / (1024.0 * 1024.0)) /
+                       sim::to_seconds(engine.now());
+  std::printf("throughput: %.1f MiB/s over the simulated 10G wire\n", mibps);
+
+  const auto& cs = sender.lib.counters();
+  const auto& cr = receiver.lib.counters();
+  std::printf(
+      "sender:   %llu rndv, %llu pull replies served, %llu pages pinned\n",
+      static_cast<unsigned long long>(cs.rndv_sent),
+      static_cast<unsigned long long>(cs.pull_replies_sent),
+      static_cast<unsigned long long>(cs.pages_pinned));
+  std::printf(
+      "receiver: %llu pulls sent, %llu pages pinned, %llu overlap misses\n",
+      static_cast<unsigned long long>(cr.pulls_sent),
+      static_cast<unsigned long long>(cr.pages_pinned),
+      static_cast<unsigned long long>(cr.overlap_misses));
+  return 0;
+}

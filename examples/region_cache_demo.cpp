@@ -1,0 +1,100 @@
+// The life of a declared region, narrated — the scenario of the paper's
+// Figure 3:
+//
+//   malloc -> MPI_Send  : cache miss, declare, pin, send
+//   MPI_Send again      : cache hit, already pinned
+//   free                : MMU notifier unpins; the declaration stays cached
+//   malloc (same addr)  : cache hit again!
+//   MPI_Send            : driver repins transparently, data is the new data
+//
+// No user-space invalidation handshake anywhere: the kernel notifier is the
+// only party that ever learns about the free.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/host.hpp"
+#include "core/report.hpp"
+#include "sim/task.hpp"
+
+using namespace pinsim;
+
+namespace {
+
+void show(const char* stage, core::Host::Process& p, core::Host& host) {
+  const auto& c = p.lib.counters();
+  const auto& cache = p.lib.cache().stats();
+  std::printf(
+      "%-34s | pins=%llu unpins=%llu repins=%llu notifier=%llu | cache "
+      "h/m=%llu/%llu | pinned pages=%zu\n",
+      stage, static_cast<unsigned long long>(c.pin_ops),
+      static_cast<unsigned long long>(c.unpin_ops),
+      static_cast<unsigned long long>(c.repins),
+      static_cast<unsigned long long>(c.notifier_invalidations),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      host.memory().pinned_pages());
+}
+
+void send_and_drain(sim::Engine& eng, core::Host::Process& sender,
+                    core::Host::Process& receiver, mem::VirtAddr src,
+                    mem::VirtAddr dst, std::size_t len) {
+  sim::spawn(eng, [](core::Host::Process& s, core::EndpointAddr to,
+                     mem::VirtAddr buf, std::size_t n) -> sim::Task<> {
+    (void)co_await s.lib.send(to, 7, buf, n);
+  }(sender, receiver.addr(), src, len));
+  sim::spawn(eng, [](core::Host::Process& r, mem::VirtAddr buf,
+                     std::size_t n) -> sim::Task<> {
+    (void)co_await r.lib.recv(7, ~std::uint64_t{0}, buf, n);
+  }(receiver, dst, len));
+  eng.run();
+  eng.rethrow_task_failures();
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::Host::Config hc;
+  core::Host host_a(eng, fabric, hc, core::pinning_cache_config());
+  core::Host host_b(eng, fabric, hc, core::pinning_cache_config());
+  auto& sender = host_a.spawn_process();
+  auto& receiver = host_b.spawn_process();
+
+  constexpr std::size_t kLen = 1024 * 1024;
+  const mem::VirtAddr dst = receiver.heap.malloc(kLen);
+
+  std::printf("--- Figure 3 walkthrough (1 MiB buffer, pinning cache) ---\n");
+
+  mem::VirtAddr src = sender.heap.malloc(kLen);
+  show("malloc(1MB)", sender, host_a);
+
+  sender.as.fill(src, kLen, std::byte{0xA1});
+  send_and_drain(eng, sender, receiver, src, dst, kLen);
+  show("MPI_Send #1 (declare+pin)", sender, host_a);
+
+  send_and_drain(eng, sender, receiver, src, dst, kLen);
+  show("MPI_Send #2 (cache hit, no pin)", sender, host_a);
+
+  sender.heap.free(src);
+  show("free() -> MMU notifier unpins", sender, host_a);
+
+  const mem::VirtAddr src2 = sender.heap.malloc(kLen);
+  std::printf("realloc returned the same address: %s\n",
+              src2 == src ? "yes" : "no");
+
+  sender.as.fill(src2, kLen, std::byte{0xB2});
+  send_and_drain(eng, sender, receiver, src2, dst, kLen);
+  show("MPI_Send #3 (hit + silent repin)", sender, host_a);
+
+  // Prove the receiver got the *new* bytes, not a stale snapshot.
+  std::vector<std::byte> got(16);
+  receiver.as.read(dst, got);
+  std::printf("receiver sees generation-2 bytes: %s\n",
+              got[0] == std::byte{0xB2} ? "yes" : "NO (stale!)");
+
+  std::printf("\n--- full sender diagnostics ---\n%s",
+              core::format_report(sender, host_a).c_str());
+  return 0;
+}

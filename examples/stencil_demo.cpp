@@ -1,0 +1,74 @@
+// A real application on the stack: 2-D Jacobi heat diffusion with halo
+// exchange across 4 ranks on 2 hosts, verified against a serial reference,
+// timed under each pinning configuration.
+//
+// Blocking halo exchanges are exactly the pattern §5 of the paper says
+// benefits most from overlapped pinning: the rank blocks on its neighbours
+// every iteration, so hidden pin time is wall time saved.
+//
+//   $ ./stencil_demo
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/host.hpp"
+#include "mpi/communicator.hpp"
+#include "workloads/stencil.hpp"
+
+using namespace pinsim;
+
+namespace {
+
+struct NamedConfig {
+  const char* name;
+  core::StackConfig stack;
+};
+
+double run_once(const NamedConfig& cfg, bool print_verify) {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::Host::Config hc;
+  hc.memory_frames = 24576;
+  core::Host host_a(eng, fabric, hc, cfg.stack);
+  core::Host host_b(eng, fabric, hc, cfg.stack);
+  std::vector<core::Host::Process*> procs;
+  for (int r = 0; r < 4; ++r) {
+    procs.push_back(r % 2 == 0 ? &host_a.spawn_process()
+                               : &host_b.spawn_process());
+  }
+  mpi::Communicator comm(procs);
+
+  workloads::StencilConfig scfg;
+  scfg.nx = 16384;        // 128 kB ghost rows: rendezvous-sized halos
+  scfg.rows_per_rank = 24;
+  scfg.iterations = 8;
+  auto r = workloads::run_stencil(comm, scfg);
+  if (print_verify) {
+    std::printf("grid %zux%zu, %d iterations, checksum %.6e, verified: %s\n",
+                scfg.nx, scfg.rows_per_rank * 4, scfg.iterations, r.checksum,
+                r.verified ? "yes" : "NO");
+  }
+  return sim::to_usec(r.elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Jacobi stencil, 4 ranks on 2 hosts, halo rows of 128 kB:\n");
+  const NamedConfig configs[] = {
+      {"regular", core::regular_pinning_config()},
+      {"overlapped", core::overlapped_pinning_config()},
+      {"cache", core::pinning_cache_config()},
+      {"overlap+cache", core::overlapped_cache_config()},
+  };
+  double baseline = 0.0;
+  bool first = true;
+  for (const auto& cfg : configs) {
+    const double us = run_once(cfg, first);
+    if (first) baseline = us;
+    std::printf("  %-14s %10.1f us per run   %+5.1f%% vs regular\n", cfg.name,
+                us, (baseline / us - 1.0) * 100.0);
+    first = false;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Regenerates the paper's Figures 6 and 7 as PNGs from the benches' --csv
+# output. Requires gnuplot.
+#
+#   ./scripts/plot_figures.sh [build-dir] [out-dir]
+set -e
+BUILD="${1:-build}"
+OUT="${2:-figures}"
+mkdir -p "$OUT"
+
+command -v gnuplot >/dev/null 2>&1 || {
+  echo "gnuplot not found; CSVs will still be written to $OUT" >&2
+  NOPLOT=1
+}
+
+"$BUILD/bench/fig6_pingpong_pinning" --csv | grep -E '^[0-9b]' \
+  > "$OUT/fig6.csv"
+"$BUILD/bench/fig7_decoupled" --csv | grep -E '^[0-9b]' | head -n 10 \
+  > "$OUT/fig7.csv"
+
+[ -n "$NOPLOT" ] && exit 0
+
+gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 900,600
+set logscale x 2
+set xlabel 'Message size (bytes)'
+set ylabel 'Throughput (MiB/s)'
+set key bottom right
+set grid
+
+set output '$OUT/fig6.png'
+set title 'Figure 6: IMB PingPong throughput vs pinning policy'
+plot '$OUT/fig6.csv' skip 1 using 1:2 with linespoints title 'Open-MX pin/comm', \
+     ''              skip 1 using 1:3 with linespoints title 'Open-MX permanent', \
+     ''              skip 1 using 1:4 with linespoints title '+I/OAT pin/comm', \
+     ''              skip 1 using 1:5 with linespoints title '+I/OAT permanent'
+
+set output '$OUT/fig7.png'
+set title 'Figure 7: decoupled/overlapped pinning'
+plot '$OUT/fig7.csv' skip 1 using 1:2 with linespoints title 'Regular', \
+     ''              skip 1 using 1:3 with linespoints title 'Overlapped', \
+     ''              skip 1 using 1:4 with linespoints title 'Cache', \
+     ''              skip 1 using 1:5 with linespoints title 'Overlap+Cache', \
+     ''              skip 1 using 1:6 with linespoints title 'NoPin ideal'
+EOF
+echo "wrote $OUT/fig6.png and $OUT/fig7.png"

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/library.hpp"
+#include "sim/task.hpp"
+
+namespace pinsim::baseline {
+
+/// MPICH-GM / Open MPI-style pipelined registration (paper §5): the large
+/// buffer is split into chunks, each sent as its own message, so the pinning
+/// of chunk k+1 overlaps the wire time of chunk k.
+///
+/// Run it under `regular_pinning_config()` — each chunk pins synchronously
+/// at submission, which is exactly the old pipeline. The paper's criticism
+/// is visible in the measurements: the first chunk's pin sits on the
+/// critical path, every chunk pays its own rendezvous round-trip, and the
+/// wire carries smaller messages — all of which the driver-level overlap
+/// avoids.
+///
+/// `match_base` reserves `chunks` consecutive match values.
+[[nodiscard]] sim::Task<core::Status> chunked_send(
+    core::Library& lib, core::EndpointAddr dest, std::uint64_t match_base,
+    mem::VirtAddr buf, std::size_t len, std::size_t chunk);
+
+[[nodiscard]] sim::Task<core::Status> chunked_recv(core::Library& lib,
+                                                   std::uint64_t match_base,
+                                                   mem::VirtAddr buf,
+                                                   std::size_t len,
+                                                   std::size_t chunk);
+
+}  // namespace pinsim::baseline

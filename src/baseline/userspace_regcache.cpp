@@ -1,0 +1,90 @@
+#include "baseline/userspace_regcache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pinsim::baseline {
+
+UserspaceRegCache::UserspaceRegCache(mem::AddressSpace& as, Config cfg)
+    : as_(as), cfg_(cfg) {}
+
+UserspaceRegCache::~UserspaceRegCache() { invalidate_all(); }
+
+std::span<const mem::FrameId> UserspaceRegCache::get(mem::VirtAddr addr,
+                                                     std::size_t len) {
+  ++clock_;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->addr == addr && it->len == len) {
+      ++stats_.hits;
+      it->last_use = clock_;
+      return it->frames;  // possibly stale: nobody told us about a free
+    }
+  }
+  ++stats_.misses;
+  Entry e;
+  e.addr = addr;
+  e.len = len;
+  e.frames = as_.pin_range(addr, len);
+  e.last_use = clock_;
+  entries_.push_back(std::move(e));
+
+  while (entries_.size() > cfg_.capacity) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->last_use < victim->last_use) victim = it;
+    }
+    ++stats_.evictions;
+    drop(victim);
+  }
+  return entries_.back().frames;
+}
+
+void UserspaceRegCache::on_free_hook(mem::VirtAddr addr, std::size_t len) {
+  ++stats_.hook_calls;
+  const mem::VirtAddr lo = mem::page_floor(addr);
+  const mem::VirtAddr hi = mem::page_ceil(addr + len);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const mem::VirtAddr e_lo = mem::page_floor(it->addr);
+    const mem::VirtAddr e_hi = mem::page_ceil(it->addr + it->len);
+    if (e_lo < hi && lo < e_hi) {
+      ++stats_.hook_invalidations;
+      auto dead = it++;
+      drop(dead);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UserspaceRegCache::dma_read(std::span<const mem::FrameId> frames,
+                                 std::size_t page_offset,
+                                 std::span<std::byte> dst) const {
+  std::size_t done = 0;
+  std::size_t slot = page_offset / mem::kPageSize;
+  std::size_t off = page_offset % mem::kPageSize;
+  auto& pm = as_.physical();
+  while (done < dst.size()) {
+    const std::size_t chunk =
+        std::min(dst.size() - done, mem::kPageSize - off);
+    auto frame = pm.data(frames[slot]);
+    std::memcpy(dst.data() + done, frame.data() + off, chunk);
+    done += chunk;
+    ++slot;
+    off = 0;
+  }
+}
+
+void UserspaceRegCache::drop(std::list<Entry>::iterator it) {
+  mem::VirtAddr va = mem::page_floor(it->addr);
+  for (mem::FrameId f : it->frames) {
+    as_.unpin_page(va, f);
+    va += mem::kPageSize;
+  }
+  entries_.erase(it);
+}
+
+void UserspaceRegCache::invalidate_all() {
+  while (!entries_.empty()) drop(entries_.begin());
+}
+
+}  // namespace pinsim::baseline

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/malloc_sim.hpp"
+#include "mem/types.hpp"
+
+namespace pinsim::baseline {
+
+/// The classic *user-space* registration cache the paper argues against
+/// (§2.1, §5): the library caches (address, length) -> pinned translations
+/// and relies on intercepting `free`/`munmap` symbols to invalidate them.
+///
+/// Two failure modes are modelled, matching the paper's criticism:
+///  * interception can be unavailable (static linking, custom allocator):
+///    frees go unseen, a reallocation at the same address reuses a *stale*
+///    translation, and transfers silently read old bytes;
+///  * when interception does work, the hook fires on **every** deallocation
+///    — including tiny ones that never touch the network (hook_calls
+///    counts the overhead the kernel-based scheme avoids).
+class UserspaceRegCache {
+ public:
+  struct Config {
+    std::size_t capacity = 64;  // cached registrations (LRU beyond)
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t hook_calls = 0;         // interception invocations
+    std::uint64_t hook_invalidations = 0;  // entries actually dropped
+  };
+
+  UserspaceRegCache(mem::AddressSpace& as, Config cfg);
+  UserspaceRegCache(mem::AddressSpace& as) : UserspaceRegCache(as, Config()) {}
+  ~UserspaceRegCache();
+
+  UserspaceRegCache(const UserspaceRegCache&) = delete;
+  UserspaceRegCache& operator=(const UserspaceRegCache&) = delete;
+
+  /// Returns pinned frames for [addr, addr+len), from the cache when
+  /// possible. This is what the stack would hand the NIC.
+  std::span<const mem::FrameId> get(mem::VirtAddr addr, std::size_t len);
+
+  /// The interception hook: called by the wrapped allocator when `free`
+  /// IS intercepted. Drops every cached registration overlapping the range.
+  void on_free_hook(mem::VirtAddr addr, std::size_t len);
+
+  /// Reads through a translation previously returned by get() — what a NIC
+  /// DMA would fetch. If the cache is stale this returns stale bytes, which
+  /// is precisely the corruption the test asserts on.
+  void dma_read(std::span<const mem::FrameId> frames, std::size_t page_offset,
+                std::span<std::byte> dst) const;
+
+  void invalidate_all();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    mem::VirtAddr addr = 0;
+    std::size_t len = 0;
+    std::vector<mem::FrameId> frames;
+    std::uint64_t last_use = 0;
+  };
+
+  void drop(std::list<Entry>::iterator it);
+
+  mem::AddressSpace& as_;
+  Config cfg_;
+  std::list<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+/// Allocator wrapper standing in for the intercepted malloc stack. With
+/// `hooks_active == false` it behaves like a statically linked binary or a
+/// custom allocator: frees bypass the cache's hook entirely.
+class HookedHeap {
+ public:
+  HookedHeap(mem::MallocSim& heap, UserspaceRegCache& cache, bool hooks_active)
+      : heap_(heap), cache_(cache), hooks_active_(hooks_active) {}
+
+  [[nodiscard]] mem::VirtAddr malloc(std::size_t n) { return heap_.malloc(n); }
+
+  void free(mem::VirtAddr p) {
+    const std::size_t len = heap_.usable_size(p);
+    if (hooks_active_) cache_.on_free_hook(p, len);
+    heap_.free(p);
+  }
+
+ private:
+  mem::MallocSim& heap_;
+  UserspaceRegCache& cache_;
+  bool hooks_active_;
+};
+
+}  // namespace pinsim::baseline

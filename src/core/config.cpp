@@ -1,0 +1,53 @@
+#include "core/config.hpp"
+
+namespace pinsim::core {
+
+StackConfig regular_pinning_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kPerCommunication;
+  cfg.pinning.overlapped = false;
+  cfg.cache.enabled = false;
+  return cfg;
+}
+
+StackConfig overlapped_pinning_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kOnDemand;
+  cfg.pinning.overlapped = true;
+  cfg.cache.enabled = false;
+  return cfg;
+}
+
+StackConfig pinning_cache_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kOnDemand;
+  cfg.pinning.overlapped = false;
+  cfg.cache.enabled = true;
+  return cfg;
+}
+
+StackConfig overlapped_cache_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kOnDemand;
+  cfg.pinning.overlapped = true;
+  cfg.cache.enabled = true;
+  return cfg;
+}
+
+StackConfig permanent_pinning_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kPermanent;
+  cfg.pinning.overlapped = false;
+  cfg.cache.enabled = true;
+  return cfg;
+}
+
+StackConfig qsnet_ideal_config() {
+  StackConfig cfg;
+  cfg.pinning.mode = PinMode::kNone;
+  cfg.pinning.overlapped = false;
+  cfg.cache.enabled = true;  // declarations still map segments to ids
+  return cfg;
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pinsim::core {
+
+/// Per-endpoint instrumentation. The §4.3 overlap-miss probability and the
+/// retransmission behaviour reported in the paper are computed from these.
+struct Counters {
+  // Pinning activity (driver side).
+  std::uint64_t pin_ops = 0;            // whole-region pin operations started
+  std::uint64_t pages_pinned = 0;
+  std::uint64_t unpin_ops = 0;
+  std::uint64_t pages_unpinned = 0;
+  std::uint64_t repins = 0;             // region pinned again after losing pins
+  std::uint64_t notifier_invalidations = 0;  // regions unpinned by MMU notifier
+  std::uint64_t pressure_unpins = 0;         // regions unpinned for memory pressure
+  std::uint64_t pin_failures = 0;            // invalid segment at pin time
+
+  // Overlapped-pinning behaviour (§4.3).
+  std::uint64_t region_accesses = 0;    // packet-driven reads/writes of regions
+  std::uint64_t overlap_misses = 0;     // access hit a not-yet-pinned page
+
+  // Protocol.
+  std::uint64_t eager_sent = 0;
+  std::uint64_t eager_completed = 0;
+  std::uint64_t rndv_sent = 0;
+  std::uint64_t rndv_received = 0;
+  std::uint64_t pulls_sent = 0;
+  std::uint64_t pull_replies_sent = 0;
+  std::uint64_t notifies_sent = 0;
+  std::uint64_t frames_dropped_on_miss = 0;
+  std::uint64_t pull_rerequests = 0;     // optimistic gap-driven re-requests
+  std::uint64_t retransmit_timeouts = 0;
+  std::uint64_t duplicate_frames = 0;
+  std::uint64_t aborts = 0;
+
+  /// §4.3's headline metric: fraction of packet-driven region accesses that
+  /// found their page not pinned yet.
+  [[nodiscard]] double overlap_miss_rate() const noexcept {
+    return region_accesses == 0 ? 0.0
+                                : static_cast<double>(overlap_misses) /
+                                      static_cast<double>(region_accesses);
+  }
+};
+
+}  // namespace pinsim::core

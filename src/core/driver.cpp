@@ -1,0 +1,64 @@
+#include "core/driver.hpp"
+
+#include <stdexcept>
+
+#include "core/wire.hpp"
+
+namespace pinsim::core {
+
+Driver::Driver(sim::Engine& eng, net::Nic& nic, const cpu::CpuModel& cpu,
+               ioat::DmaEngine* dma, StackConfig config)
+    : eng_(eng), nic_(nic), cpu_(cpu), dma_(dma), config_(config) {
+  nic_.set_rx_handler([this](net::Frame&& f) { on_frame(std::move(f)); });
+  if (config_.protocol.distribute_interrupts) {
+    // Flow steering: the destination endpoint id sits at a fixed offset in
+    // the MXoE header (type, src_ep, dst_ep), so the "hardware" can hash on
+    // it without a full decode.
+    nic_.set_rx_core_selector([this](const net::Frame& f) -> cpu::Core& {
+      if (f.payload.size() >= 3) {
+        const auto ep_id = static_cast<std::uint8_t>(f.payload[2]);
+        if (Endpoint* ep = endpoint(ep_id); ep != nullptr) {
+          return ep->process_core();
+        }
+      }
+      return nic_.irq_core();
+    });
+  }
+}
+
+Endpoint& Driver::open_endpoint(mem::AddressSpace& as,
+                                cpu::Core& process_core) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i] == nullptr) {
+      endpoints_[i] = std::make_unique<Endpoint>(
+          *this, static_cast<std::uint8_t>(i), as, process_core);
+      return *endpoints_[i];
+    }
+  }
+  throw std::runtime_error("no free endpoint slot");
+}
+
+void Driver::close_endpoint(std::uint8_t id) {
+  if (id < endpoints_.size()) endpoints_[id].reset();
+}
+
+void Driver::on_frame(net::Frame&& frame) {
+  Packet pkt;
+  try {
+    pkt = decode(frame.payload);
+  } catch (const WireFormatError&) {
+    if (tracer_ != nullptr) tracer_->record("pkt.malformed", "");
+    return;  // malformed frame: dropped, retransmission recovers
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record("pkt.rx",
+                    std::string(packet_type_name(pkt.type())) + " from node " +
+                        std::to_string(frame.src) + " ep " +
+                        std::to_string(pkt.header.src_ep));
+  }
+  Endpoint* ep = endpoint(pkt.header.dst_ep);
+  if (ep == nullptr) return;  // stale traffic to a closed endpoint
+  ep->handle_packet(frame.src, std::move(pkt));
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/endpoint.hpp"
+#include "cpu/cpu_model.hpp"
+#include "ioat/dma_engine.hpp"
+#include "net/nic.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace pinsim::core {
+
+/// The per-host Open-MX driver: owns the endpoints, demultiplexes incoming
+/// frames to them (in BH context), and carries the host-wide pieces every
+/// endpoint needs (NIC, CPU model, optional I/OAT channel, stack config).
+class Driver {
+ public:
+  static constexpr std::size_t kMaxEndpoints = 16;
+
+  Driver(sim::Engine& eng, net::Nic& nic, const cpu::CpuModel& cpu,
+         ioat::DmaEngine* dma, StackConfig config);
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  /// Opens an endpoint for a process. The MMU notifier is attached to the
+  /// process address space here, exactly once per endpoint (paper §3.1:
+  /// "attaching a notifier to the process address space when an Open-MX
+  /// endpoint is open").
+  [[nodiscard]] Endpoint& open_endpoint(mem::AddressSpace& as,
+                                        cpu::Core& process_core);
+
+  void close_endpoint(std::uint8_t id);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+  [[nodiscard]] net::Nic& nic() noexcept { return nic_; }
+  [[nodiscard]] const cpu::CpuModel& cpu() const noexcept { return cpu_; }
+  [[nodiscard]] ioat::DmaEngine* dma() noexcept { return dma_; }
+  [[nodiscard]] const StackConfig& config() const noexcept { return config_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return nic_.node_id(); }
+  [[nodiscard]] Endpoint* endpoint(std::uint8_t id) noexcept {
+    return id < endpoints_.size() ? endpoints_[id].get() : nullptr;
+  }
+
+  /// Attaches a protocol tracer (nullptr detaches). The stack records
+  /// packet, pinning and invalidation events into it; see sim/trace.hpp.
+  void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
+  [[nodiscard]] sim::Tracer* tracer() noexcept { return tracer_; }
+
+ private:
+  void on_frame(net::Frame&& frame);
+
+  sim::Engine& eng_;
+  net::Nic& nic_;
+  const cpu::CpuModel& cpu_;
+  ioat::DmaEngine* dma_;
+  StackConfig config_;
+  sim::Tracer* tracer_ = nullptr;
+  std::array<std::unique_ptr<Endpoint>, kMaxEndpoints> endpoints_;
+};
+
+}  // namespace pinsim::core

@@ -1,0 +1,1079 @@
+#include "core/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/driver.hpp"
+
+namespace pinsim::core {
+
+namespace {
+
+/// Notifier registered on the process address space when the endpoint opens
+/// (paper §3.1). All it does is forward invalidations to the pin manager —
+/// the user-space library never hears about them.
+struct EndpointNotifier final : mem::MmuNotifier {
+  explicit EndpointNotifier(Endpoint& e) : ep(&e) {}
+  void invalidate_range(mem::VirtAddr start, mem::VirtAddr end) override {
+    ep->pin_manager().invalidate_range(start, end);
+  }
+  void release() override { address_space_alive = false; }
+  Endpoint* ep;
+  bool address_space_alive = true;
+};
+
+constexpr int kMaxRetries = 64;
+constexpr int kMaxNotifyRetries = 100;
+constexpr std::size_t kCompletedMemory = 8192;
+
+}  // namespace
+
+Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
+                   cpu::Core& process_core)
+    : driver_(driver),
+      id_(id),
+      as_(as),
+      process_core_(process_core),
+      pins_(driver.engine(), process_core, driver.cpu(),
+            driver.config().pinning, counters_,
+            [this] { return driver_.tracer(); }) {
+  auto notifier = std::make_unique<EndpointNotifier>(*this);
+  as_.register_notifier(notifier.get());
+  notifier_ = std::move(notifier);
+
+  pins_.set_failure_handler([this](Region& r) {
+    // Abort every in-flight request still using this region.
+    std::vector<std::uint32_t> dead_sends;
+    for (auto& [seq, req] : sends_) {
+      if (!req.eager && req.region == r.id()) dead_sends.push_back(seq);
+    }
+    for (std::uint32_t seq : dead_sends) fail_send(seq, /*send_abort=*/true);
+
+    std::vector<std::uint32_t> dead_pulls;
+    for (auto& [handle, ps] : pulls_) {
+      if (ps->region == &r && !ps->done) dead_pulls.push_back(handle);
+    }
+    for (std::uint32_t handle : dead_pulls) {
+      PullState& ps = *pulls_[handle];
+      ++counters_.aborts;
+      send_packet({ps.peer_node, ps.peer_ep}, AbortBody{ps.sender_seq},
+                  cpu::Priority::kKernel);
+      ps.region->drop_use();
+      complete_recv(ps.recv, Status{false, false, 0});
+      destroy_pull(handle);
+    }
+  });
+}
+
+Endpoint::~Endpoint() {
+  // If the address space died first, its destructor already fired the
+  // notifier's release() — touching it again would be use-after-free.
+  auto* notifier = static_cast<EndpointNotifier*>(notifier_.get());
+  if (notifier->address_space_alive) as_.unregister_notifier(notifier);
+}
+
+EndpointAddr Endpoint::addr() const noexcept {
+  return EndpointAddr{driver_.node(), id_};
+}
+
+bool Endpoint::overlap_for(bool blocking_hint) const {
+  const auto& p = driver_.config().pinning;
+  return p.overlapped && (!p.overlap_blocking_only || blocking_hint);
+}
+
+cpu::Core& Endpoint::bh_core() noexcept {
+  return driver_.config().protocol.distribute_interrupts
+             ? process_core_
+             : driver_.nic().irq_core();
+}
+
+std::size_t Endpoint::inflight() const noexcept {
+  return sends_.size() + pulls_.size() + posted_.size();
+}
+
+// --- regions -----------------------------------------------------------------
+
+RegionId Endpoint::declare_region(std::vector<Segment> segments) {
+  const RegionId id = next_region_++;
+  auto region = std::make_unique<Region>(id, as_, std::move(segments));
+  pins_.register_region(*region);
+  Region& ref = *region;
+  regions_.emplace(id, std::move(region));
+  if (driver_.config().pinning.mode == PinMode::kPermanent) {
+    pins_.ensure_pinned(ref, [](bool) {});
+  }
+  return id;
+}
+
+void Endpoint::undeclare_region(RegionId id) {
+  auto it = regions_.find(id);
+  if (it == regions_.end()) throw std::invalid_argument("unknown region");
+  assert(it->second->use_count() == 0 && "undeclaring a region in use");
+  pins_.unregister_region(*it->second);
+  regions_.erase(it);
+}
+
+Region* Endpoint::find_region(RegionId id) {
+  auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+// --- eager send ----------------------------------------------------------------
+
+std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
+                                    mem::VirtAddr buf, std::size_t len,
+                                    Completion done) {
+  std::vector<Segment> segs;
+  if (len > 0) segs.push_back(Segment{buf, len});
+  return isend_eager(dest, match, std::move(segs), std::move(done));
+}
+
+std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
+                                    std::vector<Segment> segments,
+                                    Completion done) {
+  const std::uint32_t seq = next_send_seq_++;
+  SendRequest req;
+  req.seq = seq;
+  req.dest = dest;
+  req.match = match;
+  req.eager = true;
+  req.done = std::move(done);
+  // Gather the (possibly vectorial) user data into the kernel staging copy.
+  try {
+    for (const Segment& s : segments) {
+      const std::size_t off = req.eager_data.size();
+      req.eager_data.resize(off + s.len);
+      as_.read(s.addr, std::span<std::byte>(req.eager_data.data() + off,
+                                            s.len));  // copy_from_user
+    }
+  } catch (const mem::InvalidAddressError&) {
+    req.done(Status{false, false, 0});
+    return seq;
+  }
+  req.len = req.eager_data.size();
+  const std::size_t len = req.len;
+  ++counters_.eager_sent;
+  sends_.emplace(seq, std::move(req));
+  // The kernel-side copy into frames costs CPU on the submitting core.
+  process_core_.submit(cpu::Priority::kKernel, driver_.cpu().copy_cost(len),
+                       [this, seq] {
+                         if (sends_.count(seq) != 0) transmit_eager(seq);
+                       });
+  return seq;
+}
+
+void Endpoint::transmit_eager(std::uint32_t seq) {
+  SendRequest& req = sends_.at(seq);
+  req.transmitted = true;
+  const std::size_t chunk = driver_.config().protocol.frame_payload;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(chunk, req.len - off);
+    EagerBody body;
+    body.match = req.match;
+    body.msg_len = static_cast<std::uint32_t>(req.len);
+    body.frag_offset = static_cast<std::uint32_t>(off);
+    body.seq = seq;
+    body.data.assign(req.eager_data.begin() + static_cast<std::ptrdiff_t>(off),
+                     req.eager_data.begin() +
+                         static_cast<std::ptrdiff_t>(off + n));
+    send_packet(req.dest, std::move(body), cpu::Priority::kKernel);
+    off += n;
+  } while (off < req.len);
+  arm_send_rto(req);
+}
+
+// --- rendezvous send -----------------------------------------------------------
+
+std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
+                                   RegionId region_id, std::size_t len,
+                                   Completion done, bool blocking_hint) {
+  Region* region = find_region(region_id);
+  if (region == nullptr) throw std::invalid_argument("isend on unknown region");
+  if (len > region->total_length()) {
+    throw std::invalid_argument("isend length exceeds region");
+  }
+  const std::uint32_t seq = next_send_seq_++;
+  SendRequest req;
+  req.seq = seq;
+  req.dest = dest;
+  req.match = match;
+  req.len = len;
+  req.eager = false;
+  req.region = region_id;
+  req.done = std::move(done);
+  region->add_use();
+  ++counters_.rndv_sent;
+  sends_.emplace(seq, std::move(req));
+
+  // Pin per configuration: with overlapping the completion fires right away
+  // (or after the pre-pin threshold) and the RNDV leaves before the region
+  // is fully pinned (Figure 5); otherwise it waits (Figure 2).
+  pins_.ensure_pinned(*region, overlap_for(blocking_hint), [this, seq](bool ok) {
+    auto it = sends_.find(seq);
+    if (it == sends_.end()) return;  // already failed/aborted
+    if (!ok) {
+      fail_send(seq, /*send_abort=*/it->second.rndv_sent);
+      return;
+    }
+    if (!it->second.rndv_sent) send_rndv_frame(it->second);
+  });
+  return seq;
+}
+
+void Endpoint::send_rndv_frame(SendRequest& req) {
+  req.rndv_sent = true;
+  req.transmitted = true;
+  RndvBody body;
+  body.match = req.match;
+  body.msg_len = req.len;
+  body.region = req.region;
+  body.seq = req.seq;
+  send_packet(req.dest, body, cpu::Priority::kKernel);
+  arm_send_rto(req);
+}
+
+void Endpoint::arm_send_rto(SendRequest& req) {
+  const auto seq = req.seq;
+  req.rto = driver_.engine().schedule_after(
+      driver_.config().protocol.retransmit_timeout, [this, seq] {
+        auto it = sends_.find(seq);
+        if (it == sends_.end()) return;
+        SendRequest& r = it->second;
+        ++counters_.retransmit_timeouts;
+        if (++r.retries > kMaxRetries) {
+          fail_send(seq, /*send_abort=*/!r.eager && r.rndv_sent);
+          return;
+        }
+        if (r.eager) {
+          transmit_eager(seq);  // re-arms the timer
+        } else if (!r.pull_seen) {
+          send_rndv_frame(r);  // RNDV itself was probably lost
+        } else {
+          arm_send_rto(r);  // passive: receiver drives; just keep waiting
+        }
+      });
+}
+
+void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
+  auto it = sends_.find(seq);
+  if (it == sends_.end()) return;
+  SendRequest req = std::move(it->second);
+  sends_.erase(it);
+  driver_.engine().cancel(req.rto);
+  ++counters_.aborts;
+  if (send_abort) {
+    send_packet(req.dest, AbortBody{seq}, cpu::Priority::kKernel);
+  }
+  if (!req.eager) {
+    if (Region* r = find_region(req.region); r != nullptr) r->drop_use();
+  }
+  req.done(Status{false, false, 0});
+}
+
+// --- receive posting -----------------------------------------------------------
+
+std::uint64_t Endpoint::irecv(std::uint64_t match, std::uint64_t mask,
+                              mem::VirtAddr buf, std::size_t len,
+                              RegionId region, Completion done,
+                              bool blocking_hint) {
+  std::vector<Segment> segs;
+  if (len > 0) segs.push_back(Segment{buf, len});
+  return irecv(match, mask, std::move(segs), region, std::move(done),
+               blocking_hint);
+}
+
+std::uint64_t Endpoint::irecv(std::uint64_t match, std::uint64_t mask,
+                              std::vector<Segment> segments, RegionId region,
+                              Completion done, bool blocking_hint) {
+  RecvRequest recv;
+  recv.match = match;
+  recv.mask = mask;
+  recv.segments = std::move(segments);
+  for (const Segment& s : recv.segments) recv.total_len += s.len;
+  recv.region = region;
+  recv.id = next_recv_id_++;
+  recv.blocking_hint = blocking_hint;
+  const std::uint64_t id = recv.id;
+  recv.done = std::move(done);
+
+  // Warm the pin before the rendezvous arrives (Figure 3: MPI_Recv -> pin).
+  if (Region* r = find_region(region); r != nullptr) {
+    pins_.ensure_pinned(*r, overlap_for(blocking_hint), [](bool) {});
+  }
+
+  // Match already-arrived messages in arrival order (MPI non-overtaking).
+  for (auto it = inbound_.begin(); it != inbound_.end(); ++it) {
+    if (it->bound || !match_ok(recv, it->match)) continue;
+    if (it->rndv) {
+      InboundMsg msg = std::move(*it);
+      inbound_.erase(it);
+      start_pull(std::move(msg), std::move(recv));
+    } else {
+      it->bound = true;
+      it->recv = std::move(recv);
+      if (it->bytes_received >= it->msg_len) finish_eager_inbound(*it);
+    }
+    return id;
+  }
+  posted_.push_back(std::move(recv));
+  return id;
+}
+
+bool Endpoint::cancel_recv(std::uint64_t recv_id) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->id != recv_id) continue;
+    RecvRequest recv = std::move(*it);
+    posted_.erase(it);
+    complete_recv(recv, Status{false, false, 0});
+    return true;
+  }
+  return false;  // already matched (or completed): too late
+}
+
+bool Endpoint::cancel_send(std::uint32_t seq) {
+  auto it = sends_.find(seq);
+  if (it == sends_.end() || it->second.transmitted) return false;
+  fail_send(seq, /*send_abort=*/false);
+  return true;
+}
+
+// --- packet dispatch -----------------------------------------------------------
+
+void Endpoint::handle_packet(net::NodeId src_node, Packet&& pkt) {
+  const std::uint8_t src_ep = pkt.header.src_ep;
+  std::visit(
+      [&](auto&& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, EagerBody>) {
+          on_eager(src_node, src_ep, std::move(body));
+        } else if constexpr (std::is_same_v<T, EagerAckBody>) {
+          on_eager_ack(src_node, src_ep, body);
+        } else if constexpr (std::is_same_v<T, RndvBody>) {
+          on_rndv(src_node, src_ep, body);
+        } else if constexpr (std::is_same_v<T, PullBody>) {
+          on_pull(src_node, src_ep, body);
+        } else if constexpr (std::is_same_v<T, PullReplyBody>) {
+          on_pull_reply(src_node, src_ep, std::move(body));
+        } else if constexpr (std::is_same_v<T, NotifyBody>) {
+          on_notify(src_node, src_ep, body);
+        } else if constexpr (std::is_same_v<T, NotifyAckBody>) {
+          on_notify_ack(body);
+        } else if constexpr (std::is_same_v<T, AbortBody>) {
+          on_abort(src_node, src_ep, body);
+        }
+      },
+      std::move(pkt.body));
+}
+
+// --- eager receive ---------------------------------------------------------------
+
+void Endpoint::on_eager(net::NodeId src, std::uint8_t src_ep,
+                        EagerBody&& body) {
+  const std::uint64_t key = inbound_key(src, src_ep, body.seq, false);
+  if (is_completed(key)) {
+    ++counters_.duplicate_frames;
+    send_packet({src, src_ep}, EagerAckBody{body.seq},
+                cpu::Priority::kBottomHalf);
+    return;
+  }
+
+  // Find (or create) the reassembly record; matching happens on the first
+  // fragment so message order is fixed by arrival order.
+  InboundMsg* msg = nullptr;
+  for (auto& m : inbound_) {
+    if (!m.rndv && m.peer_node == src && m.peer_ep == src_ep &&
+        m.seq == body.seq) {
+      msg = &m;
+      break;
+    }
+  }
+  if (msg == nullptr) {
+    InboundMsg m;
+    m.rndv = false;
+    m.peer_node = src;
+    m.peer_ep = src_ep;
+    m.seq = body.seq;
+    m.match = body.match;
+    m.msg_len = body.msg_len;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (match_ok(*it, body.match)) {
+        m.bound = true;
+        m.recv = std::move(*it);
+        posted_.erase(it);
+        break;
+      }
+    }
+    if (!m.bound) m.kernel_buffer.resize(m.msg_len);
+    inbound_.push_back(std::move(m));
+    msg = &inbound_.back();
+  }
+
+  if (msg->frags_seen.count(body.frag_offset) != 0) {
+    ++counters_.duplicate_frames;
+    return;
+  }
+  msg->frags_seen.insert(body.frag_offset);
+  eager_deliver_frag(*msg, body.frag_offset, std::move(body.data));
+}
+
+void Endpoint::eager_deliver_frag(InboundMsg& msg, std::uint32_t frag_offset,
+                                  std::vector<std::byte>&& data) {
+  const std::size_t n = data.size();
+  const std::uint32_t seq = msg.seq;
+  const net::NodeId peer = msg.peer_node;
+  const std::uint8_t peer_ep = msg.peer_ep;
+  charge_rx_copy(n, [this, peer, peer_ep, seq, frag_offset,
+                     data = std::move(data)]() mutable {
+    // Re-find the record: it may have completed/vanished while the copy
+    // cost was accruing (e.g. duplicate path).
+    for (auto& m : inbound_) {
+      if (m.rndv || m.peer_node != peer || m.peer_ep != peer_ep ||
+          m.seq != seq) {
+        continue;
+      }
+      if (m.bound && m.kernel_buffer.empty()) {
+        // Matched before the first fragment arrived: copy directly into the
+        // user buffer (bounded by the posted size).
+        scatter_to_user(m.recv, frag_offset, data);
+      } else {
+        // Started as unexpected: every fragment stays in the kernel staging
+        // buffer, even if an irecv bound the message mid-reassembly, so the
+        // final staged copy delivers a consistent whole.
+        std::memcpy(m.kernel_buffer.data() + frag_offset, data.data(),
+                    data.size());
+      }
+      m.bytes_received += data.size();
+      if (m.bytes_received >= m.msg_len) finish_eager_inbound(m);
+      return;
+    }
+  });
+}
+
+void Endpoint::finish_eager_inbound(InboundMsg& msg) {
+  if (!msg.acked) {
+    msg.acked = true;
+    send_packet({msg.peer_node, msg.peer_ep}, EagerAckBody{msg.seq},
+                cpu::Priority::kBottomHalf);
+  }
+
+  if (msg.bound) {
+    const bool trunc = msg.msg_len > msg.recv.total_len;
+    const std::size_t delivered = std::min(msg.msg_len, msg.recv.total_len);
+    if (!msg.kernel_buffer.empty()) {
+      // Was unexpected when it started arriving: one more copy from the
+      // kernel staging buffer into the user buffer.
+      const RecvRequest recv = msg.recv;
+      std::vector<std::byte> staged = std::move(msg.kernel_buffer);
+      remember_completed(
+          inbound_key(msg.peer_node, msg.peer_ep, msg.seq, false));
+      erase_inbound(msg);
+      charge_rx_copy(delivered,
+                     [this, recv, staged = std::move(staged), delivered,
+                      trunc]() mutable {
+                       scatter_to_user(recv, 0,
+                                       std::span<const std::byte>(
+                                           staged.data(), delivered));
+                       complete_recv(recv, Status{true, trunc, delivered});
+                     });
+      return;
+    }
+    const RecvRequest recv = msg.recv;
+    remember_completed(
+        inbound_key(msg.peer_node, msg.peer_ep, msg.seq, false));
+    erase_inbound(msg);
+    complete_recv(recv, Status{true, trunc, delivered});
+    return;
+  }
+  // Unexpected and complete: wait in the inbound list for a matching irecv.
+  // (finish runs again, on the bound path, when irecv binds it.)
+}
+
+void Endpoint::scatter_to_user(const RecvRequest& recv, std::size_t offset,
+                               std::span<const std::byte> data) {
+  if (offset >= recv.total_len) return;
+  std::size_t remaining = std::min(data.size(), recv.total_len - offset);
+  std::size_t cur = offset;   // message offset being written
+  std::size_t src_off = 0;    // consumed bytes of `data`
+  std::size_t seg_base = 0;   // message offset where this segment starts
+  for (const Segment& s : recv.segments) {
+    if (remaining == 0) break;
+    const std::size_t seg_end = seg_base + s.len;
+    if (cur < seg_end) {
+      const std::size_t in_off = cur - seg_base;
+      const std::size_t chunk = std::min(remaining, s.len - in_off);
+      as_.write(s.addr + in_off, data.subspan(src_off, chunk));
+      cur += chunk;
+      src_off += chunk;
+      remaining -= chunk;
+    }
+    seg_base = seg_end;
+  }
+}
+
+void Endpoint::erase_inbound(InboundMsg& msg) {
+  for (auto it = inbound_.begin(); it != inbound_.end(); ++it) {
+    if (&*it == &msg) {
+      inbound_.erase(it);
+      return;
+    }
+  }
+}
+
+void Endpoint::complete_recv(const RecvRequest& recv, Status st) {
+  ++counters_.eager_completed;
+  if (recv.done) recv.done(st);
+}
+
+void Endpoint::on_eager_ack(net::NodeId, std::uint8_t,
+                            const EagerAckBody& body) {
+  auto it = sends_.find(body.seq);
+  if (it == sends_.end()) return;  // duplicate ack
+  SendRequest req = std::move(it->second);
+  sends_.erase(it);
+  driver_.engine().cancel(req.rto);
+  req.done(Status{true, false, req.len});
+}
+
+// --- rendezvous receive ----------------------------------------------------------
+
+void Endpoint::on_rndv(net::NodeId src, std::uint8_t src_ep,
+                       const RndvBody& body) {
+  ++counters_.rndv_received;
+  const std::uint64_t key = inbound_key(src, src_ep, body.seq, true);
+  if (is_completed(key)) return;  // stale duplicate
+  for (const auto& [handle, ps] : pulls_) {
+    if (ps->peer_node == src && ps->peer_ep == src_ep &&
+        ps->sender_seq == body.seq) {
+      return;  // duplicate of an in-progress transfer
+    }
+  }
+  for (const auto& m : inbound_) {
+    if (m.rndv && m.peer_node == src && m.peer_ep == src_ep &&
+        m.seq == body.seq) {
+      return;  // duplicate of an unmatched rendezvous
+    }
+  }
+
+  InboundMsg msg;
+  msg.rndv = true;
+  msg.peer_node = src;
+  msg.peer_ep = src_ep;
+  msg.seq = body.seq;
+  msg.match = body.match;
+  msg.msg_len = body.msg_len;
+  msg.sender_region = body.region;
+
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (match_ok(*it, body.match)) {
+      RecvRequest recv = std::move(*it);
+      posted_.erase(it);
+      start_pull(std::move(msg), std::move(recv));
+      return;
+    }
+  }
+  inbound_.push_back(std::move(msg));
+}
+
+void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
+  const std::size_t wanted = std::min(rndv_msg.msg_len, recv.total_len);
+  Region* region = find_region(recv.region);
+  if (region == nullptr && wanted > 0) {
+    // No region to land the data in (severe posted-size mismatch): abort.
+    ++counters_.aborts;
+    send_packet({rndv_msg.peer_node, rndv_msg.peer_ep},
+                AbortBody{rndv_msg.seq}, cpu::Priority::kBottomHalf);
+    complete_recv(recv, Status{false, true, 0});
+    return;
+  }
+
+  auto state = std::make_unique<PullState>();
+  PullState& ps = *state;
+  ps.handle = next_pull_handle_++;
+  ps.peer_node = rndv_msg.peer_node;
+  ps.peer_ep = rndv_msg.peer_ep;
+  ps.sender_seq = rndv_msg.seq;
+  ps.sender_region = rndv_msg.sender_region;
+  ps.full_len = rndv_msg.msg_len;
+  ps.msg_len = wanted;
+  ps.recv = std::move(recv);
+  ps.region = region;
+
+  const auto& proto = driver_.config().protocol;
+  for (std::size_t off = 0; off < wanted; off += proto.pull_block) {
+    PullBlock blk;
+    blk.offset = off;
+    blk.len = std::min(proto.pull_block, wanted - off);
+    blk.frame_seen.assign(
+        (blk.len + proto.frame_payload - 1) / proto.frame_payload, false);
+    ps.blocks.push_back(std::move(blk));
+  }
+
+  const std::uint32_t handle = ps.handle;
+  pulls_.emplace(handle, std::move(state));
+
+  if (wanted == 0) {
+    finish_pull(*pulls_[handle]);
+    return;
+  }
+
+  region->add_use();
+  arm_pull_rto(*pulls_[handle]);
+  pins_.ensure_pinned(*region, overlap_for(pulls_[handle]->recv.blocking_hint),
+                      [this, handle](bool ok) {
+    auto it = pulls_.find(handle);
+    if (it == pulls_.end()) return;
+    PullState& p = *it->second;
+    if (!ok) {
+      ++counters_.aborts;
+      send_packet({p.peer_node, p.peer_ep}, AbortBody{p.sender_seq},
+                  cpu::Priority::kKernel);
+      p.region->drop_use();
+      complete_recv(p.recv, Status{false, false, 0});
+      destroy_pull(handle);
+      return;
+    }
+    if (!p.started) begin_pull_requests(p);
+  });
+}
+
+void Endpoint::begin_pull_requests(PullState& ps) {
+  ps.started = true;
+  pump_pull_window(ps);
+}
+
+void Endpoint::pump_pull_window(PullState& ps) {
+  const auto& proto = driver_.config().protocol;
+  while (ps.requested_incomplete < proto.pull_window &&
+         ps.next_block < ps.blocks.size()) {
+    request_block(ps, ps.next_block++);
+  }
+}
+
+void Endpoint::request_block(PullState& ps, std::size_t block_idx) {
+  PullBlock& blk = ps.blocks[block_idx];
+  if (blk.complete) return;
+  if (!blk.requested) {
+    blk.requested = true;
+    ++ps.requested_incomplete;
+  }
+  blk.last_request = driver_.engine().now();
+  ++counters_.pulls_sent;
+  PullBody body;
+  body.region = ps.sender_region;
+  body.handle = ps.handle;
+  body.offset = blk.offset;
+  body.len = static_cast<std::uint32_t>(blk.len);
+  body.seq = ps.sender_seq;
+  send_packet({ps.peer_node, ps.peer_ep}, body, cpu::Priority::kBottomHalf);
+}
+
+// Sender side: serve a pull request straight from the (pinned) region.
+void Endpoint::on_pull(net::NodeId src, std::uint8_t src_ep,
+                       const PullBody& body) {
+  if (auto it = sends_.find(body.seq); it != sends_.end()) {
+    it->second.pull_seen = true;  // the RNDV clearly arrived
+  }
+  Region* region = find_region(body.region);
+  if (region == nullptr) return;  // undeclared (aborted): ignore
+  pins_.touch(*region);
+
+  const auto& proto = driver_.config().protocol;
+  const std::size_t end = body.offset + body.len;
+  for (std::size_t off = body.offset; off < end;
+       off += proto.frame_payload) {
+    const std::size_t n = std::min(proto.frame_payload, end - off);
+    ++counters_.region_accesses;
+    PullReplyBody reply;
+    reply.handle = body.handle;
+    reply.offset = off;
+    reply.data.resize(n);
+    // Zero-copy send: the NIC reads the pinned pages during serialization;
+    // no CPU copy cost is charged. If the page is not pinned yet this is an
+    // overlap miss and the frame is simply not sent (paper §3.3).
+    if (driver_.config().pinning.mode == PinMode::kNone) {
+      region->copy_out_paged(off, reply.data);  // NIC-MMU walk, never misses
+    } else if (region->copy_out(off, reply.data) !=
+               Region::AccessResult::kOk) {
+      ++counters_.overlap_misses;
+      ++counters_.frames_dropped_on_miss;
+      arm_sender_fast_retry(src, src_ep, body);
+      continue;
+    }
+    ++counters_.pull_replies_sent;
+    send_packet({src, src_ep}, std::move(reply), cpu::Priority::kBottomHalf);
+  }
+}
+
+void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
+                             PullReplyBody&& body) {
+  auto it = pulls_.find(body.handle);
+  if (it == pulls_.end()) {
+    ++counters_.duplicate_frames;  // stale reply for a finished transfer
+    return;
+  }
+  PullState& ps = *it->second;
+  const auto& proto = driver_.config().protocol;
+  const std::size_t block_idx = body.offset / proto.pull_block;
+  if (block_idx >= ps.blocks.size()) return;
+  PullBlock& blk = ps.blocks[block_idx];
+  const std::size_t frame_idx =
+      (body.offset - blk.offset) / proto.frame_payload;
+  if (frame_idx >= blk.frame_seen.size() || blk.frame_seen[frame_idx]) {
+    ++counters_.duplicate_frames;
+    return;
+  }
+
+  // The paper's cheap test on the region descriptor: not pinned yet ->
+  // overlap miss -> drop the packet, retransmission recovers (§3.3).
+  ++counters_.region_accesses;
+  const bool paged = driver_.config().pinning.mode == PinMode::kNone;
+  if (!paged && !ps.region->range_pinned(body.offset, body.data.size())) {
+    ++counters_.overlap_misses;
+    ++counters_.frames_dropped_on_miss;
+    if (auto* tracer = driver_.tracer(); tracer != nullptr) {
+      tracer->record("pin.miss", "recv offset " + std::to_string(body.offset));
+    }
+    arm_receiver_fast_retry(ps, block_idx);
+    maybe_optimistic_rerequest(ps, block_idx);
+    return;
+  }
+
+  blk.frame_seen[frame_idx] = true;
+  ++blk.frames_received;
+  const std::uint32_t handle = ps.handle;
+  const std::size_t n = body.data.size();
+  charge_rx_copy(n, [this, handle, block_idx, paged,
+                     body = std::move(body)]() mutable {
+    auto pit = pulls_.find(handle);
+    if (pit == pulls_.end()) return;
+    PullState& p = *pit->second;
+    if (paged) {
+      p.region->copy_in_paged(body.offset, body.data);
+    } else if (p.region->copy_in(body.offset, body.data) !=
+               Region::AccessResult::kOk) {
+      // Invalidated between the check and the copy: count it as a miss and
+      // let the re-request machinery recover (after a repin).
+      ++counters_.overlap_misses;
+      ++counters_.frames_dropped_on_miss;
+      PullBlock& b = p.blocks[block_idx];
+      const std::size_t fi = (body.offset - b.offset) /
+                             driver_.config().protocol.frame_payload;
+      b.frame_seen[fi] = false;
+      --b.frames_received;
+      pins_.ensure_pinned(*p.region, [](bool) {});
+      return;
+    }
+    PullBlock& b = p.blocks[block_idx];
+    if (++b.frames_done == b.frame_seen.size()) {
+      b.complete = true;
+      --p.requested_incomplete;
+      ++p.blocks_done;
+      if (p.blocks_done == p.blocks.size()) {
+        finish_pull(p);
+        return;
+      }
+      pump_pull_window(p);
+    }
+  });
+  maybe_optimistic_rerequest(ps, block_idx);
+}
+
+void Endpoint::arm_receiver_fast_retry(PullState& ps, std::size_t block_idx) {
+  PullBlock& blk = ps.blocks[block_idx];
+  if (blk.fast_retry) return;
+  blk.fast_retry = true;
+  const auto& proto = driver_.config().protocol;
+  const std::uint32_t handle = ps.handle;
+  const sim::Time deadline =
+      driver_.engine().now() + proto.pull_retry_timeout;
+
+  // Poll the region descriptor until the block's pages are pinned, then
+  // re-pull it; past the deadline the coarse retry timer owns recovery.
+  // The pending engine event owns the closure; the closure only keeps a
+  // weak reference to itself for rescheduling (no ownership cycle).
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, handle, block_idx, deadline,
+           weak = std::weak_ptr<std::function<void()>>(poll)] {
+    auto it = pulls_.find(handle);
+    if (it == pulls_.end()) return;
+    PullState& p = *it->second;
+    PullBlock& b = p.blocks[block_idx];
+    if (p.done || b.complete) {
+      b.fast_retry = false;
+      return;
+    }
+    if (p.region->range_pinned(b.offset, b.len)) {
+      b.fast_retry = false;
+      ++counters_.pull_rerequests;
+      request_block(p, block_idx);
+      return;
+    }
+    if (driver_.engine().now() >= deadline) {
+      b.fast_retry = false;
+      return;
+    }
+    if (auto self = weak.lock()) {
+      driver_.engine().schedule_after(
+          driver_.config().protocol.rerequest_cooldown,
+          [self] { (*self)(); });
+    }
+  };
+  driver_.engine().schedule_after(proto.rerequest_cooldown,
+                                  [poll] { (*poll)(); });
+}
+
+void Endpoint::arm_sender_fast_retry(net::NodeId src, std::uint8_t src_ep,
+                                     const PullBody& body) {
+  // At most one poll per (handle, offset): on_pull retries re-enter here.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(body.handle) << 32) ^
+      (body.offset / driver_.config().protocol.pull_block);
+  if (!pending_pull_retries_.insert(key).second) return;
+
+  const auto& proto = driver_.config().protocol;
+  const sim::Time deadline =
+      driver_.engine().now() + proto.pull_retry_timeout;
+
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, src, src_ep, body, key, deadline,
+           weak = std::weak_ptr<std::function<void()>>(poll)] {
+    Region* region = find_region(body.region);
+    if (region == nullptr) {
+      pending_pull_retries_.erase(key);
+      return;
+    }
+    const std::size_t len =
+        std::min<std::size_t>(body.len, region->total_length() - body.offset);
+    if (region->range_pinned(body.offset, len)) {
+      pending_pull_retries_.erase(key);
+      // Re-serve the whole request; the receiver discards duplicates.
+      on_pull(src, src_ep, body);
+      return;
+    }
+    if (driver_.engine().now() >= deadline) {
+      pending_pull_retries_.erase(key);
+      return;
+    }
+    if (auto self = weak.lock()) {
+      driver_.engine().schedule_after(
+          driver_.config().protocol.rerequest_cooldown,
+          [self] { (*self)(); });
+    }
+  };
+  driver_.engine().schedule_after(proto.rerequest_cooldown,
+                                  [poll] { (*poll)(); });
+}
+
+void Endpoint::maybe_optimistic_rerequest(PullState& ps,
+                                          std::size_t arrived_block) {
+  const auto& proto = driver_.config().protocol;
+  if (!proto.optimistic_rerequest) return;
+  // Data for a later block implies earlier requests were (partly) lost:
+  // re-request the oldest incomplete block, rate-limited (footnote 4).
+  // "Lost" means missing on the wire — a block whose frames all arrived and
+  // are merely queued behind the copy engine is fine.
+  for (std::size_t i = 0; i < arrived_block; ++i) {
+    PullBlock& blk = ps.blocks[i];
+    if (!blk.requested || blk.complete ||
+        blk.frames_received == blk.frame_seen.size()) {
+      continue;
+    }
+    if (driver_.engine().now() - blk.last_request <
+        proto.rerequest_cooldown) {
+      return;
+    }
+    ++counters_.pull_rerequests;
+    request_block(ps, i);
+    return;
+  }
+}
+
+void Endpoint::finish_pull(PullState& ps) {
+  ps.done = true;
+  driver_.engine().cancel(ps.rto);
+  const bool trunc = ps.full_len > ps.msg_len;
+  if (ps.region != nullptr) {
+    ps.region->drop_use();
+  }
+  remember_completed(
+      inbound_key(ps.peer_node, ps.peer_ep, ps.sender_seq, true));
+  complete_recv(ps.recv, Status{true, trunc, ps.msg_len});
+  send_notify(ps);
+}
+
+void Endpoint::send_notify(PullState& ps) {
+  ++counters_.notifies_sent;
+  send_packet({ps.peer_node, ps.peer_ep},
+              NotifyBody{ps.sender_seq, ps.handle},
+              cpu::Priority::kBottomHalf);
+  const std::uint32_t handle = ps.handle;
+  ps.rto = driver_.engine().schedule_after(
+      driver_.config().protocol.retransmit_timeout, [this, handle] {
+        auto it = pulls_.find(handle);
+        if (it == pulls_.end()) return;
+        PullState& p = *it->second;
+        if (++p.notify_retries > kMaxNotifyRetries) {
+          destroy_pull(handle);
+          return;
+        }
+        ++counters_.retransmit_timeouts;
+        send_notify(p);
+      });
+}
+
+void Endpoint::arm_pull_rto(PullState& ps) {
+  const std::uint32_t handle = ps.handle;
+  ps.rto = driver_.engine().schedule_after(
+      driver_.config().protocol.pull_retry_timeout, [this, handle] {
+        auto it = pulls_.find(handle);
+        if (it == pulls_.end()) return;
+        PullState& p = *it->second;
+        if (p.done) return;
+        // Only a transfer that made no progress since the last tick is
+        // stalled (tail-dropped by an overlap miss, or lost on the wire);
+        // one that is merely streaming must not be re-pulled.
+        const std::size_t progress = p.frames_received_total();
+        if (p.started && progress == p.last_progress) {
+          ++counters_.retransmit_timeouts;
+          for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+            PullBlock& blk = p.blocks[i];
+            if (blk.requested && !blk.complete) request_block(p, i);
+          }
+        }
+        p.last_progress = progress;
+        arm_pull_rto(p);
+      });
+}
+
+void Endpoint::destroy_pull(std::uint32_t handle) {
+  auto it = pulls_.find(handle);
+  if (it == pulls_.end()) return;
+  driver_.engine().cancel(it->second->rto);
+  pulls_.erase(it);
+}
+
+// Sender: the receiver has everything; release and complete.
+void Endpoint::on_notify(net::NodeId src, std::uint8_t src_ep,
+                         const NotifyBody& body) {
+  // Always ack: the notify may be a retransmission after our ack was lost.
+  send_packet({src, src_ep}, NotifyAckBody{body.handle},
+              cpu::Priority::kBottomHalf);
+  auto it = sends_.find(body.seq);
+  if (it == sends_.end()) return;
+  SendRequest req = std::move(it->second);
+  sends_.erase(it);
+  driver_.engine().cancel(req.rto);
+  if (Region* r = find_region(req.region); r != nullptr) r->drop_use();
+  req.done(Status{true, false, req.len});
+}
+
+void Endpoint::on_notify_ack(const NotifyAckBody& body) {
+  destroy_pull(body.handle);
+}
+
+void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
+                        const AbortBody& body) {
+  // Receiver side: the sender gave up on (src, seq).
+  for (auto& [handle, ps] : pulls_) {
+    if (ps->peer_node == src && ps->peer_ep == src_ep &&
+        ps->sender_seq == body.seq && !ps->done) {
+      ++counters_.aborts;
+      if (ps->region != nullptr) ps->region->drop_use();
+      complete_recv(ps->recv, Status{false, false, 0});
+      destroy_pull(handle);
+      return;
+    }
+  }
+  for (auto it = inbound_.begin(); it != inbound_.end(); ++it) {
+    if (it->rndv && it->peer_node == src && it->peer_ep == src_ep &&
+        it->seq == body.seq) {
+      inbound_.erase(it);
+      return;
+    }
+  }
+  // Sender side: the receiver aborted our request.
+  if (auto it = sends_.find(body.seq);
+      it != sends_.end() && it->second.dest.node == src &&
+      it->second.dest.ep == src_ep) {
+    fail_send(body.seq, /*send_abort=*/false);
+  }
+}
+
+// --- plumbing ---------------------------------------------------------------------
+
+void Endpoint::charge_rx_copy(std::size_t bytes, sim::UniqueFunction after) {
+  cpu::Core& irq = bh_core();
+  ioat::DmaEngine* dma = driver_.dma();
+  if (driver_.config().protocol.use_ioat && dma != nullptr) {
+    // Bottom half only writes the descriptor; the engine moves the data.
+    const sim::Time cpu_cost = driver_.cpu().copy_cost(bytes);
+    irq.submit(cpu::Priority::kBottomHalf, 300,
+               [dma, bytes, cpu_cost, after = std::move(after),
+                &irq]() mutable {
+                 if (dma->full()) {
+                   // Descriptor ring full: fall back to a CPU copy.
+                   irq.submit(cpu::Priority::kBottomHalf, cpu_cost,
+                              std::move(after));
+                   return;
+                 }
+                 dma->copy(bytes, [] {}, std::move(after));
+               });
+    return;
+  }
+  irq.submit(cpu::Priority::kBottomHalf, driver_.cpu().copy_cost(bytes),
+             std::move(after));
+}
+
+void Endpoint::send_packet(EndpointAddr dest, PacketBody body,
+                           cpu::Priority priority, sim::Time extra_cost) {
+  if (auto* tracer = driver_.tracer(); tracer != nullptr) {
+    tracer->record(
+        "pkt.tx",
+        std::string(packet_type_name(
+            static_cast<PacketType>(body.index() + 1))) +
+            " to node " + std::to_string(dest.node));
+  }
+  Packet pkt;
+  pkt.header.type = static_cast<PacketType>(body.index() + 1);
+  pkt.header.src_ep = id_;
+  pkt.header.dst_ep = dest.ep;
+  pkt.body = std::move(body);
+
+  net::Frame frame;
+  frame.dst = dest.node;
+  frame.payload = encode(pkt);
+
+  cpu::Core& core = priority == cpu::Priority::kBottomHalf
+                        ? bh_core()
+                        : process_core_;
+  const sim::Time cost = driver_.cpu().tx_frame_overhead + extra_cost;
+  core.submit(priority, cost, [this, f = std::move(frame)]() mutable {
+    driver_.nic().send(std::move(f));
+  });
+}
+
+void Endpoint::remember_completed(std::uint64_t key) {
+  completed_.insert(key);
+  completed_fifo_.push_back(key);
+  while (completed_fifo_.size() > kCompletedMemory) {
+    completed_.erase(completed_fifo_.front());
+    completed_fifo_.pop_front();
+  }
+}
+
+bool Endpoint::is_completed(std::uint64_t key) const {
+  return completed_.count(key) != 0;
+}
+
+std::uint64_t Endpoint::inbound_key(net::NodeId node, std::uint8_t ep,
+                                    std::uint32_t seq, bool rndv) {
+  return (static_cast<std::uint64_t>(node) << 41) ^
+         (static_cast<std::uint64_t>(ep) << 33) ^
+         (static_cast<std::uint64_t>(rndv ? 1 : 0) << 32) ^
+         static_cast<std::uint64_t>(seq);
+}
+
+}  // namespace pinsim::core

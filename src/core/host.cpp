@@ -1,0 +1,55 @@
+#include "core/host.hpp"
+
+#include <stdexcept>
+
+namespace pinsim::core {
+
+net::Nic::Config Host::nic_config(const Config& cfg) {
+  net::Nic::Config nic = cfg.nic;
+  nic.rx_frame_overhead = cfg.cpu.rx_frame_overhead;
+  return nic;
+}
+
+Host::Host(sim::Engine& eng, net::Fabric& fabric, Config cfg,
+           StackConfig stack)
+    : eng_(eng),
+      cfg_(std::move(cfg)),
+      pm_(cfg_.memory_frames),
+      cores_([&] {
+        std::vector<std::unique_ptr<cpu::Core>> cores;
+        if (cfg_.cores == 0) throw std::invalid_argument("host needs cores");
+        for (std::size_t i = 0; i < cfg_.cores; ++i) {
+          cores.push_back(std::make_unique<cpu::Core>(
+              eng, cfg_.name + "/cpu" + std::to_string(i)));
+        }
+        return cores;
+      }()),
+      nic_(eng, fabric, *cores_[0], nic_config(cfg_)),
+      dma_(cfg_.with_ioat ? std::make_unique<ioat::DmaEngine>(eng, cfg_.ioat)
+                          : nullptr),
+      driver_(eng, nic_, cfg_.cpu, dma_.get(), stack) {}
+
+Host::Process::Process(Host& host, cpu::Core& bound_core)
+    : as(host.pm_),
+      heap(as),
+      core(bound_core),
+      holder_(host.driver_, as, bound_core),
+      ep(holder_.ep),
+      lib(ep) {}
+
+Host::Process& Host::spawn_process() {
+  std::size_t idx = 0;
+  if (cores_.size() > 1) {
+    idx = next_core_;
+    next_core_ = next_core_ + 1 >= cores_.size() ? 1 : next_core_ + 1;
+  }
+  return spawn_process_on(idx);
+}
+
+Host::Process& Host::spawn_process_on(std::size_t core_idx) {
+  processes_.push_back(
+      std::make_unique<Process>(*this, *cores_.at(core_idx)));
+  return *processes_.back();
+}
+
+}  // namespace pinsim::core

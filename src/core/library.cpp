@@ -1,0 +1,196 @@
+#include "core/library.hpp"
+
+#include "core/driver.hpp"
+
+namespace pinsim::core {
+
+Library::Library(Endpoint& ep)
+    : ep_(ep),
+      eng_(ep.driver().engine()),
+      cache_(ep.driver().config().cache,
+             [this](const std::vector<Segment>& segs) {
+               // Declaration is a syscall; its cost lands on the process
+               // core ahead of the communication that triggered it.
+               ep_.process_core().consume(
+                   cpu::Priority::kKernel,
+                   ep_.driver().config().protocol.syscall_cost);
+               return ep_.declare_region(segs);
+             },
+             [this](RegionId id) { ep_.undeclare_region(id); }) {}
+
+Library::~Library() = default;
+
+std::size_t Library::total_length(
+    const std::vector<Segment>& segments) noexcept {
+  std::size_t total = 0;
+  for (const Segment& s : segments) total += s.len;
+  return total;
+}
+
+void Library::submit_send(Request* r, EndpointAddr dest, std::uint64_t match,
+                          std::vector<Segment> segments,
+                          bool blocking_hint) {
+  const auto& proto = ep_.driver().config().protocol;
+  cpu::Core& core = ep_.process_core();
+  const std::size_t total = total_length(segments);
+  r->kind_ = Request::Kind::kSend;
+
+  if (total <= proto.eager_threshold) {
+    core.submit(cpu::Priority::kKernel, proto.syscall_cost,
+                [this, dest, match, segs = std::move(segments), r]() mutable {
+                  if (r->cancel_requested_) {
+                    r->complete(Status{false, false, 0});
+                    return;
+                  }
+                  r->submitted_ = true;
+                  r->send_seq_ = ep_.isend_eager(
+                      dest, match, std::move(segs),
+                      [r](Status st) { r->complete(st); });
+                });
+    return;
+  }
+
+  // User-space region-cache lookup, then the send ioctl.
+  core.submit(
+      cpu::Priority::kUser, kCacheLookupCost,
+      [this, dest, match, segs = std::move(segments), total, r, &core,
+       &proto, blocking_hint]() mutable {
+        if (r->cancel_requested_) {
+          r->complete(Status{false, false, 0});
+          return;
+        }
+        const RegionId rid = cache_.acquire(segs);
+        r->region_ = rid;
+        core.submit(cpu::Priority::kKernel, proto.syscall_cost,
+                    [this, dest, match, rid, total, r, blocking_hint] {
+                      if (r->cancel_requested_) {
+                        cache_.release(rid);
+                        r->complete(Status{false, false, 0});
+                        return;
+                      }
+                      r->submitted_ = true;
+                      r->send_seq_ = ep_.isend_rndv(
+                          dest, match, rid, total,
+                          [this, r](Status st) {
+                            cache_.release(r->region_);
+                            r->complete(st);
+                          },
+                          blocking_hint);
+                    });
+      });
+}
+
+void Library::submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
+                          std::vector<Segment> segments,
+                          bool blocking_hint) {
+  const auto& proto = ep_.driver().config().protocol;
+  cpu::Core& core = ep_.process_core();
+  const std::size_t total = total_length(segments);
+  r->kind_ = Request::Kind::kRecv;
+
+  if (total <= proto.eager_threshold) {
+    core.submit(cpu::Priority::kKernel, proto.syscall_cost,
+                [this, match, mask, segs = std::move(segments), r]() mutable {
+                  if (r->cancel_requested_) {
+                    r->complete(Status{false, false, 0});
+                    return;
+                  }
+                  r->submitted_ = true;
+                  r->recv_id_ =
+                      ep_.irecv(match, mask, std::move(segs), kInvalidRegion,
+                                [r](Status st) { r->complete(st); });
+                });
+    return;
+  }
+
+  core.submit(
+      cpu::Priority::kUser, kCacheLookupCost,
+      [this, match, mask, segs = std::move(segments), r, &core,
+       &proto, blocking_hint]() mutable {
+        if (r->cancel_requested_) {
+          r->complete(Status{false, false, 0});
+          return;
+        }
+        const RegionId rid = cache_.acquire(segs);
+        r->region_ = rid;
+        core.submit(cpu::Priority::kKernel, proto.syscall_cost,
+                    [this, match, mask, segs = std::move(segs), rid, r,
+                     blocking_hint]() mutable {
+                      if (r->cancel_requested_) {
+                        cache_.release(rid);
+                        r->complete(Status{false, false, 0});
+                        return;
+                      }
+                      r->submitted_ = true;
+                      r->recv_id_ = ep_.irecv(
+                          match, mask, std::move(segs), rid,
+                          [this, r](Status st) {
+                            cache_.release(r->region_);
+                            r->complete(st);
+                          },
+                          blocking_hint);
+                    });
+      });
+}
+
+RequestPtr Library::isend(EndpointAddr dest, std::uint64_t match,
+                          mem::VirtAddr buf, std::size_t len,
+                          bool blocking_hint) {
+  std::vector<Segment> segs;
+  if (len > 0) segs.push_back(Segment{buf, len});
+  return isendv(dest, match, std::move(segs), blocking_hint);
+}
+
+RequestPtr Library::isendv(EndpointAddr dest, std::uint64_t match,
+                           std::vector<Segment> segments,
+                           bool blocking_hint) {
+  auto req = std::make_unique<Request>(eng_);
+  submit_send(req.get(), dest, match, std::move(segments), blocking_hint);
+  return req;
+}
+
+RequestPtr Library::irecv(std::uint64_t match, std::uint64_t mask,
+                          mem::VirtAddr buf, std::size_t len,
+                          bool blocking_hint) {
+  std::vector<Segment> segs;
+  if (len > 0) segs.push_back(Segment{buf, len});
+  return irecvv(match, mask, std::move(segs), blocking_hint);
+}
+
+RequestPtr Library::irecvv(std::uint64_t match, std::uint64_t mask,
+                           std::vector<Segment> segments,
+                           bool blocking_hint) {
+  auto req = std::make_unique<Request>(eng_);
+  submit_recv(req.get(), match, mask, std::move(segments), blocking_hint);
+  return req;
+}
+
+bool Library::cancel(Request& req) {
+  if (req.completed()) return false;
+  if (!req.submitted_) {
+    // Still queued behind the syscall: the submission stage will observe the
+    // flag and complete the request with ok == false.
+    req.cancel_requested_ = true;
+    return true;
+  }
+  if (req.kind_ == Request::Kind::kRecv) {
+    return ep_.cancel_recv(req.recv_id_);
+  }
+  return ep_.cancel_send(req.send_seq_);
+}
+
+sim::Task<Status> Library::send(EndpointAddr dest, std::uint64_t match,
+                                mem::VirtAddr buf, std::size_t len) {
+  auto req = isend(dest, match, buf, len, /*blocking_hint=*/true);
+  co_await req->wait();
+  co_return req->status();
+}
+
+sim::Task<Status> Library::recv(std::uint64_t match, std::uint64_t mask,
+                                mem::VirtAddr buf, std::size_t len) {
+  auto req = irecv(match, mask, buf, len, /*blocking_hint=*/true);
+  co_await req->wait();
+  co_return req->status();
+}
+
+}  // namespace pinsim::core

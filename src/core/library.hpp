@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "core/region_cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace pinsim::core {
+
+/// A user-visible communication request. The owner keeps it alive until it
+/// completes; coroutines `co_await req->wait()`.
+class Request {
+ public:
+  explicit Request(sim::Engine& eng) : gate_(eng) {}
+
+  [[nodiscard]] auto wait() { return gate_.wait(); }
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  friend class Library;
+  enum class Kind { kSend, kRecv };
+
+  void complete(Status st) {
+    if (completed_) return;
+    status_ = st;
+    completed_ = true;
+    gate_.open();
+  }
+
+  sim::Gate gate_;
+  Status status_;
+  bool completed_ = false;
+  RegionId region_ = kInvalidRegion;
+  Kind kind_ = Kind::kSend;
+  bool submitted_ = false;         // the driver knows about it
+  bool cancel_requested_ = false;  // cancel arrived pre-submission
+  std::uint32_t send_seq_ = 0;
+  std::uint64_t recv_id_ = 0;
+};
+
+using RequestPtr = std::unique_ptr<Request>;
+
+/// The user-space Open-MX library (paper Figure 4): manages the region cache
+/// and translates application send/recv calls into endpoint ioctls. It knows
+/// which regions *exist*, never which are pinned — that stays in the driver.
+class Library {
+ public:
+  explicit Library(Endpoint& ep);
+
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+  ~Library();
+
+  /// Nonblocking send. Messages up to the eager threshold are copied and
+  /// sent eagerly; larger ones go through region declaration (cache) and the
+  /// rendezvous protocol.
+  [[nodiscard]] RequestPtr isend(EndpointAddr dest, std::uint64_t match,
+                                 mem::VirtAddr buf, std::size_t len,
+                                 bool blocking_hint = false);
+
+  /// Vectorial (iovec) variant: the message is the concatenation of the
+  /// segments; large messages declare one vectorial region (paper §3.2:
+  /// "regions may be vectorial").
+  [[nodiscard]] RequestPtr isendv(EndpointAddr dest, std::uint64_t match,
+                                  std::vector<Segment> segments,
+                                  bool blocking_hint = false);
+
+  /// Nonblocking receive. A region is declared (via the cache) when the
+  /// posted buffer is large enough to receive rendezvous traffic.
+  [[nodiscard]] RequestPtr irecv(std::uint64_t match, std::uint64_t mask,
+                                 mem::VirtAddr buf, std::size_t len,
+                                 bool blocking_hint = false);
+
+  [[nodiscard]] RequestPtr irecvv(std::uint64_t match, std::uint64_t mask,
+                                  std::vector<Segment> segments,
+                                  bool blocking_hint = false);
+
+  /// Cancels a pending request (mx_cancel semantics): succeeds for receives
+  /// that have not matched and sends that have not hit the wire. On success
+  /// the request completes with ok == false. Returns false when it is too
+  /// late (the request will complete normally).
+  bool cancel(Request& req);
+
+  /// Blocking (coroutine) conveniences.
+  [[nodiscard]] sim::Task<Status> send(EndpointAddr dest, std::uint64_t match,
+                                       mem::VirtAddr buf, std::size_t len);
+  [[nodiscard]] sim::Task<Status> recv(std::uint64_t match, std::uint64_t mask,
+                                       mem::VirtAddr buf, std::size_t len);
+
+  [[nodiscard]] Endpoint& endpoint() noexcept { return ep_; }
+  [[nodiscard]] EndpointAddr addr() const noexcept { return ep_.addr(); }
+  [[nodiscard]] RegionCache& cache() noexcept { return cache_; }
+  [[nodiscard]] Counters& counters() noexcept { return ep_.counters(); }
+
+ private:
+  /// User-space cost of a cache lookup (the small overhead §4.2 mentions).
+  static constexpr sim::Time kCacheLookupCost = 200;
+
+  [[nodiscard]] static std::size_t total_length(
+      const std::vector<Segment>& segments) noexcept;
+
+  void submit_send(Request* r, EndpointAddr dest, std::uint64_t match,
+                   std::vector<Segment> segments, bool blocking_hint);
+  void submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
+                   std::vector<Segment> segments, bool blocking_hint);
+
+  Endpoint& ep_;
+  sim::Engine& eng_;
+  RegionCache cache_;
+};
+
+}  // namespace pinsim::core

@@ -1,0 +1,295 @@
+#include "core/pin_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/types.hpp"
+
+namespace pinsim::core {
+
+PinManager::PinManager(sim::Engine& eng, cpu::Core& core,
+                       const cpu::CpuModel& cpu, const PinningConfig& cfg,
+                       Counters& counters, TracerProvider tracer)
+    : eng_(eng),
+      core_(core),
+      cpu_(cpu),
+      cfg_(cfg),
+      counters_(counters),
+      tracer_(std::move(tracer)) {}
+
+void PinManager::trace(const char* category, Region& r, const char* what) {
+  if (!tracer_) return;
+  sim::Tracer* t = tracer_();
+  if (t == nullptr) return;
+  t->record(category, "region " + std::to_string(r.id()) + " " + what +
+                          " (" + std::to_string(r.pinned_pages()) + "/" +
+                          std::to_string(r.page_count()) + " pages)");
+}
+
+void PinManager::register_region(Region& r) { lru_[&r] = eng_.now(); }
+
+void PinManager::unregister_region(Region& r) {
+  // Cancel any in-flight pinning and release pins before forgetting it.
+  if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
+    ++it->second.generation;
+    it->second.active = false;
+  }
+  unpin(r);
+  jobs_.erase(&r);
+  lru_.erase(&r);
+  was_pinned_.erase(&r);
+}
+
+void PinManager::touch(Region& r) {
+  if (auto it = lru_.find(&r); it != lru_.end()) it->second = eng_.now();
+}
+
+void PinManager::ensure_pinned(Region& r, Completion done) {
+  ensure_pinned(r, cfg_.overlapped, std::move(done));
+}
+
+void PinManager::ensure_pinned(Region& r, bool overlapped, Completion done) {
+  touch(r);
+  if (cfg_.mode == PinMode::kNone) {
+    done(true);  // QsNet-style: nothing to pin, ever
+    return;
+  }
+  if (r.fully_pinned()) {
+    done(true);
+    return;
+  }
+  start_or_join(r, /*wait_full=*/!overlapped, std::move(done));
+}
+
+void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
+  PinJob& job = jobs_[&r];
+
+  if (!wait_full) {
+    // Overlapped: the communication proceeds once the synchronous pre-pin
+    // threshold is reached (0 pages by default — proceed immediately).
+    const std::size_t threshold =
+        std::min(cfg_.sync_prepin_pages, r.page_count());
+    if (r.pinned_pages() >= threshold && job.active) {
+      // Background pinning already past the threshold.
+      done(true);
+    } else if (r.pinned_pages() >= threshold && !job.active &&
+               threshold == 0) {
+      done(true);
+    } else {
+      job.early_threshold = threshold;
+      job.early_waiters.push_back(std::move(done));
+      done = nullptr;
+    }
+  } else {
+    job.full_waiters.push_back(std::move(done));
+    done = nullptr;
+  }
+
+  if (!job.active) {
+    job.active = true;
+    job.charged_base = false;
+    ++counters_.pin_ops;
+    if (was_pinned_.count(&r) != 0 && was_pinned_[&r]) ++counters_.repins;
+    r.set_state(Region::PinState::kPinning);
+    trace("pin.start", r, "pinning");
+    schedule_chunk(r);
+  }
+}
+
+void PinManager::schedule_chunk(Region& r) {
+  PinJob& job = jobs_[&r];
+  assert(job.active);
+  if (r.fully_pinned()) {
+    finish(r, true);
+    return;
+  }
+  const std::size_t chunk =
+      std::min(cfg_.pin_chunk_pages, r.unpinned_pages());
+  shed_pins_if_needed(chunk);
+
+  sim::Time cost = static_cast<sim::Time>(chunk) *
+                   (cpu_.pin_cost(1) - cpu_.pin_cost(0));
+  if (!job.charged_base) {
+    cost += cpu_.pin_cost(0);
+    job.charged_base = true;
+  }
+
+  const std::uint64_t gen = job.generation;
+  core_.submit(cpu::Priority::kKernel, cost, [this, &r, gen, chunk] {
+    auto it = jobs_.find(&r);
+    if (it == jobs_.end() || !it->second.active ||
+        it->second.generation != gen) {
+      return;  // invalidated or undeclared while the cost was accruing
+    }
+    // The work time has been paid; take the page references now.
+    std::vector<mem::FrameId> frames;
+    frames.reserve(chunk);
+    bool failed = false;
+    auto& as = r.address_space();
+    const std::size_t base_slot = r.pinned_pages();
+    for (std::size_t i = 0; i < chunk; ++i) {
+      try {
+        frames.push_back(as.pin_page(r.page_va_at(base_slot + i)));
+      } catch (const mem::InvalidAddressError&) {
+        failed = true;  // the paper's invalid-segment-at-pin-time case
+        break;
+      } catch (const mem::OutOfMemoryError&) {
+        // Physical frames exhausted: direct reclaim. Shed an idle region's
+        // pins (making its pages reclaimable) and swap out unpinned pages
+        // until the allocation can proceed; with nothing reclaimable the
+        // request fails like get_user_pages returning -ENOMEM.
+        (void)shed_one_victim();
+        std::size_t freed = 0;
+        for (mem::VirtAddr va : as.resident_unpinned_pages()) {
+          if (freed >= chunk - i + 8) break;
+          if (as.swap_out(va)) ++freed;
+        }
+        if (freed == 0) {
+          failed = true;
+          break;
+        }
+        --i;  // retry this page
+      }
+    }
+    r.commit_pins(frames);
+    counters_.pages_pinned += frames.size();
+    if (failed) {
+      ++counters_.pin_failures;
+      finish(r, false);
+      return;
+    }
+    release_early_waiters(r, true);
+    schedule_chunk(r);
+  });
+}
+
+void PinManager::release_early_waiters(Region& r, bool ok) {
+  PinJob& job = jobs_[&r];
+  if (job.early_waiters.empty()) return;
+  if (ok && r.pinned_pages() < job.early_threshold && !r.fully_pinned()) {
+    return;
+  }
+  std::vector<Completion> waiters;
+  waiters.swap(job.early_waiters);
+  for (auto& w : waiters) w(ok);
+}
+
+void PinManager::finish(Region& r, bool ok) {
+  PinJob& job = jobs_[&r];
+  job.active = false;
+  ++job.generation;
+  was_pinned_[&r] = was_pinned_[&r] || ok;
+  trace(ok ? "pin.done" : "pin.fail", r, ok ? "fully pinned" : "failed");
+
+  if (!ok) {
+    r.set_state(Region::PinState::kFailed);
+    // Give back whatever partial pins we hold; a failed region holds none.
+    do_unpin(r, counters_.unpin_ops);
+    r.set_state(Region::PinState::kFailed);
+  }
+
+  release_early_waiters(r, ok);
+  std::vector<Completion> waiters;
+  waiters.swap(job.full_waiters);
+  for (auto& w : waiters) w(ok);
+  // Requests that proceeded on an earlier early-release and are now mid-
+  // communication need an abort path when pinning later fails.
+  if (!ok && failure_handler_) failure_handler_(r);
+}
+
+void PinManager::unpin(Region& r) {
+  if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
+    ++it->second.generation;
+    it->second.active = false;
+  }
+  do_unpin(r, counters_.unpin_ops);
+}
+
+void PinManager::do_unpin(Region& r, std::uint64_t& op_counter) {
+  auto pins = r.take_all_pins();
+  if (pins.empty()) return;
+  auto& as = r.address_space();
+  for (auto& [va, frame] : pins) as.unpin_page(va, frame);
+  ++op_counter;
+  counters_.pages_unpinned += pins.size();
+  // In per-communication mode the unpin is part of the undeclare ioctl and
+  // blocks the caller (it precedes whatever the application does next). In
+  // the decoupled modes the driver releases pages in deferred context —
+  // new syscalls overtake it, so it stays off the critical path. This is
+  // half of what Figures 6-7 measure: the paper's model hides the unpin as
+  // well as the pin. Charged in small quanta: the real page-release loop is
+  // preemptible and must not block bottom halves for hundreds of µs.
+  const auto prio = cfg_.mode == PinMode::kPerCommunication
+                        ? cpu::Priority::kKernel
+                        : cpu::Priority::kIdle;
+  const sim::Time per_page = cpu_.unpin_cost(1) - cpu_.unpin_cost(0);
+  std::size_t remaining = pins.size();
+  core_.consume(prio, cpu_.unpin_cost(0));
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(cfg_.pin_chunk_pages, remaining);
+    core_.consume(prio, static_cast<sim::Time>(chunk) * per_page);
+    remaining -= chunk;
+  }
+}
+
+void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
+  for (auto& [region, last_use] : lru_) {
+    (void)last_use;
+    Region& r = *region;
+    if (!r.overlaps(start, end)) continue;
+    ++counters_.notifier_invalidations;
+    trace("pin.invalidate", r, "mmu notifier");
+
+    bool aborted_active_pin = false;
+    if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
+      ++it->second.generation;
+      it->second.active = false;
+      aborted_active_pin = true;
+    }
+    do_unpin(r, counters_.unpin_ops);
+
+    if (aborted_active_pin) {
+      // Anyone waiting on this pin loses the race with the invalidation.
+      PinJob& job = jobs_[&r];
+      r.set_state(Region::PinState::kFailed);
+      std::vector<Completion> early;
+      early.swap(job.early_waiters);
+      std::vector<Completion> full;
+      full.swap(job.full_waiters);
+      for (auto& w : full) w(false);
+      for (auto& w : early) w(false);
+      if (failure_handler_) failure_handler_(r);
+      r.set_state(Region::PinState::kUnpinned);
+    }
+  }
+}
+
+bool PinManager::shed_one_victim() {
+  Region* victim = nullptr;
+  sim::Time oldest = 0;
+  for (auto& [region, last_use] : lru_) {
+    if (region->use_count() != 0 || region->pinned_pages() == 0) continue;
+    if (auto it = jobs_.find(region); it != jobs_.end() && it->second.active) {
+      continue;
+    }
+    if (victim == nullptr || last_use < oldest) {
+      victim = region;
+      oldest = last_use;
+    }
+  }
+  if (victim == nullptr) return false;  // nothing evictable
+  ++counters_.pressure_unpins;
+  trace("pin.shed", *victim, "memory pressure");
+  do_unpin(*victim, counters_.unpin_ops);
+  return true;
+}
+
+void PinManager::shed_pins_if_needed(std::size_t incoming_pages) {
+  if (lru_.empty()) return;
+  auto& pm = lru_.begin()->first->address_space().physical();
+  while (pm.pinned_pages() + incoming_pages > cfg_.max_pinned_pages) {
+    if (!shed_one_victim()) return;
+  }
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/counters.hpp"
+#include "core/region.hpp"
+#include "cpu/core.hpp"
+#include "cpu/cpu_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace pinsim::core {
+
+/// Driver-side pinning engine (paper §3.1/§3.3): pins declared regions on
+/// demand, strictly in address order, charging Table-1-calibrated costs to
+/// the owning process's core at kernel priority; unpins on MMU-notifier
+/// invalidation, memory pressure or undeclare; repins transparently on next
+/// use.
+///
+/// `ensure_pinned` is the single entry point communications use:
+///  * non-overlapped: the completion fires once the whole region is pinned
+///    (the communication start waits — Figure 2);
+///  * overlapped: the completion fires after only `sync_prepin_pages` are
+///    pinned (default 0, i.e. immediately) and the rest keeps pinning in the
+///    background while the rendezvous round-trip runs (Figure 5).
+class PinManager {
+ public:
+  /// done(ok): ok=false means a segment was invalid (or went away) and the
+  /// region is PinState::kFailed; the caller aborts its request.
+  using Completion = std::function<void(bool ok)>;
+
+  /// `tracer` (optional) is queried lazily so a tracer attached to the
+  /// driver after construction is still picked up.
+  using TracerProvider = std::function<sim::Tracer*()>;
+
+  PinManager(sim::Engine& eng, cpu::Core& core, const cpu::CpuModel& cpu,
+             const PinningConfig& cfg, Counters& counters,
+             TracerProvider tracer = {});
+
+  PinManager(const PinManager&) = delete;
+  PinManager& operator=(const PinManager&) = delete;
+
+  /// Tracks a declared region for LRU/pressure management.
+  void register_region(Region& r);
+  /// Stops tracking (undeclare). Any pins are released first.
+  void unregister_region(Region& r);
+
+  /// Makes sure `r` is pinned according to the configured mode, then calls
+  /// `done`. Safe to call concurrently for the same region; completions
+  /// queue. Counted as a repin if the region had been pinned before and lost
+  /// its pages (invalidation/pressure).
+  void ensure_pinned(Region& r, Completion done);
+
+  /// Per-request override of the overlap decision (§6: "only enabling
+  /// decoupled/overlapped pinning for blocking operations").
+  void ensure_pinned(Region& r, bool overlapped, Completion done);
+
+  /// Releases every pin of `r` (charging the unpin cost) without
+  /// undeclaring it. Next ensure_pinned repins.
+  void unpin(Region& r);
+
+  /// MMU-notifier path: the VM is invalidating [start, end). Every tracked
+  /// region overlapping it loses its pins *now* (before the VM proceeds);
+  /// in-flight asynchronous pinning of it is cancelled.
+  void invalidate_range(mem::VirtAddr start, mem::VirtAddr end);
+
+  /// Marks `r` recently used (for LRU eviction under pressure).
+  void touch(Region& r);
+
+  /// Invoked when asynchronous pinning fails after the communication already
+  /// started (overlapped mode): the driver aborts the affected requests.
+  void set_failure_handler(std::function<void(Region&)> h) {
+    failure_handler_ = std::move(h);
+  }
+
+  [[nodiscard]] const PinningConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct PinJob {
+    std::uint64_t generation = 0;
+    std::vector<Completion> full_waiters;   // run when fully pinned
+    std::vector<Completion> early_waiters;  // run at the overlap threshold
+    std::size_t early_threshold = 0;        // pages pinned before early release
+    bool charged_base = false;
+    bool active = false;
+  };
+
+  void start_or_join(Region& r, bool wait_full, Completion done);
+  void schedule_chunk(Region& r);
+  void finish(Region& r, bool ok);
+  void release_early_waiters(Region& r, bool ok);
+  void shed_pins_if_needed(std::size_t incoming_pages);
+  bool shed_one_victim();
+  void do_unpin(Region& r, std::uint64_t& op_counter);
+
+  sim::Engine& eng_;
+  cpu::Core& core_;
+  const cpu::CpuModel& cpu_;
+  PinningConfig cfg_;
+  Counters& counters_;
+  std::unordered_map<Region*, sim::Time> lru_;     // tracked regions
+  std::unordered_map<Region*, PinJob> jobs_;
+  std::unordered_map<Region*, bool> was_pinned_;   // for repin counting
+  std::function<void(Region&)> failure_handler_;
+  TracerProvider tracer_;
+
+  void trace(const char* category, Region& r, const char* what);
+};
+
+}  // namespace pinsim::core

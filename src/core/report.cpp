@@ -1,0 +1,88 @@
+#include "core/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace pinsim::core {
+
+namespace {
+
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_report(Host::Process& p, Host& host) {
+  const Counters& c = p.lib.counters();
+  const auto& cache = p.lib.cache().stats();
+  const auto& core_stats = p.core.stats();
+
+  std::string out;
+  line(out, "endpoint %u @ node %u", static_cast<unsigned>(p.ep.id()),
+       static_cast<unsigned>(p.addr().node));
+  line(out, "  protocol: eager=%llu rndv=%llu pulls=%llu replies=%llu "
+            "notifies=%llu",
+       static_cast<unsigned long long>(c.eager_sent),
+       static_cast<unsigned long long>(c.rndv_sent),
+       static_cast<unsigned long long>(c.pulls_sent),
+       static_cast<unsigned long long>(c.pull_replies_sent),
+       static_cast<unsigned long long>(c.notifies_sent));
+  line(out, "  reliability: rerequests=%llu timeouts=%llu dups=%llu "
+            "aborts=%llu",
+       static_cast<unsigned long long>(c.pull_rerequests),
+       static_cast<unsigned long long>(c.retransmit_timeouts),
+       static_cast<unsigned long long>(c.duplicate_frames),
+       static_cast<unsigned long long>(c.aborts));
+  line(out, "  pinning: ops=%llu pages=%llu unpins=%llu repins=%llu "
+            "failures=%llu",
+       static_cast<unsigned long long>(c.pin_ops),
+       static_cast<unsigned long long>(c.pages_pinned),
+       static_cast<unsigned long long>(c.unpin_ops),
+       static_cast<unsigned long long>(c.repins),
+       static_cast<unsigned long long>(c.pin_failures));
+  line(out, "  invalidations: notifier=%llu pressure=%llu",
+       static_cast<unsigned long long>(c.notifier_invalidations),
+       static_cast<unsigned long long>(c.pressure_unpins));
+  line(out, "  overlap: accesses=%llu misses=%llu (rate %.2e)",
+       static_cast<unsigned long long>(c.region_accesses),
+       static_cast<unsigned long long>(c.overlap_misses),
+       c.overlap_miss_rate());
+  line(out, "  region cache: hits=%llu misses=%llu evictions=%llu live=%zu",
+       static_cast<unsigned long long>(cache.hits),
+       static_cast<unsigned long long>(cache.misses),
+       static_cast<unsigned long long>(cache.evictions),
+       p.lib.cache().size());
+  line(out, "  core '%s': bh=%.1fus kernel=%.1fus user=%.1fus idleq=%.1fus "
+            "(util %.1f%%)",
+       p.core.name().c_str(), sim::to_usec(core_stats.busy[0]),
+       sim::to_usec(core_stats.busy[1]), sim::to_usec(core_stats.busy[2]),
+       sim::to_usec(core_stats.busy[3]), p.core.utilization() * 100.0);
+  line(out, "  host pinned pages now: %zu", host.memory().pinned_pages());
+  return out;
+}
+
+std::string format_summary_line(Host::Process& p) {
+  const Counters& c = p.lib.counters();
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "ep%u: %llu msgs (%llu rndv), %llu pages pinned, "
+                "%llu misses, cache %llu/%llu",
+                static_cast<unsigned>(p.ep.id()),
+                static_cast<unsigned long long>(c.eager_sent + c.rndv_sent),
+                static_cast<unsigned long long>(c.rndv_sent),
+                static_cast<unsigned long long>(c.pages_pinned),
+                static_cast<unsigned long long>(c.overlap_misses),
+                static_cast<unsigned long long>(p.lib.cache().stats().hits),
+                static_cast<unsigned long long>(
+                    p.lib.cache().stats().misses));
+  return buf;
+}
+
+}  // namespace pinsim::core

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "core/host.hpp"
+
+namespace pinsim::core {
+
+/// Human-readable diagnostic block for one process: protocol counters,
+/// pinning activity, region-cache behaviour and the core's time breakdown.
+/// Examples and ad-hoc experiments print this instead of hand-rolling
+/// printf choreography.
+[[nodiscard]] std::string format_report(Host::Process& process, Host& host);
+
+/// One-line summary (throughput-style dashboards).
+[[nodiscard]] std::string format_summary_line(Host::Process& process);
+
+}  // namespace pinsim::core

@@ -1,0 +1,259 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+
+namespace pinsim::core {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(std::span<const std::byte> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::byte> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(in_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::vector<std::byte> rest() {
+    std::vector<std::byte> out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               in_.end());
+    pos_ = in_.size();
+    return out;
+  }
+  void expect_end() const {
+    if (pos_ != in_.size()) throw WireFormatError("trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > in_.size()) throw WireFormatError("truncated packet");
+  }
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+constexpr std::size_t kHeaderBytes = 3;  // type, src_ep, dst_ep
+
+PacketType body_type(const PacketBody& b) noexcept {
+  return static_cast<PacketType>(b.index() + 1);
+}
+
+}  // namespace
+
+const char* packet_type_name(PacketType t) noexcept {
+  switch (t) {
+    case PacketType::kEager:
+      return "EAGER";
+    case PacketType::kEagerAck:
+      return "EAGER_ACK";
+    case PacketType::kRndv:
+      return "RNDV";
+    case PacketType::kPull:
+      return "PULL";
+    case PacketType::kPullReply:
+      return "PULL_REPLY";
+    case PacketType::kNotify:
+      return "NOTIFY";
+    case PacketType::kNotifyAck:
+      return "NOTIFY_ACK";
+    case PacketType::kAbort:
+      return "ABORT";
+  }
+  return "UNKNOWN";
+}
+
+std::size_t encoded_overhead(PacketType t) noexcept {
+  switch (t) {
+    case PacketType::kEager:
+      return kHeaderBytes + 8 + 4 + 4 + 4;
+    case PacketType::kEagerAck:
+      return kHeaderBytes + 4;
+    case PacketType::kRndv:
+      return kHeaderBytes + 8 + 8 + 4 + 4;
+    case PacketType::kPull:
+      return kHeaderBytes + 4 + 4 + 8 + 4 + 4;
+    case PacketType::kPullReply:
+      return kHeaderBytes + 4 + 8;
+    case PacketType::kNotify:
+      return kHeaderBytes + 4 + 4;
+    case PacketType::kNotifyAck:
+      return kHeaderBytes + 4;
+    case PacketType::kAbort:
+      return kHeaderBytes + 4;
+  }
+  return kHeaderBytes;
+}
+
+std::vector<std::byte> encode(const Packet& p) {
+  const PacketType t = body_type(p.body);
+  std::size_t data_len = 0;
+  if (const auto* e = std::get_if<EagerBody>(&p.body)) data_len = e->data.size();
+  if (const auto* r = std::get_if<PullReplyBody>(&p.body)) {
+    data_len = r->data.size();
+  }
+  Writer w(encoded_overhead(t) + data_len);
+  w.u8(static_cast<std::uint8_t>(t));
+  w.u8(p.header.src_ep);
+  w.u8(p.header.dst_ep);
+
+  std::visit(
+      [&w](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, EagerBody>) {
+          w.u64(body.match);
+          w.u32(body.msg_len);
+          w.u32(body.frag_offset);
+          w.u32(body.seq);
+          w.bytes(body.data);
+        } else if constexpr (std::is_same_v<T, EagerAckBody>) {
+          w.u32(body.seq);
+        } else if constexpr (std::is_same_v<T, RndvBody>) {
+          w.u64(body.match);
+          w.u64(body.msg_len);
+          w.u32(body.region);
+          w.u32(body.seq);
+        } else if constexpr (std::is_same_v<T, PullBody>) {
+          w.u32(body.region);
+          w.u32(body.handle);
+          w.u64(body.offset);
+          w.u32(body.len);
+          w.u32(body.seq);
+        } else if constexpr (std::is_same_v<T, PullReplyBody>) {
+          w.u32(body.handle);
+          w.u64(body.offset);
+          w.bytes(body.data);
+        } else if constexpr (std::is_same_v<T, NotifyBody>) {
+          w.u32(body.seq);
+          w.u32(body.handle);
+        } else if constexpr (std::is_same_v<T, NotifyAckBody>) {
+          w.u32(body.handle);
+        } else if constexpr (std::is_same_v<T, AbortBody>) {
+          w.u32(body.seq);
+        }
+      },
+      p.body);
+  return w.take();
+}
+
+Packet decode(std::span<const std::byte> bytes) {
+  Reader r(bytes);
+  Packet p;
+  const auto raw_type = r.u8();
+  if (raw_type < 1 || raw_type > 8) throw WireFormatError("bad packet type");
+  p.header.type = static_cast<PacketType>(raw_type);
+  p.header.src_ep = r.u8();
+  p.header.dst_ep = r.u8();
+
+  switch (p.header.type) {
+    case PacketType::kEager: {
+      EagerBody b;
+      b.match = r.u64();
+      b.msg_len = r.u32();
+      b.frag_offset = r.u32();
+      b.seq = r.u32();
+      b.data = r.rest();
+      if (b.frag_offset + b.data.size() > b.msg_len) {
+        throw WireFormatError("eager fragment out of bounds");
+      }
+      p.body = std::move(b);
+      break;
+    }
+    case PacketType::kEagerAck: {
+      EagerAckBody b;
+      b.seq = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+    case PacketType::kRndv: {
+      RndvBody b;
+      b.match = r.u64();
+      b.msg_len = r.u64();
+      b.region = r.u32();
+      b.seq = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+    case PacketType::kPull: {
+      PullBody b;
+      b.region = r.u32();
+      b.handle = r.u32();
+      b.offset = r.u64();
+      b.len = r.u32();
+      b.seq = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+    case PacketType::kPullReply: {
+      PullReplyBody b;
+      b.handle = r.u32();
+      b.offset = r.u64();
+      b.data = r.rest();
+      p.body = std::move(b);
+      break;
+    }
+    case PacketType::kNotify: {
+      NotifyBody b;
+      b.seq = r.u32();
+      b.handle = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+    case PacketType::kNotifyAck: {
+      NotifyAckBody b;
+      b.handle = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+    case PacketType::kAbort: {
+      AbortBody b;
+      b.seq = r.u32();
+      r.expect_end();
+      p.body = b;
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace pinsim::core

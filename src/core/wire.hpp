@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pinsim::core {
+
+/// MXoE-like wire protocol. Packets are serialized to real bytes inside
+/// Ethernet frames (little-endian, bounds-checked decode), so protocol tests
+/// exercise an actual wire format rather than passing objects around.
+///
+/// Large-message flow (paper Figure 2): RNDV announces a pinned/declared
+/// send region; the receiver pulls blocks with PULL, the sender answers with
+/// PULL_REPLY frames read straight out of the pinned region; NOTIFY releases
+/// the sender. EAGER carries small (< 32 kB) messages inline.
+enum class PacketType : std::uint8_t {
+  kEager = 1,
+  kEagerAck = 2,
+  kRndv = 3,
+  kPull = 4,
+  kPullReply = 5,
+  kNotify = 6,
+  kNotifyAck = 7,
+  kAbort = 8,
+};
+
+[[nodiscard]] const char* packet_type_name(PacketType t) noexcept;
+
+/// Endpoint demultiplexing within a node (like an MX endpoint id).
+struct PacketHeader {
+  PacketType type{};
+  std::uint8_t src_ep = 0;
+  std::uint8_t dst_ep = 0;
+};
+
+/// Small message fragment. `seq` identifies the message per
+/// (node, src_ep, dst_ep) flow for reassembly, acknowledgement and
+/// duplicate suppression.
+struct EagerBody {
+  std::uint64_t match = 0;
+  std::uint32_t msg_len = 0;
+  std::uint32_t frag_offset = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::byte> data;
+};
+
+struct EagerAckBody {
+  std::uint32_t seq = 0;
+};
+
+/// Rendezvous: "message `seq`, `msg_len` bytes, readable from my region
+/// `region`". The sender's buffer may not be pinned yet (overlapped mode).
+struct RndvBody {
+  std::uint64_t match = 0;
+  std::uint64_t msg_len = 0;
+  std::uint32_t region = 0;
+  std::uint32_t seq = 0;
+};
+
+/// Receiver-driven block request against the sender's region.
+struct PullBody {
+  std::uint32_t region = 0;  // sender's region id
+  std::uint32_t handle = 0;  // receiver's pull-state id, echoed in replies
+  std::uint64_t offset = 0;  // absolute message offset
+  std::uint32_t len = 0;     // block length
+  std::uint32_t seq = 0;     // sender's request seq (acks the RNDV)
+};
+
+struct PullReplyBody {
+  std::uint32_t handle = 0;
+  std::uint64_t offset = 0;  // absolute message offset of this frame
+  std::vector<std::byte> data;
+};
+
+/// Transfer complete: sender may release its resources.
+struct NotifyBody {
+  std::uint32_t seq = 0;     // sender's request seq (from the RNDV)
+  std::uint32_t handle = 0;  // receiver's pull handle (for the ack)
+};
+
+struct NotifyAckBody {
+  std::uint32_t handle = 0;
+};
+
+/// Sender aborts a rendezvous (e.g. pinning failed on an invalid segment).
+struct AbortBody {
+  std::uint32_t seq = 0;
+};
+
+using PacketBody =
+    std::variant<EagerBody, EagerAckBody, RndvBody, PullBody, PullReplyBody,
+                 NotifyBody, NotifyAckBody, AbortBody>;
+
+struct Packet {
+  PacketHeader header;
+  PacketBody body;
+
+  [[nodiscard]] PacketType type() const noexcept { return header.type; }
+};
+
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error("wire format: " + what) {}
+};
+
+/// Serializes a packet (header + body + payload) into frame payload bytes.
+/// The header's `type` field is taken from the body alternative.
+[[nodiscard]] std::vector<std::byte> encode(const Packet& p);
+
+/// Parses frame payload bytes. Throws WireFormatError on truncated or
+/// malformed input.
+[[nodiscard]] Packet decode(std::span<const std::byte> bytes);
+
+/// Serialized size of a packet with `data_bytes` of payload, for MTU math.
+[[nodiscard]] std::size_t encoded_overhead(PacketType t) noexcept;
+
+}  // namespace pinsim::core

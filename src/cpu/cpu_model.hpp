@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pinsim::cpu {
+
+/// Host processor model. The pin costs are calibrated directly from Table 1
+/// of the paper (base µs and ns/page for a pin+unpin pair, measured on
+/// Open-MX); everything else scales with clock frequency from the Xeon E5460
+/// reference machine the paper's Figures 6-7 were measured on.
+struct CpuModel {
+  std::string name;
+  double ghz = 0.0;
+
+  /// Table 1: fixed overhead of one pin+unpin pair.
+  sim::Time pin_base = 0;
+  /// Table 1: per-page overhead of a pin+unpin pair.
+  sim::Time pin_per_page = 0;
+
+  /// How the pair splits between the pin and the unpin half. The paper only
+  /// reports the pair; faulting+locking dominates, so pinning gets the larger
+  /// share. Only the pin half sits on (or overlaps with) the critical path.
+  static constexpr double kPinShare = 0.6;
+
+  /// CPU copy bandwidth (receive-side memcpy of incoming frames).
+  double memcpy_gbps = 0.0;
+
+  /// Per-frame receive bottom-half cost excluding the data copy (interrupt,
+  /// MXoE protocol handling).
+  sim::Time rx_frame_overhead = 0;
+  /// Per-frame transmit-path cost (syscall share, driver, descriptor setup).
+  sim::Time tx_frame_overhead = 0;
+
+  [[nodiscard]] sim::Time pin_cost(std::size_t pages) const noexcept {
+    return scaled(pin_base, kPinShare) +
+           static_cast<sim::Time>(pages) * scaled(pin_per_page, kPinShare);
+  }
+  [[nodiscard]] sim::Time unpin_cost(std::size_t pages) const noexcept {
+    return scaled(pin_base, 1.0 - kPinShare) +
+           static_cast<sim::Time>(pages) *
+               scaled(pin_per_page, 1.0 - kPinShare);
+  }
+  /// Full pair, as Table 1 reports it.
+  [[nodiscard]] sim::Time pin_unpin_cost(std::size_t pages) const noexcept {
+    return pin_base + static_cast<sim::Time>(pages) * pin_per_page;
+  }
+
+  /// Pinning throughput in GB/s (Table 1 last column): bytes pinnable per
+  /// second at the asymptotic per-page rate.
+  [[nodiscard]] double pin_throughput_gbps() const noexcept;
+
+  /// Time for the CPU to copy `bytes` (memcpy on the receive path).
+  [[nodiscard]] sim::Time copy_cost(std::size_t bytes) const noexcept;
+
+ private:
+  [[nodiscard]] static sim::Time scaled(sim::Time t, double f) noexcept {
+    return static_cast<sim::Time>(static_cast<double>(t) * f + 0.5);
+  }
+};
+
+/// The four processors of Table 1.
+[[nodiscard]] const CpuModel& opteron265();
+[[nodiscard]] const CpuModel& opteron8347();
+[[nodiscard]] const CpuModel& xeon_e5435();
+[[nodiscard]] const CpuModel& xeon_e5460();
+
+[[nodiscard]] const std::vector<CpuModel>& all_cpu_models();
+
+/// Lookup by name ("opteron265", "xeon-e5460", ...); throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] const CpuModel& cpu_model_by_name(std::string_view name);
+
+}  // namespace pinsim::cpu

@@ -1,0 +1,51 @@
+#include "ioat/dma_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pinsim::ioat {
+
+DmaEngine::DmaEngine(sim::Engine& eng, Config cfg) : eng_(eng), cfg_(cfg) {
+  if (cfg_.bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("DMA bandwidth must be positive");
+  }
+}
+
+sim::Time DmaEngine::transfer_time(std::size_t bytes) const noexcept {
+  const double bytes_per_ns = cfg_.bandwidth_gbps;  // GB/s == bytes/ns
+  return cfg_.setup_cost +
+         static_cast<sim::Time>(static_cast<double>(bytes) / bytes_per_ns +
+                                0.5);
+}
+
+bool DmaEngine::copy(std::size_t bytes, sim::UniqueFunction perform,
+                     sim::UniqueFunction done) {
+  if (queue_.size() >= cfg_.max_queue) {
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(Request{bytes, std::move(perform), std::move(done)});
+  if (!busy_) pump();
+  return true;
+}
+
+void DmaEngine::pump() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  const sim::Time t = transfer_time(req.bytes);
+  stats_.busy += t;
+  ++stats_.copies;
+  stats_.bytes += req.bytes;
+  eng_.schedule_after(t, [this, r = std::move(req)]() mutable {
+    if (r.perform) r.perform();
+    if (r.done) r.done();
+    pump();
+  });
+}
+
+}  // namespace pinsim::ioat

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mmu_notifier.hpp"
+#include "mem/physical_memory.hpp"
+#include "mem/types.hpp"
+
+namespace pinsim::mem {
+
+class CowSnapshot;
+
+/// A simulated per-process virtual address space: VMAs, a page table with
+/// demand faulting, page pinning (the `get_user_pages` analogue the Open-MX
+/// driver calls), MMU notifiers, and the VM events that invalidate
+/// translations (munmap, swap-out, migration, COW breaks).
+///
+/// Memory operations are *functionally* exact (real bytes move through real
+/// frames) and take zero simulated time; the CPU model charges time for them
+/// separately, which keeps the performance model in one place.
+class AddressSpace {
+ public:
+  struct Stats {
+    std::uint64_t minor_faults = 0;  // zero-fill on first touch
+    std::uint64_t major_faults = 0;  // swap-ins
+    std::uint64_t swap_outs = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t cow_breaks = 0;
+    std::uint64_t notifier_invalidations = 0;  // invalidate_range calls
+    std::uint64_t pins = 0;                    // pages pinned (cumulative)
+    std::uint64_t unpins = 0;
+  };
+
+  explicit AddressSpace(PhysicalMemory& pm,
+                        VirtAddr base = VirtAddr{1} << 32,
+                        VirtAddr limit = VirtAddr{1} << 44);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // --- VMA management ------------------------------------------------------
+
+  /// Maps `length` bytes (rounded up to pages) at the lowest free address.
+  /// First-fit placement means an munmap/mmap pair of the same size returns
+  /// the same address — the buffer-reuse pattern the paper's pinning cache
+  /// depends on.
+  VirtAddr mmap(std::size_t length);
+
+  /// Maps at a caller-chosen page-aligned address. Throws if it overlaps an
+  /// existing mapping.
+  VirtAddr mmap_fixed(VirtAddr addr, std::size_t length);
+
+  /// Unmaps every page in [addr, addr+length). Fires MMU notifiers before
+  /// tearing translations down. Unmapping a hole is a no-op (like Linux).
+  void munmap(VirtAddr addr, std::size_t length);
+
+  /// True if every byte of [addr, addr+length) is inside a mapping.
+  [[nodiscard]] bool is_mapped(VirtAddr addr, std::size_t length) const;
+
+  [[nodiscard]] std::size_t mapped_bytes() const noexcept {
+    return mapped_bytes_;
+  }
+
+  /// Snapshot of the VMA list as (start, length) pairs, address-ordered.
+  [[nodiscard]] std::vector<std::pair<VirtAddr, std::size_t>> vma_list() const;
+
+  /// Addresses of resident pages with no pins (swap-out candidates).
+  [[nodiscard]] std::vector<VirtAddr> resident_unpinned_pages() const;
+
+  // --- kernel-style access (faults pages in on demand) ---------------------
+
+  void write(VirtAddr addr, std::span<const std::byte> src);
+  void read(VirtAddr addr, std::span<std::byte> dst);
+  void fill(VirtAddr addr, std::size_t len, std::byte value);
+
+  /// Faults in [addr, addr+len) for writing (breaks COW) without copying.
+  void touch(VirtAddr addr, std::size_t len);
+
+  // --- pinning (get_user_pages analogue) -----------------------------------
+
+  /// Faults in and pins all pages covering [addr, addr+len); returns one
+  /// frame per page, in address order. Pins are per-page and counted; each
+  /// pin holds a frame reference, so a pinned frame survives munmap (it
+  /// becomes orphaned until unpinned). Throws InvalidAddressError if any page
+  /// is outside a mapping — the paper's "declaration succeeds, pinning fails
+  /// later at communication time" case.
+  [[nodiscard]] std::vector<FrameId> pin_range(VirtAddr addr, std::size_t len);
+
+  /// Pins the single page containing `addr`.
+  [[nodiscard]] FrameId pin_page(VirtAddr addr);
+
+  /// Releases one pin taken by pin_range/pin_page. `frame` is what the pin
+  /// returned; it is still valid even if the page was unmapped or remapped
+  /// since (the pin's reference kept it alive).
+  void unpin_page(VirtAddr addr, FrameId frame);
+
+  // --- page queries ---------------------------------------------------------
+
+  [[nodiscard]] bool is_present(VirtAddr addr) const;
+  [[nodiscard]] bool is_pinned(VirtAddr addr) const;
+  [[nodiscard]] FrameId frame_of(VirtAddr addr) const;
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+  // --- VM events that invalidate translations ------------------------------
+
+  /// Writes the page to the swap store and frees its frame. Refuses pinned
+  /// or non-present pages (returns false), like Linux reclaim skipping
+  /// pages with elevated refcounts.
+  bool swap_out(VirtAddr page_va);
+
+  /// Swaps out every eligible page in the range; returns pages reclaimed.
+  std::size_t swap_out_range(VirtAddr addr, std::size_t len);
+
+  /// Moves the page to a different physical frame (NUMA balancing /
+  /// compaction analogue). Refuses pinned pages.
+  bool migrate(VirtAddr page_va);
+
+  /// Fork-style snapshot: shares current frames copy-on-write with the
+  /// returned snapshot. Pinned pages are copied eagerly (DMA-visible pages
+  /// cannot be made read-only under the device). Pages are faulted in first.
+  [[nodiscard]] CowSnapshot cow_snapshot(VirtAddr addr, std::size_t len);
+
+  // --- notifiers ------------------------------------------------------------
+
+  void register_notifier(MmuNotifier* n);
+  void unregister_notifier(MmuNotifier* n);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] PhysicalMemory& physical() noexcept { return pm_; }
+
+ private:
+  friend class CowSnapshot;
+
+  struct PageEntry {
+    FrameId frame = kInvalidFrame;
+    std::uint32_t pin_count = 0;
+    bool cow = false;  // frame shared with at least one snapshot
+  };
+
+  struct Vma {
+    std::size_t length = 0;
+  };
+
+  /// Fires invalidate_range on all notifiers for [start, end).
+  void notify_invalidate(VirtAddr start, VirtAddr end);
+
+  /// Returns the entry for the page containing `addr`, faulting it in.
+  /// `for_write` breaks COW. Throws InvalidAddressError outside mappings.
+  PageEntry& fault_in(VirtAddr addr, bool for_write);
+
+  [[nodiscard]] bool in_vma(VirtAddr addr) const;
+
+  /// Drops the mapping's reference on a page entry and erases it.
+  void teardown_page(std::uint64_t pidx);
+
+  void break_cow(std::uint64_t pidx, PageEntry& e);
+
+  PhysicalMemory& pm_;
+  VirtAddr base_;
+  VirtAddr limit_;
+  std::map<VirtAddr, Vma> vmas_;                        // keyed by start
+  std::unordered_map<std::uint64_t, PageEntry> pages_;  // keyed by page index
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> swap_store_;
+  std::vector<MmuNotifier*> notifiers_;
+  std::size_t mapped_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Holds copy-on-write references to the frames a range contained at snapshot
+/// time; reading it later sees the old contents even after the process
+/// overwrote the range. Models what fork()/KVM shadow tables need from MMU
+/// notifiers.
+class CowSnapshot {
+ public:
+  CowSnapshot(CowSnapshot&&) noexcept;
+  CowSnapshot& operator=(CowSnapshot&&) noexcept;
+  CowSnapshot(const CowSnapshot&) = delete;
+  CowSnapshot& operator=(const CowSnapshot&) = delete;
+  ~CowSnapshot();
+
+  /// Reads bytes as they were when the snapshot was taken.
+  void read(VirtAddr addr, std::span<std::byte> dst) const;
+
+  [[nodiscard]] VirtAddr start() const noexcept { return start_; }
+  [[nodiscard]] std::size_t length() const noexcept { return length_; }
+
+ private:
+  friend class AddressSpace;
+  CowSnapshot(PhysicalMemory& pm, VirtAddr start, std::size_t length);
+
+  PhysicalMemory* pm_;
+  VirtAddr start_;
+  std::size_t length_;
+  // One frame ref per page of the range, in order.
+  std::vector<FrameId> frames_;
+};
+
+}  // namespace pinsim::mem

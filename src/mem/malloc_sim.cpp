@@ -1,0 +1,70 @@
+#include "mem/malloc_sim.hpp"
+
+#include <stdexcept>
+
+namespace pinsim::mem {
+
+MallocSim::MallocSim(AddressSpace& as, std::size_t mmap_threshold,
+                     std::size_t arena_chunk)
+    : as_(as), mmap_threshold_(mmap_threshold), arena_chunk_(arena_chunk) {
+  if (mmap_threshold_ == 0 || arena_chunk_ == 0) {
+    throw std::invalid_argument("malloc thresholds must be nonzero");
+  }
+}
+
+VirtAddr MallocSim::malloc(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("malloc(0) not modelled");
+
+  if (n >= mmap_threshold_) {
+    const VirtAddr p = as_.mmap(n);
+    big_.emplace(p, static_cast<std::size_t>(page_ceil(n)));
+    ++stats_.mmap_allocs;
+    return p;
+  }
+
+  const std::size_t cls = size_class(n);
+  auto& fl = free_lists_[cls];
+  if (!fl.empty()) {
+    const VirtAddr p = fl.back();
+    fl.pop_back();
+    small_.emplace(p, cls);
+    ++stats_.reuse_hits;
+    return p;
+  }
+
+  if (arena_left_ < cls) {
+    const std::size_t chunk = std::max(arena_chunk_, cls);
+    arena_cur_ = as_.mmap(chunk);
+    arena_left_ = static_cast<std::size_t>(page_ceil(chunk));
+  }
+  const VirtAddr p = arena_cur_;
+  arena_cur_ += cls;
+  arena_left_ -= cls;
+  small_.emplace(p, cls);
+  ++stats_.arena_allocs;
+  return p;
+}
+
+void MallocSim::free(VirtAddr p) {
+  if (auto it = big_.find(p); it != big_.end()) {
+    as_.munmap(p, it->second);  // fires MMU notifiers
+    big_.erase(it);
+    ++stats_.frees;
+    return;
+  }
+  if (auto it = small_.find(p); it != small_.end()) {
+    free_lists_[it->second].push_back(p);
+    small_.erase(it);
+    ++stats_.frees;
+    return;
+  }
+  throw std::invalid_argument("free of unknown pointer");
+}
+
+std::size_t MallocSim::usable_size(VirtAddr p) const {
+  if (auto it = big_.find(p); it != big_.end()) return it->second;
+  if (auto it = small_.find(p); it != small_.end()) return it->second;
+  throw std::invalid_argument("usable_size of unknown pointer");
+}
+
+}  // namespace pinsim::mem

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/types.hpp"
+
+namespace pinsim::mem {
+
+/// glibc-shaped user allocator over the simulated address space.
+///
+/// Two behaviours matter to the paper and are modelled faithfully:
+///  * allocations at or above `mmap_threshold` get their own mapping and
+///    `free()` munmaps it — which is exactly when the kernel (and thus the
+///    MMU notifier) learns that a large communication buffer went away;
+///  * small/medium allocations come from arena free lists, so a free/malloc
+///    pair of the same size class returns the *same address* — the buffer
+///    reuse pattern that makes pinning caches profitable.
+class MallocSim {
+ public:
+  struct Stats {
+    std::uint64_t mmap_allocs = 0;
+    std::uint64_t arena_allocs = 0;
+    std::uint64_t reuse_hits = 0;  // served from a free list
+    std::uint64_t frees = 0;
+  };
+
+  explicit MallocSim(AddressSpace& as,
+                     std::size_t mmap_threshold = 128 * 1024,
+                     std::size_t arena_chunk = 1024 * 1024);
+
+  MallocSim(const MallocSim&) = delete;
+  MallocSim& operator=(const MallocSim&) = delete;
+
+  /// Allocates `n` bytes; never returns 0. Throws std::invalid_argument on
+  /// n == 0 (simplification: the simulator has no use for malloc(0)).
+  [[nodiscard]] VirtAddr malloc(std::size_t n);
+
+  /// Frees a pointer previously returned by malloc. Large blocks are
+  /// munmapped immediately (firing MMU notifiers); small blocks go back on
+  /// their free list and keep their mapping.
+  void free(VirtAddr p);
+
+  /// Allocation size as rounded by the allocator.
+  [[nodiscard]] std::size_t usable_size(VirtAddr p) const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t mmap_threshold() const noexcept {
+    return mmap_threshold_;
+  }
+
+ private:
+  static constexpr std::size_t kGranule = 16;
+
+  [[nodiscard]] static std::size_t size_class(std::size_t n) noexcept {
+    return (n + kGranule - 1) / kGranule * kGranule;
+  }
+
+  AddressSpace& as_;
+  std::size_t mmap_threshold_;
+  std::size_t arena_chunk_;
+
+  // Large allocations: address -> mapped length.
+  std::unordered_map<VirtAddr, std::size_t> big_;
+  // Small allocations: address -> size class; free lists per size class.
+  std::unordered_map<VirtAddr, std::size_t> small_;
+  std::unordered_map<std::size_t, std::vector<VirtAddr>> free_lists_;
+  // Current arena bump region.
+  VirtAddr arena_cur_ = 0;
+  std::size_t arena_left_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pinsim::mem

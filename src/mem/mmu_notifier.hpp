@@ -1,0 +1,28 @@
+#pragma once
+
+#include "mem/types.hpp"
+
+namespace pinsim::mem {
+
+/// Analogue of the Linux `mmu_notifier` (merged in 2.6.27, the kernel the
+/// paper runs on). A subsystem that holds references to user pages registers
+/// one per address space; the VM calls `invalidate_range` *before* tearing
+/// down translations for [start, end), so the subscriber can drop its pins.
+///
+/// Invalidations fire on: munmap, swap-out, page migration, and COW breaks —
+/// the four events the paper lists as reasons a pinned translation can go
+/// stale (§2.1, §3.1).
+class MmuNotifier {
+ public:
+  virtual ~MmuNotifier() = default;
+
+  /// Called synchronously before the VM invalidates [start, end).
+  /// The subscriber must assume the physical frames behind this range are
+  /// about to change or disappear and release any pins it holds inside it.
+  virtual void invalidate_range(VirtAddr start, VirtAddr end) = 0;
+
+  /// Called when the whole address space is being destroyed.
+  virtual void release() {}
+};
+
+}  // namespace pinsim::mem

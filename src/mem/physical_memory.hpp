@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mem/types.hpp"
+
+namespace pinsim::mem {
+
+/// Physical memory: a pool of reference-counted 4 kB frames holding real
+/// bytes.
+///
+/// Reference counting mirrors the Linux page refcount that makes
+/// `get_user_pages` safe: the address-space mapping holds one reference and
+/// every pin holds another, so a frame that is unmapped while still pinned
+/// stays alive (an "orphaned" frame) until the last pin drops. That is
+/// exactly the situation a stale user-space registration cache exploits —
+/// and how our tests make its corruption observable.
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(std::size_t num_frames);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  /// Allocates a zeroed frame with refcount 1. Throws OutOfMemoryError.
+  [[nodiscard]] FrameId alloc();
+
+  /// Increments the reference count of a live frame.
+  void ref(FrameId f);
+
+  /// Decrements the reference count; frees the frame when it reaches zero.
+  void unref(FrameId f);
+
+  [[nodiscard]] std::uint32_t refcount(FrameId f) const;
+
+  /// Raw bytes of a live frame (the "kernel direct mapping").
+  [[nodiscard]] std::span<std::byte> data(FrameId f);
+  [[nodiscard]] std::span<const std::byte> data(FrameId f) const;
+
+  [[nodiscard]] std::size_t total_frames() const noexcept {
+    return refcounts_.size();
+  }
+  [[nodiscard]] std::size_t free_frames() const noexcept {
+    return free_list_.size();
+  }
+  [[nodiscard]] std::size_t used_frames() const noexcept {
+    return total_frames() - free_frames();
+  }
+
+  /// Global pinned-page accounting, used by the driver to decide when to shed
+  /// pins under memory pressure (paper §3.1: "if there are too many pinned
+  /// pages ... it may also request some unpinning").
+  void account_pin(std::int64_t delta);
+  [[nodiscard]] std::size_t pinned_pages() const noexcept {
+    return pinned_pages_;
+  }
+
+ private:
+  void check_live(FrameId f) const;
+
+  std::vector<std::byte> bytes_;
+  std::vector<std::uint32_t> refcounts_;  // 0 == free
+  std::vector<FrameId> free_list_;
+  std::size_t pinned_pages_ = 0;
+};
+
+}  // namespace pinsim::mem

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// Basic types for the simulated virtual-memory subsystem.
+namespace pinsim::mem {
+
+using VirtAddr = std::uint64_t;
+using FrameId = std::uint64_t;
+
+inline constexpr std::size_t kPageShift = 12;
+inline constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;  // 4 kB
+inline constexpr FrameId kInvalidFrame = ~FrameId{0};
+
+[[nodiscard]] constexpr VirtAddr page_floor(VirtAddr a) noexcept {
+  return a & ~VirtAddr{kPageSize - 1};
+}
+
+[[nodiscard]] constexpr VirtAddr page_ceil(VirtAddr a) noexcept {
+  return page_floor(a + kPageSize - 1);
+}
+
+[[nodiscard]] constexpr std::uint64_t page_index(VirtAddr a) noexcept {
+  return a >> kPageShift;
+}
+
+[[nodiscard]] constexpr VirtAddr page_addr(std::uint64_t index) noexcept {
+  return index << kPageShift;
+}
+
+[[nodiscard]] constexpr std::size_t page_offset(VirtAddr a) noexcept {
+  return static_cast<std::size_t>(a & (kPageSize - 1));
+}
+
+/// Number of pages spanned by [addr, addr+len).
+[[nodiscard]] constexpr std::size_t pages_spanned(VirtAddr addr,
+                                                  std::size_t len) noexcept {
+  if (len == 0) return 0;
+  return static_cast<std::size_t>(page_index(addr + len - 1) -
+                                  page_index(addr) + 1);
+}
+
+/// Access to an address outside any mapping — the simulated SIGSEGV/-EFAULT.
+class InvalidAddressError : public std::runtime_error {
+ public:
+  explicit InvalidAddressError(VirtAddr addr)
+      : std::runtime_error("invalid virtual address 0x" + to_hex(addr)),
+        addr_(addr) {}
+  [[nodiscard]] VirtAddr addr() const noexcept { return addr_; }
+
+ private:
+  static std::string to_hex(VirtAddr a);
+  VirtAddr addr_;
+};
+
+/// Physical frame pool exhausted.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  OutOfMemoryError() : std::runtime_error("out of physical frames") {}
+};
+
+}  // namespace pinsim::mem

@@ -1,0 +1,502 @@
+#include "mpi/communicator.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace pinsim::mpi {
+
+namespace {
+
+template <typename T>
+void apply_typed(std::byte* accum, const std::byte* data, std::size_t count,
+                 Op op) {
+  for (std::size_t i = 0; i < count; ++i) {
+    T a;
+    T b;
+    std::memcpy(&a, accum + i * sizeof(T), sizeof(T));
+    std::memcpy(&b, data + i * sizeof(T), sizeof(T));
+    switch (op) {
+      case Op::kSum:
+        a = static_cast<T>(a + b);
+        break;
+      case Op::kMax:
+        a = a > b ? a : b;
+        break;
+      case Op::kMin:
+        a = a < b ? a : b;
+        break;
+    }
+    std::memcpy(accum + i * sizeof(T), &a, sizeof(T));
+  }
+}
+
+[[nodiscard]] bool is_power_of_two(int n) noexcept {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+Communicator::Communicator(std::vector<core::Host::Process*> ranks)
+    : ranks_(std::move(ranks)), state_(ranks_.size()) {
+  if (ranks_.empty()) throw std::invalid_argument("empty communicator");
+}
+
+std::uint64_t Communicator::make_match(std::uint32_t ctx, int src,
+                                       int tag) noexcept {
+  return (static_cast<std::uint64_t>(ctx) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(src + 1))
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+// --- point to point ------------------------------------------------------------
+
+core::RequestPtr Communicator::isend(int me, int dest, int tag,
+                                     mem::VirtAddr buf, std::size_t len) {
+  return lib(me).isend(addr(dest), make_match(0, me, tag), buf, len);
+}
+
+core::RequestPtr Communicator::irecv(int me, int src, int tag,
+                                     mem::VirtAddr buf, std::size_t len) {
+  (void)me;
+  return lib(me).irecv(make_match(0, src, tag), ~std::uint64_t{0}, buf, len);
+}
+
+sim::Task<core::Status> Communicator::send(int me, int dest, int tag,
+                                           mem::VirtAddr buf,
+                                           std::size_t len) {
+  return lib(me).send(addr(dest), make_match(0, me, tag), buf, len);
+}
+
+sim::Task<core::Status> Communicator::recv(int me, int src, int tag,
+                                           mem::VirtAddr buf,
+                                           std::size_t len) {
+  return lib(me).recv(make_match(0, src, tag), ~std::uint64_t{0}, buf, len);
+}
+
+sim::Task<core::Status> Communicator::send_ctx(int me, int dest,
+                                               std::uint32_t ctx, int tag,
+                                               mem::VirtAddr buf,
+                                               std::size_t len) {
+  return lib(me).send(addr(dest), make_match(ctx, me, tag), buf, len);
+}
+
+sim::Task<core::Status> Communicator::recv_ctx(int me, int src,
+                                               std::uint32_t ctx, int tag,
+                                               mem::VirtAddr buf,
+                                               std::size_t len) {
+  return lib(me).recv(make_match(ctx, src, tag), ~std::uint64_t{0}, buf, len);
+}
+
+sim::Task<> Communicator::sendrecv(int me, int dest, mem::VirtAddr sendbuf,
+                                   std::size_t sendlen, int src,
+                                   mem::VirtAddr recvbuf, std::size_t recvlen,
+                                   int tag) {
+  auto rreq = irecv(me, src, tag, recvbuf, recvlen);
+  auto sreq = isend(me, dest, tag, sendbuf, sendlen);
+  co_await sreq->wait();
+  co_await rreq->wait();
+}
+
+sim::Task<> Communicator::wait_all(std::vector<core::RequestPtr> reqs) {
+  for (auto& r : reqs) co_await r->wait();
+}
+
+// --- helpers ---------------------------------------------------------------------
+
+sim::Task<> Communicator::compute(int me, std::size_t bytes) {
+  auto& p = process(me);
+  const sim::Time cost = p.ep.driver().cpu().copy_cost(2 * bytes);
+  sim::Gate gate(engine());
+  p.core.submit(cpu::Priority::kUser, cost, [&gate] { gate.open(); });
+  co_await gate.wait();
+}
+
+mem::VirtAddr Communicator::scratch(int me, std::size_t slot,
+                                    std::size_t len) {
+  auto& sc = state_[static_cast<std::size_t>(me)].scratch;
+  if (sc.size() <= slot) sc.resize(slot + 1, {0, 0});
+  auto& [addr, size] = sc[slot];
+  if (size < len) {
+    if (size != 0) process(me).heap.free(addr);
+    addr = process(me).heap.malloc(len);
+    size = len;
+  }
+  return addr;
+}
+
+void Communicator::apply_op(int me, mem::VirtAddr accum, mem::VirtAddr data,
+                            std::size_t count, Datatype dt, Op op) {
+  const std::size_t bytes = count * datatype_size(dt);
+  std::vector<std::byte> a(bytes);
+  std::vector<std::byte> b(bytes);
+  auto& as = process(me).as;
+  as.read(accum, a);
+  as.read(data, b);
+  switch (dt) {
+    case Datatype::kByte:
+      apply_typed<std::uint8_t>(a.data(), b.data(), count, op);
+      break;
+    case Datatype::kInt32:
+      apply_typed<std::int32_t>(a.data(), b.data(), count, op);
+      break;
+    case Datatype::kFloat:
+      apply_typed<float>(a.data(), b.data(), count, op);
+      break;
+    case Datatype::kDouble:
+      apply_typed<double>(a.data(), b.data(), count, op);
+      break;
+  }
+  as.write(accum, a);
+}
+
+namespace {
+/// Copies `len` bytes between two buffers of the same address space through
+/// the page table (the local-copy part of collectives).
+void local_copy(core::Host::Process& p, mem::VirtAddr dst, mem::VirtAddr src,
+                std::size_t len) {
+  if (len == 0 || dst == src) return;
+  std::vector<std::byte> tmp(len);
+  p.as.read(src, tmp);
+  p.as.write(dst, tmp);
+}
+}  // namespace
+
+// --- collectives -------------------------------------------------------------------
+
+sim::Task<> Communicator::barrier(int me) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  // Dissemination barrier: log2(n) rounds of 0-byte messages.
+  for (int step = 1; step < n; step <<= 1) {
+    const int to = (me + step) % n;
+    const int from = (me - step + n) % n;
+    auto rreq = lib(me).irecv(make_match(ctx, from, step), ~std::uint64_t{0},
+                              0, 0);
+    auto sreq = lib(me).isend(addr(to), make_match(ctx, me, step), 0, 0);
+    co_await sreq->wait();
+    co_await rreq->wait();
+  }
+}
+
+sim::Task<> Communicator::bcast(int me, int root, mem::VirtAddr buf,
+                                std::size_t len) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  const int relrank = (me - root + n) % n;
+
+  // Binomial tree (MPICH/Open MPI basic algorithm).
+  int mask = 1;
+  while (mask < n) {
+    if (relrank & mask) {
+      const int src = (relrank - mask + root + n) % n;
+      (void)co_await recv_ctx(me, src, ctx, 0, buf, len);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relrank + mask < n) {
+      const int dst = (relrank + mask + root) % n;
+      (void)co_await send_ctx(me, dst, ctx, 0, buf, len);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<> Communicator::reduce(int me, int root, mem::VirtAddr sendbuf,
+                                 mem::VirtAddr recvbuf, std::size_t count,
+                                 Datatype dt, Op op) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  const std::size_t bytes = count * datatype_size(dt);
+  const int relrank = (me - root + n) % n;
+
+  // Accumulator: recvbuf at root, scratch elsewhere.
+  const mem::VirtAddr accum =
+      me == root ? recvbuf : scratch(me, 0, std::max<std::size_t>(bytes, 16));
+  const mem::VirtAddr inbox = scratch(me, 1, std::max<std::size_t>(bytes, 16));
+  local_copy(process(me), accum, sendbuf, bytes);
+  co_await compute(me, bytes);
+
+  int mask = 1;
+  while (mask < n) {
+    if (relrank & mask) {
+      const int dst = ((relrank & ~mask) + root) % n;
+      (void)co_await send_ctx(me, dst, ctx, 1, accum, bytes);
+      break;
+    }
+    const int src_rel = relrank | mask;
+    if (src_rel < n) {
+      const int src = (src_rel + root) % n;
+      (void)co_await recv_ctx(me, src, ctx, 1, inbox, bytes);
+      apply_op(me, accum, inbox, count, dt, op);
+      co_await compute(me, bytes);
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task<> Communicator::allreduce(int me, mem::VirtAddr sendbuf,
+                                    mem::VirtAddr recvbuf, std::size_t count,
+                                    Datatype dt, Op op) {
+  const int n = size();
+  const std::size_t bytes = count * datatype_size(dt);
+
+  if (!is_power_of_two(n)) {
+    // Fallback: reduce to 0 then broadcast.
+    co_await reduce(me, 0, sendbuf, recvbuf, count, dt, op);
+    co_await bcast(me, 0, recvbuf, bytes);
+    co_return;
+  }
+
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const mem::VirtAddr inbox = scratch(me, 2, std::max<std::size_t>(bytes, 16));
+  local_copy(process(me), recvbuf, sendbuf, bytes);
+  co_await compute(me, bytes);
+
+  // Recursive doubling.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int partner = me ^ mask;
+    auto rreq = lib(me).irecv(make_match(ctx, partner, mask),
+                              ~std::uint64_t{0}, inbox, bytes);
+    auto sreq =
+        lib(me).isend(addr(partner), make_match(ctx, me, mask), recvbuf, bytes);
+    co_await sreq->wait();
+    co_await rreq->wait();
+    apply_op(me, recvbuf, inbox, count, dt, op);
+    co_await compute(me, bytes);
+  }
+}
+
+sim::Task<> Communicator::allgatherv(int me, mem::VirtAddr sendbuf,
+                                     mem::VirtAddr recvbuf,
+                                     std::vector<std::size_t> counts,
+                                     std::vector<std::size_t> displs) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  assert(counts.size() == static_cast<std::size_t>(n));
+  assert(displs.size() == static_cast<std::size_t>(n));
+
+  const auto my = static_cast<std::size_t>(me);
+  local_copy(process(me), recvbuf + displs[my], sendbuf, counts[my]);
+  co_await compute(me, counts[my]);
+  if (n == 1) co_return;
+
+  // Ring: in step s, forward the block received in step s-1 to the right
+  // and receive a new block from the left.
+  const int right = (me + 1) % n;
+  const int left = (me - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const auto send_block = static_cast<std::size_t>((me - step + n) % n);
+    const auto recv_block = static_cast<std::size_t>((me - step - 1 + n) % n);
+    auto rreq = lib(me).irecv(make_match(ctx, left, step), ~std::uint64_t{0},
+                              recvbuf + displs[recv_block],
+                              counts[recv_block]);
+    auto sreq = lib(me).isend(addr(right), make_match(ctx, me, step),
+                              recvbuf + displs[send_block],
+                              counts[send_block]);
+    co_await sreq->wait();
+    co_await rreq->wait();
+  }
+}
+
+sim::Task<> Communicator::reduce_scatter(int me, mem::VirtAddr sendbuf,
+                                         mem::VirtAddr recvbuf,
+                                         std::size_t count_per_rank,
+                                         Datatype dt, Op op) {
+  const int n = size();
+  const std::size_t block = count_per_rank * datatype_size(dt);
+  const std::size_t total = block * static_cast<std::size_t>(n);
+
+  if (!is_power_of_two(n)) {
+    // Fallback: reduce the full vector to 0, then scatter.
+    const std::uint32_t ctx0 = state_[static_cast<std::size_t>(me)].coll_seq;
+    (void)ctx0;
+    const mem::VirtAddr full = scratch(me, 3, total);
+    co_await reduce(me, 0, sendbuf, full, count_per_rank * static_cast<std::size_t>(n),
+                    dt, op);
+    const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+    if (me == 0) {
+      for (int r = 1; r < n; ++r) {
+        (void)co_await send_ctx(me, r, ctx, 2,
+                                full + block * static_cast<std::size_t>(r),
+                                block);
+      }
+      local_copy(process(me), recvbuf, full, block);
+    } else {
+      (void)co_await recv_ctx(me, 0, ctx, 2, recvbuf, block);
+    }
+    co_return;
+  }
+
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  // Recursive halving over a working copy of the whole vector.
+  const mem::VirtAddr work = scratch(me, 3, total);
+  const mem::VirtAddr inbox = scratch(me, 4, total / 2 + 16);
+  local_copy(process(me), work, sendbuf, total);
+  co_await compute(me, total);
+
+  std::size_t lo = 0;
+  std::size_t hi = static_cast<std::size_t>(n);
+  for (int pow = n / 2; pow >= 1; pow /= 2) {
+    const int partner = me ^ pow;
+    const std::size_t mid = (lo + hi) / 2;
+    const bool keep_low = me < partner;
+    const std::size_t send_off = (keep_low ? mid : lo) * block;
+    const std::size_t send_len = (keep_low ? hi - mid : mid - lo) * block;
+    const std::size_t keep_off = (keep_low ? lo : mid) * block;
+    const std::size_t keep_len = (keep_low ? mid - lo : hi - mid) * block;
+
+    auto rreq = lib(me).irecv(make_match(ctx, partner, pow), ~std::uint64_t{0},
+                              inbox, keep_len);
+    auto sreq = lib(me).isend(addr(partner), make_match(ctx, me, pow),
+                              work + send_off, send_len);
+    co_await sreq->wait();
+    co_await rreq->wait();
+    apply_op(me, work + keep_off, inbox, keep_len / datatype_size(dt), dt, op);
+    co_await compute(me, keep_len);
+    if (keep_low) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  assert(lo == static_cast<std::size_t>(me) && hi == lo + 1);
+  local_copy(process(me), recvbuf, work + lo * block, block);
+  co_await compute(me, block);
+}
+
+sim::Task<> Communicator::alltoallv(int me, mem::VirtAddr sendbuf,
+                                    std::vector<std::size_t> send_counts,
+                                    std::vector<std::size_t> send_displs,
+                                    mem::VirtAddr recvbuf,
+                                    std::vector<std::size_t> recv_counts,
+                                    std::vector<std::size_t> recv_displs) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  const auto my = static_cast<std::size_t>(me);
+
+  std::vector<core::RequestPtr> reqs;
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    const auto ri = static_cast<std::size_t>(r);
+    reqs.push_back(lib(me).irecv(make_match(ctx, r, 3), ~std::uint64_t{0},
+                                 recvbuf + recv_displs[ri], recv_counts[ri]));
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    const auto ri = static_cast<std::size_t>(r);
+    reqs.push_back(lib(me).isend(addr(r), make_match(ctx, me, 3),
+                                 sendbuf + send_displs[ri], send_counts[ri]));
+  }
+  local_copy(process(me), recvbuf + recv_displs[my], sendbuf + send_displs[my],
+             std::min(send_counts[my], recv_counts[my]));
+  co_await compute(me, send_counts[my]);
+  for (auto& r : reqs) co_await r->wait();
+}
+
+sim::Task<> Communicator::alltoall(int me, mem::VirtAddr sendbuf,
+                                   mem::VirtAddr recvbuf, std::size_t block) {
+  const auto n = static_cast<std::size_t>(size());
+  std::vector<std::size_t> counts(n, block), displs(n);
+  for (std::size_t i = 0; i < n; ++i) displs[i] = i * block;
+  co_await alltoallv(me, sendbuf, counts, displs, recvbuf, counts, displs);
+}
+
+sim::Task<> Communicator::gatherv(int me, int root, mem::VirtAddr sendbuf,
+                                  std::size_t sendlen, mem::VirtAddr recvbuf,
+                                  std::vector<std::size_t> counts,
+                                  std::vector<std::size_t> displs) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  assert(counts.size() == static_cast<std::size_t>(n));
+  if (me == root) {
+    std::vector<core::RequestPtr> reqs;
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      const auto ri = static_cast<std::size_t>(r);
+      reqs.push_back(lib(me).irecv(make_match(ctx, r, 4), ~std::uint64_t{0},
+                                   recvbuf + displs[ri], counts[ri]));
+    }
+    local_copy(process(me), recvbuf + displs[static_cast<std::size_t>(root)],
+               sendbuf, sendlen);
+    co_await compute(me, sendlen);
+    for (auto& r : reqs) co_await r->wait();
+  } else {
+    (void)co_await send_ctx(me, root, ctx, 4, sendbuf, sendlen);
+  }
+}
+
+sim::Task<> Communicator::scatterv(int me, int root, mem::VirtAddr sendbuf,
+                                   std::vector<std::size_t> counts,
+                                   std::vector<std::size_t> displs,
+                                   mem::VirtAddr recvbuf,
+                                   std::size_t recvlen) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  if (me == root) {
+    std::vector<core::RequestPtr> reqs;
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      const auto ri = static_cast<std::size_t>(r);
+      reqs.push_back(lib(me).isend(addr(r), make_match(ctx, me, 5),
+                                   sendbuf + displs[ri], counts[ri]));
+    }
+    const auto ri = static_cast<std::size_t>(root);
+    local_copy(process(me), recvbuf, sendbuf + displs[ri],
+               std::min(counts[ri], recvlen));
+    co_await compute(me, counts[ri]);
+    for (auto& r : reqs) co_await r->wait();
+  } else {
+    (void)co_await recv_ctx(me, root, ctx, 5, recvbuf, recvlen);
+  }
+}
+
+sim::Task<> Communicator::scan(int me, mem::VirtAddr sendbuf,
+                               mem::VirtAddr recvbuf, std::size_t count,
+                               Datatype dt, Op op) {
+  const std::uint32_t ctx = ++state_[static_cast<std::size_t>(me)].coll_seq;
+  const int n = size();
+  const std::size_t bytes = count * datatype_size(dt);
+
+  local_copy(process(me), recvbuf, sendbuf, bytes);
+  co_await compute(me, bytes);
+  if (me > 0) {
+    // Receive the prefix of ranks [0, me) and fold our contribution in.
+    const mem::VirtAddr inbox =
+        scratch(me, 5, std::max<std::size_t>(bytes, 16));
+    (void)co_await recv_ctx(me, me - 1, ctx, 6, inbox, bytes);
+    apply_op(me, recvbuf, inbox, count, dt, op);
+    co_await compute(me, bytes);
+  }
+  if (me + 1 < n) {
+    (void)co_await send_ctx(me, me + 1, ctx, 6, recvbuf, bytes);
+  }
+}
+
+// --- runner ------------------------------------------------------------------------
+
+sim::Time run_ranks(sim::Engine& eng, int nranks,
+                    const std::function<sim::Task<>(int)>& fn) {
+  const sim::Time t0 = eng.now();
+  auto done = std::make_shared<std::size_t>(0);
+  for (int r = 0; r < nranks; ++r) {
+    sim::spawn(eng, [](std::function<sim::Task<>(int)> f, int rank,
+                       std::shared_ptr<std::size_t> counter) -> sim::Task<> {
+      co_await f(rank);
+      ++*counter;
+    }(fn, r, done));
+  }
+  while (*done < static_cast<std::size_t>(nranks) && eng.step()) {
+  }
+  eng.rethrow_task_failures();
+  if (*done < static_cast<std::size_t>(nranks)) {
+    throw std::runtime_error("rank programs deadlocked (event queue drained)");
+  }
+  return eng.now() - t0;
+}
+
+}  // namespace pinsim::mpi

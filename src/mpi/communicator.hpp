@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/host.hpp"
+#include "core/library.hpp"
+#include "mpi/datatypes.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace pinsim::mpi {
+
+/// A minimal MPI over the Open-MX stack: blocking/nonblocking point-to-point
+/// and the seven collectives the paper's Table 2 evaluates, implemented with
+/// the standard algorithms Open MPI's basic/tuned modules used at the time
+/// (binomial broadcast/reduce, recursive-doubling allreduce, ring
+/// allgatherv, recursive-halving reduce-scatter).
+///
+/// Every rank runs as a coroutine; operations take the caller's rank
+/// explicitly (there is no thread-local rank in a discrete-event world).
+class Communicator {
+ public:
+  explicit Communicator(std::vector<core::Host::Process*> ranks);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] core::Host::Process& process(int rank) {
+    return *ranks_.at(static_cast<std::size_t>(rank));
+  }
+
+  // --- point to point --------------------------------------------------------
+
+  [[nodiscard]] core::RequestPtr isend(int me, int dest, int tag,
+                                       mem::VirtAddr buf, std::size_t len);
+  [[nodiscard]] core::RequestPtr irecv(int me, int src, int tag,
+                                       mem::VirtAddr buf, std::size_t len);
+
+  [[nodiscard]] sim::Task<core::Status> send(int me, int dest, int tag,
+                                             mem::VirtAddr buf,
+                                             std::size_t len);
+  [[nodiscard]] sim::Task<core::Status> recv(int me, int src, int tag,
+                                             mem::VirtAddr buf,
+                                             std::size_t len);
+
+  /// Simultaneous send+recv (the IMB SendRecv/Exchange building block).
+  [[nodiscard]] sim::Task<> sendrecv(int me, int dest, mem::VirtAddr sendbuf,
+                                     std::size_t sendlen, int src,
+                                     mem::VirtAddr recvbuf,
+                                     std::size_t recvlen, int tag);
+
+  /// Waits for a set of requests (MPI_Waitall).
+  [[nodiscard]] static sim::Task<> wait_all(
+      std::vector<core::RequestPtr> reqs);
+
+  // --- collectives -----------------------------------------------------------
+  // All ranks must call each collective in the same order (MPI semantics);
+  // an internal per-rank sequence number keeps successive collectives from
+  // matching each other's traffic.
+
+  [[nodiscard]] sim::Task<> barrier(int me);
+
+  [[nodiscard]] sim::Task<> bcast(int me, int root, mem::VirtAddr buf,
+                                  std::size_t len);
+
+  /// Element-wise reduction of `count` elements into recvbuf at `root`.
+  /// sendbuf and recvbuf must not alias.
+  [[nodiscard]] sim::Task<> reduce(int me, int root, mem::VirtAddr sendbuf,
+                                   mem::VirtAddr recvbuf, std::size_t count,
+                                   Datatype dt, Op op);
+
+  [[nodiscard]] sim::Task<> allreduce(int me, mem::VirtAddr sendbuf,
+                                      mem::VirtAddr recvbuf, std::size_t count,
+                                      Datatype dt, Op op);
+
+  /// Ring allgatherv: rank i contributes `counts[i]` bytes; the full
+  /// concatenation lands in recvbuf at displacements `displs`.
+  [[nodiscard]] sim::Task<> allgatherv(int me, mem::VirtAddr sendbuf,
+                                       mem::VirtAddr recvbuf,
+                                       std::vector<std::size_t> counts,
+                                       std::vector<std::size_t> displs);
+
+  /// Reduce-scatter with equal blocks of `count_per_rank` elements.
+  [[nodiscard]] sim::Task<> reduce_scatter(int me, mem::VirtAddr sendbuf,
+                                           mem::VirtAddr recvbuf,
+                                           std::size_t count_per_rank,
+                                           Datatype dt, Op op);
+
+  /// Linear alltoallv (the NPB IS communication pattern).
+  [[nodiscard]] sim::Task<> alltoallv(int me, mem::VirtAddr sendbuf,
+                                      std::vector<std::size_t> send_counts,
+                                      std::vector<std::size_t> send_displs,
+                                      mem::VirtAddr recvbuf,
+                                      std::vector<std::size_t> recv_counts,
+                                      std::vector<std::size_t> recv_displs);
+
+  /// Regular alltoall: `block` bytes to (and from) every rank.
+  [[nodiscard]] sim::Task<> alltoall(int me, mem::VirtAddr sendbuf,
+                                     mem::VirtAddr recvbuf, std::size_t block);
+
+  /// Linear gatherv to `root`: rank i contributes counts[i] bytes, landing
+  /// at displs[i] in root's recvbuf.
+  [[nodiscard]] sim::Task<> gatherv(int me, int root, mem::VirtAddr sendbuf,
+                                    std::size_t sendlen, mem::VirtAddr recvbuf,
+                                    std::vector<std::size_t> counts,
+                                    std::vector<std::size_t> displs);
+
+  /// Linear scatterv from `root`.
+  [[nodiscard]] sim::Task<> scatterv(int me, int root, mem::VirtAddr sendbuf,
+                                     std::vector<std::size_t> counts,
+                                     std::vector<std::size_t> displs,
+                                     mem::VirtAddr recvbuf,
+                                     std::size_t recvlen);
+
+  /// Inclusive prefix reduction along the rank chain (MPI_Scan).
+  [[nodiscard]] sim::Task<> scan(int me, mem::VirtAddr sendbuf,
+                                 mem::VirtAddr recvbuf, std::size_t count,
+                                 Datatype dt, Op op);
+
+  /// Charges `bytes` of memory-bound compute to the rank's core at user
+  /// priority and waits for it. Public so workloads can model their local
+  /// computation phases (histogramming, sorting, ...).
+  [[nodiscard]] sim::Task<> compute(int me, std::size_t bytes);
+
+ private:
+  struct RankState {
+    std::uint32_t coll_seq = 0;
+    // Persistent temp buffers for reductions, per slot: (addr, size).
+    std::vector<std::pair<mem::VirtAddr, std::size_t>> scratch;
+  };
+
+  /// Match word: [16 bits collective-context][16 bits src rank][32 bits tag].
+  [[nodiscard]] static std::uint64_t make_match(std::uint32_t ctx, int src,
+                                                int tag) noexcept;
+
+  [[nodiscard]] core::Library& lib(int rank) {
+    return ranks_.at(static_cast<std::size_t>(rank))->lib;
+  }
+  [[nodiscard]] core::EndpointAddr addr(int rank) const {
+    return ranks_.at(static_cast<std::size_t>(rank))->ep.addr();
+  }
+  [[nodiscard]] sim::Engine& engine() {
+    return ranks_.front()->ep.driver().engine();
+  }
+
+  /// Allocates (lazily, and caches) a per-rank scratch buffer of `len`.
+  [[nodiscard]] mem::VirtAddr scratch(int me, std::size_t slot,
+                                      std::size_t len);
+
+  /// Element-wise `accum op= data` on `count` elements, reading both through
+  /// the rank's page table.
+  void apply_op(int me, mem::VirtAddr accum, mem::VirtAddr data,
+                std::size_t count, Datatype dt, Op op);
+
+  [[nodiscard]] sim::Task<core::Status> send_ctx(int me, int dest,
+                                                 std::uint32_t ctx, int tag,
+                                                 mem::VirtAddr buf,
+                                                 std::size_t len);
+  [[nodiscard]] sim::Task<core::Status> recv_ctx(int me, int src,
+                                                 std::uint32_t ctx, int tag,
+                                                 mem::VirtAddr buf,
+                                                 std::size_t len);
+
+  std::vector<core::Host::Process*> ranks_;
+  std::vector<RankState> state_;
+};
+
+/// Spawns `fn(rank)` for every rank and runs the engine until all finish.
+/// Rethrows the first failure. Returns the simulated duration.
+sim::Time run_ranks(sim::Engine& eng, int nranks,
+                    const std::function<sim::Task<>(int)>& fn);
+
+}  // namespace pinsim::mpi

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pinsim::mpi {
+
+/// The datatypes the IMB/NPB workloads need.
+enum class Datatype { kByte, kInt32, kFloat, kDouble };
+
+[[nodiscard]] constexpr std::size_t datatype_size(Datatype dt) noexcept {
+  switch (dt) {
+    case Datatype::kByte:
+      return 1;
+    case Datatype::kInt32:
+    case Datatype::kFloat:
+      return 4;
+    case Datatype::kDouble:
+      return 8;
+  }
+  return 1;
+}
+
+enum class Op { kSum, kMax, kMin };
+
+}  // namespace pinsim::mpi

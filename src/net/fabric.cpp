@@ -1,0 +1,55 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "net/nic.hpp"
+
+namespace pinsim::net {
+
+Fabric::Fabric(sim::Engine& eng, Config cfg)
+    : eng_(eng), cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("fabric bandwidth must be positive");
+  }
+}
+
+NodeId Fabric::attach(Nic* nic) {
+  assert(nic != nullptr);
+  nics_.push_back(nic);
+  ingress_free_.push_back(0);
+  return static_cast<NodeId>(nics_.size() - 1);
+}
+
+sim::Time Fabric::serialization_time(std::size_t wire_bytes) const {
+  // Gbit/s -> bytes/ns: 10 Gb/s == 1.25 bytes per ns.
+  const double bytes_per_ns = cfg_.bandwidth_gbps / 8.0;
+  return static_cast<sim::Time>(static_cast<double>(wire_bytes) /
+                                    bytes_per_ns +
+                                0.5);
+}
+
+void Fabric::transmit(Frame frame) {
+  if (frame.dst >= nics_.size()) {
+    throw std::invalid_argument("frame to unknown node");
+  }
+  if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  // The frame starts arriving after the one-way latency, but the ingress
+  // port clocks frames in one at a time at line rate.
+  const sim::Time wire = serialization_time(frame.wire_bytes());
+  const sim::Time start =
+      std::max(eng_.now() + cfg_.latency, ingress_free_[frame.dst]);
+  const sim::Time done = start + wire;
+  ingress_free_[frame.dst] = done;
+  ++delivered_;
+  eng_.schedule_at(done, [this, f = std::move(frame)]() mutable {
+    nics_[f.dst]->deliver(std::move(f));
+  });
+}
+
+}  // namespace pinsim::net

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pinsim::net {
+
+class Nic;
+
+/// The switched Ethernet fabric connecting hosts. Full duplex, one port per
+/// NIC; a fixed one-way latency models propagation plus the cut-through
+/// switch. Optional random frame loss exercises the MXoE retransmission
+/// machinery in tests.
+///
+/// Delivery into a port is serialized at the port's line rate, so several
+/// senders blasting one receiver share its 10 Gb/s ingress — which is what
+/// makes the shared-NIC experiments (Table 2 runs several processes per
+/// node) behave like the real thing.
+class Fabric {
+ public:
+  struct Config {
+    double bandwidth_gbps = 10.0;  // line rate per port, 10G Ethernet
+    sim::Time latency = 2 * sim::kMicrosecond;  // NIC->NIC one-way
+    double drop_probability = 0.0;              // random loss injection
+    std::uint64_t seed = 0xfab51c;
+  };
+
+  Fabric(sim::Engine& eng, Config cfg);
+  Fabric(sim::Engine& eng) : Fabric(eng, Config()) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers a NIC and assigns its node id.
+  NodeId attach(Nic* nic);
+
+  /// Hands a fully-serialized frame to the fabric (called by the sending NIC
+  /// when egress serialization completes). Applies latency, loss and ingress
+  /// port sharing, then delivers to the destination NIC.
+  void transmit(Frame frame);
+
+  /// Time to clock `bytes` onto a port at line rate.
+  [[nodiscard]] sim::Time serialization_time(std::size_t wire_bytes) const;
+
+  [[nodiscard]] sim::Time latency() const noexcept { return cfg_.latency; }
+  [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  sim::Engine& eng_;
+  Config cfg_;
+  std::vector<Nic*> nics_;
+  std::vector<sim::Time> ingress_free_;  // per-port ingress availability
+  sim::Rng rng_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pinsim::net

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pinsim::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Per-frame Ethernet overhead on the wire: preamble+SFD (8), MAC header
+/// (14), FCS (4), inter-frame gap (12).
+inline constexpr std::size_t kEthernetOverhead = 38;
+
+/// Minimum Ethernet payload (frames are padded up to this on the wire).
+inline constexpr std::size_t kMinPayload = 46;
+
+/// An Ethernet frame in flight. The payload is real bytes: the MXoE layer
+/// serializes its packet headers and message data into it, so tests can
+/// verify the wire protocol end to end.
+struct Frame {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    const std::size_t body =
+        payload.size() < kMinPayload ? kMinPayload : payload.size();
+    return body + kEthernetOverhead;
+  }
+};
+
+}  // namespace pinsim::net

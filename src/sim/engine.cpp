@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pinsim::sim {
+
+Engine::EventId Engine::schedule_at(Time when, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{std::max(when, now_), seq, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  pending_seqs_.insert(seq);
+  return EventId{seq};
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id.valid() || pending_seqs_.erase(id.seq) == 0) return false;
+  cancelled_.insert(id.seq);
+  return true;
+}
+
+Engine::Entry Engine::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    Entry e = pop_top();
+    if (cancelled_.erase(e.seq) != 0) continue;  // lazily dropped
+    pending_seqs_.erase(e.seq);
+    assert(e.when >= now_ && "event queue went backwards");
+    now_ = e.when;
+    ++processed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  stopped_ = false;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(Time deadline) {
+  std::size_t n = 0;
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek the next live event without executing it.
+    while (!heap_.empty() && cancelled_.count(heap_.front().seq) != 0) {
+      Entry dead = pop_top();
+      cancelled_.erase(dead.seq);
+    }
+    if (heap_.empty() || heap_.front().when > deadline) break;
+    step();
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void Engine::rethrow_task_failures() const {
+  if (!failures_.empty()) std::rethrow_exception(failures_.front());
+}
+
+}  // namespace pinsim::sim

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace pinsim::sim {
+
+/// Discrete-event simulation engine.
+///
+/// Events are (time, sequence)-ordered: two events scheduled for the same
+/// instant fire in scheduling order, which makes every run bit-reproducible.
+/// The engine is strictly single-threaded; everything above it (memory, NIC
+/// interrupts, the Open-MX driver, MPI ranks) is a state machine or coroutine
+/// driven by these callbacks.
+class Engine {
+ public:
+  using Callback = UniqueFunction;
+
+  /// Opaque handle for cancelling a scheduled event.
+  struct EventId {
+    std::uint64_t seq = 0;
+    [[nodiscard]] constexpr bool valid() const noexcept { return seq != 0; }
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `when`. Scheduling in the past fires at
+  /// `now()` (the event still runs after the current callback returns).
+  EventId schedule_at(Time when, Callback cb);
+
+  /// Schedules `cb` `delay` nanoseconds from `now()`.
+  EventId schedule_after(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired, was already
+  /// cancelled, or `id` is invalid. Cancellation is O(1) (lazy: the slot is
+  /// skipped when popped).
+  bool cancel(EventId id);
+
+  /// Runs the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `stop()` is called. Returns the number of
+  /// events processed by this call.
+  std::size_t run();
+
+  /// Runs every event with timestamp <= `deadline`, then advances `now()` to
+  /// `deadline` (even if idle). Returns events processed.
+  std::size_t run_until(Time deadline);
+
+  /// Makes `run()`/`run_until()` return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stop_requested() const noexcept { return stopped_; }
+  void clear_stop() noexcept { stopped_ = false; }
+
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_seqs_.size();
+  }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Detached coroutines report uncaught exceptions here (see task.hpp)
+  /// instead of terminating, so tests can assert on failure paths.
+  void report_task_failure(std::exception_ptr e) { failures_.push_back(e); }
+  [[nodiscard]] const std::vector<std::exception_ptr>& task_failures()
+      const noexcept {
+    return failures_;
+  }
+
+  /// Rethrows the first recorded detached-task failure, if any. Harnesses call
+  /// this after run() so coroutine bugs surface as test failures.
+  void rethrow_task_failures() const;
+
+ private:
+  struct Entry {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+
+  // Min-heap on (when, seq). std::priority_queue cannot move the callback out
+  // of top(), so we manage the heap manually over a vector.
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+  }
+
+  Entry pop_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_seqs_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+  std::vector<std::exception_ptr> failures_;
+};
+
+}  // namespace pinsim::sim

@@ -1,0 +1,36 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace pinsim::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+constexpr const char* level_tag(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::kError:
+      return "ERR ";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kTrace:
+      return "TRC ";
+    default:
+      return "????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel lvl) noexcept { g_level = lvl; }
+
+namespace detail {
+void log_line(LogLevel lvl, Time now, std::string_view component,
+              std::string_view text) {
+  std::fprintf(stderr, "[%12.3f us] %s %-12.*s %.*s\n", to_usec(now),
+               level_tag(lvl), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(text.size()), text.data());
+}
+}  // namespace detail
+
+}  // namespace pinsim::sim

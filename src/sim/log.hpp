@@ -1,0 +1,46 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+/// Minimal leveled logger. Off by default so benchmark output stays clean;
+/// tests and examples flip the level when tracing protocol behaviour.
+namespace pinsim::sim {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kTrace = 3 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+namespace detail {
+void log_line(LogLevel lvl, Time now, std::string_view component,
+              std::string_view text);
+
+template <typename... Args>
+void log(LogLevel lvl, Time now, std::string_view component, Args&&... args) {
+  if (static_cast<int>(lvl) > static_cast<int>(log_level())) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_line(lvl, now, component, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Time now, std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kError, now, component, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_info(Time now, std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kInfo, now, component, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_trace(Time now, std::string_view component, Args&&... args) {
+  detail::log(LogLevel::kTrace, now, component, std::forward<Args>(args)...);
+}
+
+}  // namespace pinsim::sim

@@ -1,0 +1,14 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace pinsim::sim {
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  // Map (0,1]: avoid log(0) by flipping the half-open interval.
+  const double u = 1.0 - next_double();
+  return -mean * std::log(u);
+}
+
+}  // namespace pinsim::sim

@@ -1,0 +1,26 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+
+namespace pinsim::sim {
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return {y.empty() ? 0.0 : y.front(), 0.0};
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return {sy / n, 0.0};
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+}  // namespace pinsim::sim

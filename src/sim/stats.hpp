@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// Small statistics helpers shared by benchmarks and tests.
+namespace pinsim::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm); O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample collector with percentile queries (keeps all samples).
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double q) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  [[nodiscard]] double min() const {
+    return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+  }
+  [[nodiscard]] double max() const {
+    return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return xs_;
+  }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Converts (bytes, duration) into the MiB/s figures the paper plots.
+[[nodiscard]] inline double mib_per_sec(std::uint64_t bytes, Time elapsed) {
+  if (elapsed == 0) return 0.0;
+  return (static_cast<double>(bytes) / (1024.0 * 1024.0)) /
+         to_seconds(elapsed);
+}
+
+[[nodiscard]] inline double gb_per_sec(std::uint64_t bytes, Time elapsed) {
+  if (elapsed == 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e9) / to_seconds(elapsed);
+}
+
+/// Least-squares fit y = a + b*x; used to recover base/per-page pin costs the
+/// way the paper's Table 1 reports them.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+}  // namespace pinsim::sim

@@ -1,0 +1,290 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+/// C++20 coroutine layer over the event engine.
+///
+/// The Open-MX driver below stays callback/interrupt-driven (like the real
+/// kernel code), but MPI rank programs and workloads read much better as
+/// sequential coroutines: `co_await comm.send(...)`, `co_await delay(...)`.
+///
+/// `Task<T>` is lazy and single-awaiter with symmetric transfer; `spawn()`
+/// turns a `Task<void>` into a detached simulation process whose uncaught
+/// exceptions are recorded on the Engine (so tests can assert on them)
+/// rather than terminating.
+namespace pinsim::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+    return {};
+  }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazy coroutine task. The frame is owned by the Task object; awaiting it
+/// starts it and resumes the awaiter when it completes.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.error) std::rethrow_exception(p.error);
+        assert(p.value && "task finished without a value");
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept {
+    return static_cast<bool>(handle_);
+  }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class TaskTestPeer;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+/// Self-destroying root coroutine used by spawn(). Uncaught exceptions from
+/// the spawned task are reported to the engine.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    [[nodiscard]] std::suspend_always initial_suspend() const noexcept {
+      return {};
+    }
+    [[nodiscard]] std::suspend_never final_suspend() const noexcept {
+      return {};
+    }
+    void return_void() const noexcept {}
+    [[noreturn]] void unhandled_exception() const noexcept {
+      // detached_runner catches everything; reaching this is a logic error.
+      std::terminate();
+    }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+inline Detached detached_runner(Engine& eng, Task<void> t) {
+  try {
+    co_await std::move(t);
+  } catch (...) {
+    eng.report_task_failure(std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+/// Launches `t` as a detached simulation process. The task starts at the
+/// current simulated time, on the next engine dispatch (never synchronously
+/// inside the caller).
+inline void spawn(Engine& eng, Task<void> t) {
+  auto runner = detail::detached_runner(eng, std::move(t));
+  eng.schedule_after(0, [h = runner.handle] { h.resume(); });
+}
+
+/// Awaitable pause for `d` simulated nanoseconds. Always suspends (a zero
+/// delay still yields through the event queue, preserving FIFO fairness).
+struct DelayAwaiter {
+  Engine& eng;
+  Time d;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    eng.schedule_after(d, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Engine& eng, Time d) {
+  return DelayAwaiter{eng, d};
+}
+
+/// One-shot broadcast event: waiters suspend until open() is called; waiting
+/// on an already-open gate does not suspend. Resumptions go through the event
+/// queue at the current time (never synchronously inside open()).
+class Gate {
+ public:
+  explicit Gate(Engine& eng) : eng_(&eng) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto h : waiters_) {
+      eng_->schedule_after(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Gate& g;
+      [[nodiscard]] bool await_ready() const noexcept { return g.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        g.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* eng_;
+  bool open_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: wait() releases once count_down() has been called
+/// `count` times. Used to join fleets of rank coroutines.
+class Latch {
+ public:
+  Latch(Engine& eng, std::size_t count) : gate_(eng), remaining_(count) {
+    if (remaining_ == 0) gate_.open();
+  }
+
+  void count_down() {
+    assert(remaining_ > 0 && "latch underflow");
+    if (--remaining_ == 0) gate_.open();
+  }
+
+  [[nodiscard]] auto wait() { return gate_.wait(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+
+ private:
+  Gate gate_;
+  std::size_t remaining_;
+};
+
+}  // namespace pinsim::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+/// Simulated time. The whole simulator counts in integer nanoseconds from the
+/// start of the run; 64 bits give ~584 years of simulated time, far beyond any
+/// experiment here.
+namespace pinsim::sim {
+
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point duration to integer nanoseconds (round to
+/// nearest). Negative inputs clamp to zero: the engine never travels back in
+/// time.
+[[nodiscard]] constexpr Time from_seconds(double s) noexcept {
+  if (s <= 0.0) return 0;
+  return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+[[nodiscard]] constexpr Time from_usec(double us) noexcept {
+  if (us <= 0.0) return 0;
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+[[nodiscard]] constexpr double to_usec(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+}  // namespace pinsim::sim

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace pinsim::sim {
+
+/// One traced event: what happened, when, and where.
+struct TraceRecord {
+  Time time = 0;
+  std::string category;  // dotted, e.g. "pkt.rx", "pin.commit"
+  std::string detail;
+};
+
+/// Bounded structured trace of simulation events.
+///
+/// Debugging a pinning/protocol interleaving from printf output is
+/// miserable; attach a Tracer to a Driver (see Driver::set_tracer) and the
+/// stack records packet arrivals/departures, pin progress, invalidations
+/// and overlap misses with simulated timestamps. The buffer is a ring: old
+/// records fall off, `dropped()` says how many.
+class Tracer {
+ public:
+  explicit Tracer(Engine& eng, std::size_t capacity = 65536)
+      : eng_(eng), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void record(std::string category, std::string detail) {
+    if (records_.size() == capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(
+        TraceRecord{eng_.now(), std::move(category), std::move(detail)});
+  }
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+
+  /// Records whose category starts with `prefix`, in time order.
+  [[nodiscard]] std::vector<const TraceRecord*> filter(
+      std::string_view prefix) const {
+    std::vector<const TraceRecord*> out;
+    for (const auto& r : records_) {
+      if (r.category.size() >= prefix.size() &&
+          std::string_view(r.category).substr(0, prefix.size()) == prefix) {
+        out.push_back(&r);
+      }
+    }
+    return out;
+  }
+
+  /// Index of the first record matching (category prefix, detail substring),
+  /// or npos. Lets tests assert event ordering.
+  [[nodiscard]] std::size_t find_first(std::string_view category_prefix,
+                                       std::string_view detail_part = "") const {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const auto& r = records_[i];
+      if (r.category.size() >= category_prefix.size() &&
+          std::string_view(r.category).substr(0, category_prefix.size()) ==
+              category_prefix &&
+          r.detail.find(detail_part) != std::string::npos) {
+        return i;
+      }
+    }
+    return static_cast<std::size_t>(-1);
+  }
+
+  void dump(std::ostream& os) const {
+    for (const auto& r : records_) {
+      os << '[' << to_usec(r.time) << "us] " << r.category << ' ' << r.detail
+         << '\n';
+    }
+  }
+
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  Engine& eng_;
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace pinsim::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace pinsim::sim {
+
+/// Move-only type-erased callable, `void()` signature.
+///
+/// The event queue stores continuations that own move-only state (coroutine
+/// handles, frame payloads, unique_ptrs), which `std::function` cannot hold
+/// because it requires copy-constructibility. `std::move_only_function` is
+/// C++23; this is the minimal C++20 equivalent the engine needs.
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return impl_ != nullptr;
+  }
+
+  void operator()() { impl_->invoke(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void invoke() = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F&& f) : fn(std::move(f)) {}
+    explicit Model(const F& f) : fn(f) {}
+    void invoke() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace pinsim::sim

@@ -1,0 +1,218 @@
+#include "workloads/imb.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/stats.hpp"
+
+namespace pinsim::workloads {
+
+ImbSuite::ImbSuite(mpi::Communicator& comm, Config cfg)
+    : comm_(comm), cfg_(cfg), bufs_(static_cast<std::size_t>(comm.size())) {
+  if (cfg_.buffer_rotation == 0) {
+    throw std::invalid_argument("buffer_rotation must be >= 1");
+  }
+}
+
+ImbSuite::~ImbSuite() = default;
+
+void ImbSuite::reserve(std::size_t send_cap, std::size_t recv_cap) {
+  for (int r = 0; r < comm_.size(); ++r) {
+    auto& b = bufs_[static_cast<std::size_t>(r)];
+    const std::size_t cap = std::max(send_cap, recv_cap);
+    if (b.capacity >= cap && !b.send.empty()) continue;
+    auto& p = comm_.process(r);
+    // IMB allocates once at the maximum size and keeps reusing the buffer.
+    b.send.clear();
+    b.recv.clear();
+    for (std::size_t i = 0; i < cfg_.buffer_rotation; ++i) {
+      const auto s = p.heap.malloc(cap);
+      const auto d = p.heap.malloc(cap);
+      p.as.fill(s, cap, std::byte{0x5c});
+      p.as.fill(d, cap, std::byte{0});
+      b.send.push_back(s);
+      b.recv.push_back(d);
+    }
+    b.capacity = cap;
+  }
+}
+
+mem::VirtAddr ImbSuite::sbuf(int rank, int iter) const {
+  const auto& b = bufs_[static_cast<std::size_t>(rank)];
+  return b.send[static_cast<std::size_t>(iter) % b.send.size()];
+}
+
+mem::VirtAddr ImbSuite::rbuf(int rank, int iter) const {
+  const auto& b = bufs_[static_cast<std::size_t>(rank)];
+  return b.recv[static_cast<std::size_t>(iter) % b.recv.size()];
+}
+
+ImbSuite::Result ImbSuite::measure(
+    const std::string& name, std::size_t bytes,
+    const std::function<sim::Task<>(int, int)>& iter_body,
+    double throughput_factor) {
+  auto& eng = comm_.process(0).ep.driver().engine();
+  const int n = comm_.size();
+
+  // Warmup (untimed): faults buffers in, fills caches where enabled.
+  mpi::run_ranks(eng, n, [&](int me) -> sim::Task<> {
+    co_await comm_.barrier(me);
+    for (int w = 0; w < cfg_.warmup; ++w) co_await iter_body(me, w);
+  });
+
+  const sim::Time elapsed =
+      mpi::run_ranks(eng, n, [&](int me) -> sim::Task<> {
+        for (int i = 0; i < cfg_.iterations; ++i) {
+          co_await iter_body(me, cfg_.warmup + i);
+        }
+      });
+
+  Result res;
+  res.benchmark = name;
+  res.bytes = bytes;
+  res.avg_usec = sim::to_usec(elapsed) / cfg_.iterations;
+  if (throughput_factor > 0.0 && elapsed > 0) {
+    const double per_iter = static_cast<double>(elapsed) /
+                            static_cast<double>(cfg_.iterations);
+    res.mib_per_sec = throughput_factor * static_cast<double>(bytes) /
+                      (1024.0 * 1024.0) /
+                      (per_iter / static_cast<double>(sim::kSecond));
+  }
+  return res;
+}
+
+ImbSuite::Result ImbSuite::pingpong(std::size_t bytes) {
+  assert(comm_.size() >= 2);
+  reserve(bytes, bytes);
+  return measure(
+      "PingPong", bytes,
+      [this, bytes](int me, int iter) -> sim::Task<> {
+        if (me == 0) {
+          (void)co_await comm_.send(0, 1, 100, sbuf(0, iter), bytes);
+          (void)co_await comm_.recv(0, 1, 101, rbuf(0, iter), bytes);
+        } else if (me == 1) {
+          (void)co_await comm_.recv(1, 0, 100, rbuf(1, iter), bytes);
+          (void)co_await comm_.send(1, 0, 101, sbuf(1, iter), bytes);
+        }
+        co_return;
+      },
+      /*throughput_factor: bytes/(t/2)*/ 2.0);
+}
+
+ImbSuite::Result ImbSuite::sendrecv(std::size_t bytes) {
+  reserve(bytes, bytes);
+  const int n = comm_.size();
+  return measure(
+      "SendRecv", bytes,
+      [this, bytes, n](int me, int iter) -> sim::Task<> {
+        const int right = (me + 1) % n;
+        const int left = (me - 1 + n) % n;
+        co_await comm_.sendrecv(me, right, sbuf(me, iter), bytes, left,
+                                rbuf(me, iter), bytes, 102);
+      },
+      2.0);
+}
+
+ImbSuite::Result ImbSuite::exchange(std::size_t bytes) {
+  reserve(bytes, 2 * bytes);
+  const int n = comm_.size();
+  return measure(
+      "Exchange", bytes,
+      [this, bytes, n](int me, int iter) -> sim::Task<> {
+        const int right = (me + 1) % n;
+        const int left = (me - 1 + n) % n;
+        auto r1 = comm_.irecv(me, left, 103, rbuf(me, iter), bytes);
+        auto r2 = comm_.irecv(me, right, 104, rbuf(me, iter) + bytes, bytes);
+        auto s1 = comm_.isend(me, right, 103, sbuf(me, iter), bytes);
+        auto s2 = comm_.isend(me, left, 104, sbuf(me, iter), bytes);
+        co_await s1->wait();
+        co_await s2->wait();
+        co_await r1->wait();
+        co_await r2->wait();
+      },
+      4.0);
+}
+
+ImbSuite::Result ImbSuite::allgatherv(std::size_t bytes) {
+  const auto n = static_cast<std::size_t>(comm_.size());
+  reserve(bytes, n * bytes);
+  std::vector<std::size_t> counts(n, bytes);
+  std::vector<std::size_t> displs(n);
+  for (std::size_t i = 0; i < n; ++i) displs[i] = i * bytes;
+  return measure(
+      "Allgatherv", bytes,
+      [this, counts, displs](int me, int iter) -> sim::Task<> {
+        co_await comm_.allgatherv(me, sbuf(me, iter), rbuf(me, iter), counts,
+                                  displs);
+      },
+      0.0);
+}
+
+ImbSuite::Result ImbSuite::bcast(std::size_t bytes) {
+  reserve(bytes, bytes);
+  return measure(
+      "Bcast", bytes,
+      [this, bytes](int me, int iter) -> sim::Task<> {
+        co_await comm_.bcast(me, 0, sbuf(me, iter), bytes);
+      },
+      0.0);
+}
+
+ImbSuite::Result ImbSuite::reduce(std::size_t bytes) {
+  reserve(bytes, bytes);
+  const std::size_t count = bytes / 4;
+  return measure(
+      "Reduce", bytes,
+      [this, count](int me, int iter) -> sim::Task<> {
+        co_await comm_.reduce(me, 0, sbuf(me, iter), rbuf(me, iter), count,
+                              mpi::Datatype::kFloat, mpi::Op::kSum);
+      },
+      0.0);
+}
+
+ImbSuite::Result ImbSuite::allreduce(std::size_t bytes) {
+  reserve(bytes, bytes);
+  const std::size_t count = bytes / 4;
+  return measure(
+      "Allreduce", bytes,
+      [this, count](int me, int iter) -> sim::Task<> {
+        co_await comm_.allreduce(me, sbuf(me, iter), rbuf(me, iter), count,
+                                 mpi::Datatype::kFloat, mpi::Op::kSum);
+      },
+      0.0);
+}
+
+ImbSuite::Result ImbSuite::reduce_scatter(std::size_t bytes) {
+  const auto n = static_cast<std::size_t>(comm_.size());
+  reserve(bytes, bytes);
+  const std::size_t count_per_rank = bytes / 4 / n;
+  return measure(
+      "Reduce_scatter", bytes,
+      [this, count_per_rank](int me, int iter) -> sim::Task<> {
+        co_await comm_.reduce_scatter(me, sbuf(me, iter), rbuf(me, iter),
+                                      count_per_rank, mpi::Datatype::kFloat,
+                                      mpi::Op::kSum);
+      },
+      0.0);
+}
+
+const std::vector<std::string>& ImbSuite::benchmark_names() {
+  static const std::vector<std::string> names = {
+      "PingPong", "SendRecv",  "Allgatherv",     "Bcast",
+      "Reduce",   "Allreduce", "Reduce_scatter", "Exchange"};
+  return names;
+}
+
+ImbSuite::Result ImbSuite::run(const std::string& name, std::size_t bytes) {
+  if (name == "PingPong") return pingpong(bytes);
+  if (name == "SendRecv") return sendrecv(bytes);
+  if (name == "Allgatherv") return allgatherv(bytes);
+  if (name == "Bcast") return bcast(bytes);
+  if (name == "Reduce") return reduce(bytes);
+  if (name == "Allreduce") return allreduce(bytes);
+  if (name == "Reduce_scatter") return reduce_scatter(bytes);
+  if (name == "Exchange") return exchange(bytes);
+  throw std::invalid_argument("unknown IMB benchmark: " + name);
+}
+
+}  // namespace pinsim::workloads

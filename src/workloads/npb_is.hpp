@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mpi/communicator.hpp"
+#include "sim/time.hpp"
+
+namespace pinsim::workloads {
+
+/// NPB IS-like parallel integer sort: the large-message-intensive NAS kernel
+/// the paper reports in Table 2 (is.C.4). A real bucket sort runs over real
+/// keys — histogram, allreduce of bucket counts, alltoallv of the keys
+/// (the large messages that make IS benefit from pinning optimizations),
+/// local sort, and a cross-rank verification like NPB's full_verify.
+///
+/// The problem size is scaled down from class C (2^27 keys) to fit the
+/// simulator's default memory; the communication pattern and the
+/// message-size regime (MBs per rank pair) are preserved.
+struct IsConfig {
+  std::size_t total_keys = std::size_t{1} << 22;  // class C is 1<<27
+  std::uint32_t max_key = 1u << 19;
+  int iterations = 10;
+  std::uint64_t seed = 314159;
+};
+
+struct IsResult {
+  sim::Time elapsed = 0;  // the timed iteration loop only
+  bool verified = false;  // keys globally sorted, none lost
+  std::size_t total_keys = 0;
+  int iterations = 0;
+};
+
+[[nodiscard]] IsResult run_is(mpi::Communicator& comm, const IsConfig& cfg);
+
+}  // namespace pinsim::workloads

@@ -1,0 +1,162 @@
+#include "workloads/stencil.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace pinsim::workloads {
+
+namespace {
+
+std::vector<double> read_doubles(core::Host::Process& p, mem::VirtAddr a,
+                                 std::size_t count) {
+  std::vector<std::byte> raw(count * 8);
+  p.as.read(a, raw);
+  std::vector<double> v(count);
+  std::memcpy(v.data(), raw.data(), raw.size());
+  return v;
+}
+
+void write_doubles(core::Host::Process& p, mem::VirtAddr a,
+                   const std::vector<double>& v) {
+  std::vector<std::byte> raw(v.size() * 8);
+  std::memcpy(raw.data(), v.data(), raw.size());
+  p.as.write(a, raw);
+}
+
+/// Serial reference: the same Jacobi sweep over the whole grid.
+std::vector<double> reference(std::vector<double> grid, std::size_t nx,
+                              std::size_t ny, int iterations) {
+  std::vector<double> next(grid.size());
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double up = y > 0 ? grid[(y - 1) * nx + x] : 0.0;
+        const double down = y + 1 < ny ? grid[(y + 1) * nx + x] : 0.0;
+        const double left = x > 0 ? grid[y * nx + x - 1] : 0.0;
+        const double right = x + 1 < nx ? grid[y * nx + x + 1] : 0.0;
+        next[y * nx + x] = 0.25 * (up + down + left + right);
+      }
+    }
+    grid.swap(next);
+  }
+  return grid;
+}
+
+}  // namespace
+
+StencilResult run_stencil(mpi::Communicator& comm, const StencilConfig& cfg) {
+  const int n = comm.size();
+  const std::size_t nx = cfg.nx;
+  const std::size_t local_rows = cfg.rows_per_rank;
+  const std::size_t ny = local_rows * static_cast<std::size_t>(n);
+  const std::size_t row_bytes = nx * 8;
+  if (local_rows < 1 || nx < 2) throw std::invalid_argument("grid too small");
+
+  // Initial grid, shared with the serial reference.
+  sim::Rng rng(cfg.seed);
+  std::vector<double> init(nx * ny);
+  for (auto& v : init) v = static_cast<double>(rng.next_below(1000)) / 10.0;
+
+  // Per-rank slabs: local_rows + 2 ghost rows (top, bottom).
+  struct RankData {
+    mem::VirtAddr slab = 0;  // (local_rows + 2) * nx doubles
+    mem::VirtAddr next = 0;  // scratch slab, same layout
+  };
+  std::vector<RankData> data(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& d = data[static_cast<std::size_t>(r)];
+    auto& p = comm.process(r);
+    d.slab = p.heap.malloc((local_rows + 2) * row_bytes);
+    d.next = p.heap.malloc((local_rows + 2) * row_bytes);
+    // Interior rows come from the shared initial grid; ghosts start zero.
+    std::vector<double> rows(init.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     static_cast<std::size_t>(r) * local_rows * nx),
+                             init.begin() +
+                                 static_cast<std::ptrdiff_t>(
+                                     (static_cast<std::size_t>(r) + 1) *
+                                     local_rows * nx));
+    write_doubles(p, d.slab + row_bytes, rows);
+    p.as.fill(d.slab, row_bytes, std::byte{0});
+    p.as.fill(d.slab + (local_rows + 1) * row_bytes, row_bytes, std::byte{0});
+  }
+
+  auto& eng = comm.process(0).ep.driver().engine();
+
+  auto iteration = [&](int me) -> sim::Task<> {
+    auto& d = data[static_cast<std::size_t>(me)];
+    auto& p = comm.process(me);
+    const int up = me - 1;
+    const int down = me + 1;
+
+    // Halo exchange: send my first interior row up, last interior row down;
+    // receive into the ghost rows. Blocking sendrecv per direction.
+    std::vector<core::RequestPtr> reqs;
+    if (up >= 0) {
+      reqs.push_back(comm.irecv(me, up, 11, d.slab, row_bytes));
+      reqs.push_back(comm.isend(me, up, 12, d.slab + row_bytes, row_bytes));
+    }
+    if (down < comm.size()) {
+      reqs.push_back(comm.irecv(me, down, 12,
+                                d.slab + (local_rows + 1) * row_bytes,
+                                row_bytes));
+      reqs.push_back(
+          comm.isend(me, down, 11, d.slab + local_rows * row_bytes, row_bytes));
+    }
+    for (auto& r : reqs) co_await r->wait();
+
+    // Jacobi sweep over the interior, honouring global boundary rows.
+    auto cur = read_doubles(p, d.slab, (local_rows + 2) * nx);
+    std::vector<double> nxt((local_rows + 2) * nx, 0.0);
+    const std::size_t global_base =
+        static_cast<std::size_t>(me) * local_rows;  // global row of slab row 1
+    for (std::size_t ly = 1; ly <= local_rows; ++ly) {
+      const std::size_t gy = global_base + ly - 1;
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double up_v = gy > 0 ? cur[(ly - 1) * nx + x] : 0.0;
+        const double down_v =
+            gy + 1 < local_rows * static_cast<std::size_t>(comm.size())
+                ? cur[(ly + 1) * nx + x]
+                : 0.0;
+        const double left = x > 0 ? cur[ly * nx + x - 1] : 0.0;
+        const double right = x + 1 < nx ? cur[ly * nx + x + 1] : 0.0;
+        nxt[ly * nx + x] = 0.25 * (up_v + down_v + left + right);
+      }
+    }
+    write_doubles(p, d.next, nxt);
+    std::swap(d.slab, d.next);
+    // 5-point stencil: ~5 reads + 1 write per cell, memory bound.
+    co_await comm.compute(me, 3 * local_rows * row_bytes / 2);
+  };
+
+  // Warmup barrier only (the stencil has no separate warmup semantics).
+  StencilResult result;
+  result.elapsed = mpi::run_ranks(eng, n, [&](int me) -> sim::Task<> {
+    co_await comm.barrier(me);
+    for (int it = 0; it < cfg.iterations; ++it) co_await iteration(me);
+  });
+
+  // Verify against the serial reference.
+  const auto expect = reference(init, nx, ny, cfg.iterations);
+  bool ok = true;
+  double checksum = 0.0;
+  for (int r = 0; r < n; ++r) {
+    auto& d = data[static_cast<std::size_t>(r)];
+    auto got = read_doubles(comm.process(r), d.slab + row_bytes,
+                            local_rows * nx);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const std::size_t gidx =
+          static_cast<std::size_t>(r) * local_rows * nx + i;
+      if (got[i] != expect[gidx]) ok = false;
+      checksum += got[i];
+    }
+  }
+  result.verified = ok;
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace pinsim::workloads

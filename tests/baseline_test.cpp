@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "baseline/pipelined.hpp"
+#include "baseline/userspace_regcache.hpp"
+#include "core/host.hpp"
+#include "mem/malloc_sim.hpp"
+#include "mem/physical_memory.hpp"
+
+namespace pinsim::baseline {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+class RegCacheTest : public ::testing::Test {
+ protected:
+  RegCacheTest() : pm_(2048), as_(pm_), heap_(as_) {}
+  mem::PhysicalMemory pm_;
+  mem::AddressSpace as_;
+  mem::MallocSim heap_;
+};
+
+TEST_F(RegCacheTest, CachesRegistrationsAcrossUses) {
+  UserspaceRegCache cache(as_);
+  const auto p = heap_.malloc(256 * 1024);
+  auto f1 = cache.get(p, 256 * 1024);
+  auto f2 = cache.get(p, 256 * 1024);
+  EXPECT_EQ(f1.data(), f2.data());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(RegCacheTest, WorkingInterceptionStaysCorrect) {
+  UserspaceRegCache cache(as_);
+  HookedHeap hooked(heap_, cache, /*hooks_active=*/true);
+
+  const auto p = hooked.malloc(256 * 1024);
+  as_.write(p, bytes_of("GENERATION-1"));
+  (void)cache.get(p, 256 * 1024);
+  hooked.free(p);  // hook invalidates the entry
+  EXPECT_EQ(cache.stats().hook_invalidations, 1u);
+
+  const auto q = hooked.malloc(256 * 1024);
+  ASSERT_EQ(q, p);  // same address reused
+  as_.write(q, bytes_of("GENERATION-2"));
+  auto frames = cache.get(q, 256 * 1024);  // re-registers: fresh frames
+  std::vector<std::byte> wire(12);
+  cache.dma_read(frames, 0, wire);
+  EXPECT_EQ(0, std::memcmp(wire.data(), "GENERATION-2", 12));
+}
+
+TEST_F(RegCacheTest, BrokenInterceptionServesStaleData) {
+  // The paper's §2.1/§5 correctness hazard, reproduced: static linking or a
+  // custom allocator means free() is never seen by the cache.
+  UserspaceRegCache cache(as_);
+  HookedHeap unhooked(heap_, cache, /*hooks_active=*/false);
+
+  const auto p = unhooked.malloc(256 * 1024);
+  as_.write(p, bytes_of("GENERATION-1"));
+  (void)cache.get(p, 256 * 1024);
+  unhooked.free(p);  // cache never hears about this
+  EXPECT_EQ(cache.stats().hook_calls, 0u);
+
+  const auto q = unhooked.malloc(256 * 1024);
+  ASSERT_EQ(q, p);
+  as_.write(q, bytes_of("GENERATION-2"));
+  auto frames = cache.get(q, 256 * 1024);  // HIT on the stale entry
+  EXPECT_EQ(cache.stats().hits, 1u);
+  std::vector<std::byte> wire(12);
+  cache.dma_read(frames, 0, wire);
+  // Silent corruption: the wire sees generation-1 while the application
+  // wrote generation-2.
+  EXPECT_EQ(0, std::memcmp(wire.data(), "GENERATION-1", 12));
+  std::vector<std::byte> app(12);
+  as_.read(q, app);
+  EXPECT_EQ(0, std::memcmp(app.data(), "GENERATION-2", 12));
+}
+
+TEST_F(RegCacheTest, HooksFireOnEveryTinyFree) {
+  // §5: "these malloc hooks are called for every deallocation, even for
+  // very small buffers that have nothing to do with communication."
+  UserspaceRegCache cache(as_);
+  HookedHeap hooked(heap_, cache, /*hooks_active=*/true);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = hooked.malloc(64);
+    hooked.free(p);
+  }
+  EXPECT_EQ(cache.stats().hook_calls, 100u);
+  EXPECT_EQ(cache.stats().hook_invalidations, 0u);  // all useless work
+}
+
+TEST_F(RegCacheTest, LruEvictionReleasesPins) {
+  UserspaceRegCache::Config cfg;
+  cfg.capacity = 2;
+  UserspaceRegCache cache(as_, cfg);
+  const auto a = heap_.malloc(64 * 1024);
+  const auto b = heap_.malloc(64 * 1024);
+  const auto c = heap_.malloc(64 * 1024);
+  (void)cache.get(a, 64 * 1024);
+  (void)cache.get(b, 64 * 1024);
+  EXPECT_EQ(pm_.pinned_pages(), 32u);
+  (void)cache.get(c, 64 * 1024);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(pm_.pinned_pages(), 32u);  // still 2 entries' worth
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(RegCacheTest, InvalidateAllDropsEverything) {
+  UserspaceRegCache cache(as_);
+  const auto a = heap_.malloc(64 * 1024);
+  (void)cache.get(a, 64 * 1024);
+  cache.invalidate_all();
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- chunked (pipelined registration) transfers ------------------------------
+
+class PipelinedTest : public ::testing::Test {
+ protected:
+  void build(core::StackConfig stack) {
+    fabric_ = std::make_unique<net::Fabric>(eng_);
+    core::Host::Config hc;
+    hc.memory_frames = 16384;
+    a_ = std::make_unique<core::Host>(eng_, *fabric_, hc, stack);
+    b_ = std::make_unique<core::Host>(eng_, *fabric_, hc, stack);
+    pa_ = &a_->spawn_process();
+    pb_ = &b_->spawn_process();
+  }
+
+  sim::Engine eng_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<core::Host> a_, b_;
+  core::Host::Process* pa_ = nullptr;
+  core::Host::Process* pb_ = nullptr;
+};
+
+TEST_F(PipelinedTest, ChunkedTransferDeliversIntactData) {
+  build(core::regular_pinning_config());
+  const std::size_t len = 1024 * 1024;
+  const auto src = pa_->heap.malloc(len);
+  const auto dst = pb_->heap.malloc(len);
+  std::vector<std::byte> pattern(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    pattern[i] = static_cast<std::byte>(i * 31 % 253);
+  }
+  pa_->as.write(src, pattern);
+
+  core::Status s_st, r_st;
+  sim::spawn(eng_, [](core::Library& lib, core::EndpointAddr to,
+                      mem::VirtAddr buf, std::size_t n,
+                      core::Status& out) -> sim::Task<> {
+    out = co_await chunked_send(lib, to, 500, buf, n, 128 * 1024);
+  }(pa_->lib, pb_->addr(), src, len, s_st));
+  sim::spawn(eng_, [](core::Library& lib, mem::VirtAddr buf, std::size_t n,
+                      core::Status& out) -> sim::Task<> {
+    out = co_await chunked_recv(lib, 500, buf, n, 128 * 1024);
+  }(pb_->lib, dst, len, r_st));
+  eng_.run();
+  eng_.rethrow_task_failures();
+  EXPECT_TRUE(s_st.ok);
+  EXPECT_TRUE(r_st.ok);
+  std::vector<std::byte> got(len);
+  pb_->as.read(dst, got);
+  EXPECT_EQ(got, pattern);
+}
+
+/// Standalone two-host rig with its own engine, so timing comparisons start
+/// from a clean clock.
+struct Rig {
+  explicit Rig(core::StackConfig stack) {
+    fabric = std::make_unique<net::Fabric>(eng);
+    core::Host::Config hc;
+    hc.memory_frames = 16384;
+    a = std::make_unique<core::Host>(eng, *fabric, hc, stack);
+    b = std::make_unique<core::Host>(eng, *fabric, hc, stack);
+    pa = &a->spawn_process();
+    pb = &b->spawn_process();
+  }
+  sim::Engine eng;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<core::Host> a, b;
+  core::Host::Process* pa = nullptr;
+  core::Host::Process* pb = nullptr;
+};
+
+TEST_F(PipelinedTest, DriverOverlapBeatsChunkedPipeline) {
+  // §5's comparison: chunking pays per-chunk rendezvous and puts the first
+  // chunk's pin on the critical path; driver-level overlap sends the whole
+  // message at once.
+  const std::size_t len = 8 * 1024 * 1024;
+
+  Rig chunked(core::regular_pinning_config());
+  {
+    const auto src = chunked.pa->heap.malloc(len);
+    const auto dst = chunked.pb->heap.malloc(len);
+    sim::spawn(chunked.eng, [](core::Library& lib, core::EndpointAddr to,
+                               mem::VirtAddr buf, std::size_t n) -> sim::Task<> {
+      (void)co_await chunked_send(lib, to, 500, buf, n, 256 * 1024);
+    }(chunked.pa->lib, chunked.pb->addr(), src, len));
+    sim::spawn(chunked.eng, [](core::Library& lib, mem::VirtAddr buf,
+                               std::size_t n) -> sim::Task<> {
+      (void)co_await chunked_recv(lib, 500, buf, n, 256 * 1024);
+    }(chunked.pb->lib, dst, len));
+    chunked.eng.run();
+    chunked.eng.rethrow_task_failures();
+  }
+
+  Rig overlapped(core::overlapped_pinning_config());
+  {
+    const auto src = overlapped.pa->heap.malloc(len);
+    const auto dst = overlapped.pb->heap.malloc(len);
+    sim::spawn(overlapped.eng,
+               [](core::Library& lib, core::EndpointAddr to, mem::VirtAddr buf,
+                  std::size_t n) -> sim::Task<> {
+                 (void)co_await lib.send(to, 500, buf, n);
+               }(overlapped.pa->lib, overlapped.pb->addr(), src, len));
+    sim::spawn(overlapped.eng, [](core::Library& lib, mem::VirtAddr buf,
+                                  std::size_t n) -> sim::Task<> {
+      (void)co_await lib.recv(500, ~std::uint64_t{0}, buf, n);
+    }(overlapped.pb->lib, dst, len));
+    overlapped.eng.run();
+    overlapped.eng.rethrow_task_failures();
+  }
+
+  EXPECT_LT(overlapped.eng.now(), chunked.eng.now());
+}
+
+TEST_F(PipelinedTest, ZeroChunkRejected) {
+  build(core::regular_pinning_config());
+  EXPECT_THROW(
+      { auto t = chunked_send(pa_->lib, pb_->addr(), 1, 0, 100, 0); },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pinsim::baseline

@@ -1,0 +1,363 @@
+#include "core/pin_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "cpu/cpu_model.hpp"
+#include "mem/physical_memory.hpp"
+#include "sim/engine.hpp"
+
+namespace pinsim::core {
+namespace {
+
+class PinManagerTest : public ::testing::Test {
+ protected:
+  PinManagerTest() : pm_(4096), as_(pm_), core_(eng_, "cpu0") {}
+
+  PinManager make(PinningConfig cfg) {
+    return PinManager(eng_, core_, cpu::xeon_e5460(), cfg, counters_);
+  }
+
+  Region make_region(std::size_t bytes, RegionId id = 1) {
+    const auto addr = as_.mmap(bytes);
+    return Region(id, as_, {Segment{addr, bytes}});
+  }
+
+  sim::Engine eng_;
+  mem::PhysicalMemory pm_;
+  mem::AddressSpace as_;
+  cpu::Core core_;
+  Counters counters_;
+};
+
+TEST_F(PinManagerTest, SynchronousPinCompletesAfterTable1Cost) {
+  PinningConfig cfg;  // on-demand, not overlapped
+  auto mgr = make(cfg);
+  Region r = make_region(64 * 4096);
+  mgr.register_region(r);
+
+  bool done = false;
+  sim::Time done_at = 0;
+  mgr.ensure_pinned(r, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done = true;
+    done_at = eng_.now();
+  });
+  EXPECT_FALSE(done);  // cost must elapse first
+  eng_.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(pm_.pinned_pages(), 64u);
+  // 60% of base + 64 pages * 60% of 150ns, quantized in one chunk.
+  EXPECT_EQ(done_at, cpu::xeon_e5460().pin_cost(64));
+  EXPECT_EQ(counters_.pin_ops, 1u);
+  EXPECT_EQ(counters_.pages_pinned, 64u);
+  mgr.unregister_region(r);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+}
+
+TEST_F(PinManagerTest, AlreadyPinnedCompletesSynchronously) {
+  auto mgr = make({});
+  Region r = make_region(4 * 4096);
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+  eng_.run();
+  bool done = false;
+  mgr.ensure_pinned(r, [&](bool ok) { done = ok; });
+  EXPECT_TRUE(done);  // no waiting: the cache-hit fast path
+  EXPECT_EQ(counters_.pin_ops, 1u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, OverlappedReleasesImmediatelyAndPinsInBackground) {
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.pin_chunk_pages = 16;
+  auto mgr = make(cfg);
+  Region r = make_region(128 * 4096);
+  mgr.register_region(r);
+
+  bool released = false;
+  mgr.ensure_pinned(r, [&](bool ok) { released = ok; });
+  EXPECT_TRUE(released);          // communication may start now
+  EXPECT_FALSE(r.fully_pinned());  // but pinning continues behind it
+  eng_.run();
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(pm_.pinned_pages(), 128u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, OverlappedFrontierAdvancesInOrder) {
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.pin_chunk_pages = 8;
+  auto mgr = make(cfg);
+  Region r = make_region(32 * 4096);
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+
+  std::vector<std::size_t> frontier_history;
+  while (eng_.step()) frontier_history.push_back(r.pinned_pages());
+  for (std::size_t i = 1; i < frontier_history.size(); ++i) {
+    EXPECT_GE(frontier_history[i], frontier_history[i - 1]);
+  }
+  EXPECT_TRUE(r.fully_pinned());
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, SyncPrepinPagesDelayEarlyRelease) {
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.sync_prepin_pages = 8;
+  cfg.pin_chunk_pages = 8;
+  auto mgr = make(cfg);
+  Region r = make_region(64 * 4096);
+  mgr.register_region(r);
+
+  std::size_t pinned_at_release = 0;
+  bool released = false;
+  mgr.ensure_pinned(r, [&](bool) {
+    released = true;
+    pinned_at_release = r.pinned_pages();
+  });
+  EXPECT_FALSE(released);  // must wait for the first 8 pages
+  eng_.run();
+  EXPECT_TRUE(released);
+  EXPECT_GE(pinned_at_release, 8u);
+  EXPECT_LT(pinned_at_release, 64u);  // but did not wait for the whole region
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, ConcurrentWaitersShareOnePinPass) {
+  auto mgr = make({});
+  Region r = make_region(16 * 4096);
+  mgr.register_region(r);
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    mgr.ensure_pinned(r, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      ++completions;
+    });
+  }
+  eng_.run();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(counters_.pin_ops, 1u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, InvalidSegmentFailsAtPinTimeNotDeclareTime) {
+  auto mgr = make({});
+  // Declare succeeds for a region the process never mapped (paper §3.1).
+  Region r(1, as_, {Segment{0x900000000000ULL, 8 * 4096}});
+  mgr.register_region(r);
+  bool ok = true;
+  mgr.ensure_pinned(r, [&](bool o) { ok = o; });
+  eng_.run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  EXPECT_EQ(counters_.pin_failures, 1u);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);  // partial pins rolled back
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, FailureHandlerFiresForOverlappedFailure) {
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  auto mgr = make(cfg);
+  const auto addr = as_.mmap(4 * 4096);
+  as_.munmap(addr + 2 * 4096, 2 * 4096);  // second half invalid
+  Region r(1, as_, {Segment{addr, 4 * 4096}});
+  mgr.register_region(r);
+
+  Region* failed = nullptr;
+  mgr.set_failure_handler([&](Region& reg) { failed = &reg; });
+  bool released = false;
+  mgr.ensure_pinned(r, [&](bool ok) { released = ok; });
+  EXPECT_TRUE(released);  // overlapped: released before the failure is known
+  eng_.run();
+  EXPECT_EQ(failed, &r);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, MmuInvalidationUnpinsAndRepinsOnNextUse) {
+  auto mgr = make({});
+  const auto addr = as_.mmap(8 * 4096);
+  Region r(1, as_, {Segment{addr, 8 * 4096}});
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+  eng_.run();
+  ASSERT_TRUE(r.fully_pinned());
+
+  // The application frees the buffer: the notifier path unpins.
+  mgr.invalidate_range(addr, addr + 8 * 4096);
+  EXPECT_EQ(r.pinned_pages(), 0u);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_EQ(counters_.notifier_invalidations, 1u);
+
+  // Same buffer reallocated: next use repins transparently.
+  bool ok = false;
+  mgr.ensure_pinned(r, [&](bool o) { ok = o; });
+  eng_.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(counters_.repins, 1u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, InvalidationOutsideRegionIsIgnored) {
+  auto mgr = make({});
+  const auto addr = as_.mmap(4 * 4096);
+  const auto other = as_.mmap(4 * 4096);
+  Region r(1, as_, {Segment{addr, 4 * 4096}});
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+  eng_.run();
+  mgr.invalidate_range(other, other + 4 * 4096);
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(counters_.notifier_invalidations, 0u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, InvalidationDuringAsyncPinCancelsIt) {
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.pin_chunk_pages = 4;
+  auto mgr = make(cfg);
+  const auto addr = as_.mmap(64 * 4096);
+  Region r(1, as_, {Segment{addr, 64 * 4096}});
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+
+  // Let a few chunks land, then invalidate mid-flight.
+  eng_.run_until(cpu::xeon_e5460().pin_cost(12));
+  EXPECT_GT(r.pinned_pages(), 0u);
+  EXPECT_LT(r.pinned_pages(), 64u);
+  mgr.invalidate_range(addr, addr + 64 * 4096);
+  eng_.run();
+  EXPECT_EQ(r.pinned_pages(), 0u);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);  // no leaked pins from stale chunks
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, MemoryPressureShedsLruIdleRegion) {
+  PinningConfig cfg;
+  cfg.max_pinned_pages = 20;
+  auto mgr = make(cfg);
+  Region a = make_region(8 * 4096, 1);
+  Region b = make_region(8 * 4096, 2);
+  Region c = make_region(8 * 4096, 3);
+  mgr.register_region(a);
+  mgr.register_region(b);
+  mgr.register_region(c);
+
+  mgr.ensure_pinned(a, [](bool) {});
+  eng_.run();
+  mgr.ensure_pinned(b, [](bool) {});
+  eng_.run();
+  EXPECT_EQ(pm_.pinned_pages(), 16u);
+  // Pinning c (8 pages) would hit 24 > 20: the LRU idle region (a) is shed.
+  mgr.ensure_pinned(c, [](bool) {});
+  eng_.run();
+  EXPECT_EQ(a.pinned_pages(), 0u);
+  EXPECT_TRUE(b.fully_pinned());
+  EXPECT_TRUE(c.fully_pinned());
+  EXPECT_GE(counters_.pressure_unpins, 1u);
+  EXPECT_LE(pm_.pinned_pages(), 20u);
+  mgr.unregister_region(a);
+  mgr.unregister_region(b);
+  mgr.unregister_region(c);
+}
+
+TEST_F(PinManagerTest, PressureNeverEvictsRegionsInUse) {
+  PinningConfig cfg;
+  cfg.max_pinned_pages = 10;
+  auto mgr = make(cfg);
+  Region a = make_region(8 * 4096, 1);
+  Region b = make_region(8 * 4096, 2);
+  mgr.register_region(a);
+  mgr.register_region(b);
+  mgr.ensure_pinned(a, [](bool) {});
+  eng_.run();
+  a.add_use();  // active communication
+  mgr.ensure_pinned(b, [](bool) {});
+  eng_.run();
+  EXPECT_TRUE(a.fully_pinned());  // was not shed despite the pressure
+  EXPECT_TRUE(b.fully_pinned());
+  a.drop_use();
+  mgr.unregister_region(a);
+  mgr.unregister_region(b);
+}
+
+TEST(PinManagerOom, FrameExhaustionFailsTheRequestGracefully) {
+  sim::Engine eng;
+  mem::PhysicalMemory pm(64);  // tiny pool
+  mem::AddressSpace as(pm);
+  cpu::Core core(eng, "cpu0");
+  Counters counters;
+  PinningConfig cfg;
+  PinManager mgr(eng, core, cpu::xeon_e5460(), cfg, counters);
+
+  const auto addr = as.mmap(128 * 4096);  // cannot possibly fit
+  Region r(1, as, {Segment{addr, 128 * 4096}});
+  mgr.register_region(r);
+  bool ok = true;
+  mgr.ensure_pinned(r, [&](bool o) { ok = o; });
+  eng.run();  // must not throw out of the event loop
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  EXPECT_EQ(pm.pinned_pages(), 0u);  // partial pins rolled back
+  mgr.unregister_region(r);
+}
+
+TEST(PinManagerOom, ShedsIdleRegionToSatisfyNewPin) {
+  sim::Engine eng;
+  mem::PhysicalMemory pm(70);
+  mem::AddressSpace as(pm);
+  cpu::Core core(eng, "cpu0");
+  Counters counters;
+  PinningConfig cfg;
+  PinManager mgr(eng, core, cpu::xeon_e5460(), cfg, counters);
+
+  const auto a1 = as.mmap(40 * 4096);
+  const auto a2 = as.mmap(40 * 4096);
+  Region r1(1, as, {Segment{a1, 40 * 4096}});
+  Region r2(2, as, {Segment{a2, 40 * 4096}});
+  mgr.register_region(r1);
+  mgr.register_region(r2);
+
+  mgr.ensure_pinned(r1, [](bool) {});
+  eng.run();
+  ASSERT_TRUE(r1.fully_pinned());  // 40 of 70 frames pinned
+
+  // Pinning r2 (another 40 pages) exhausts the pool mid-way; the idle r1
+  // must be shed so r2 can finish.
+  bool ok = false;
+  mgr.ensure_pinned(r2, [&](bool o) { ok = o; });
+  eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r2.fully_pinned());
+  EXPECT_EQ(r1.pinned_pages(), 0u);
+  EXPECT_GE(counters.pressure_unpins, 1u);
+  mgr.unregister_region(r1);
+  mgr.unregister_region(r2);
+}
+
+TEST_F(PinManagerTest, UnpinChargesKernelTimeToTheCore) {
+  auto mgr = make({});
+  Region r = make_region(32 * 4096);
+  mgr.register_region(r);
+  mgr.ensure_pinned(r, [](bool) {});
+  eng_.run();
+  const sim::Time busy_before = core_.stats().total_busy();
+  mgr.unpin(r);
+  eng_.run();
+  EXPECT_EQ(core_.stats().total_busy() - busy_before,
+            cpu::xeon_e5460().unpin_cost(32));
+  mgr.unregister_region(r);
+}
+
+}  // namespace
+}  // namespace pinsim::core

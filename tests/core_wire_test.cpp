@@ -1,0 +1,180 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pinsim::core {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+Packet round_trip(Packet p) {
+  auto wire = encode(p);
+  return decode(wire);
+}
+
+TEST(Wire, EagerRoundTrip) {
+  Packet p;
+  p.header.src_ep = 3;
+  p.header.dst_ep = 7;
+  EagerBody b;
+  b.match = 0xdeadbeefcafef00dULL;
+  b.msg_len = 100;
+  b.frag_offset = 10;
+  b.seq = 42;
+  b.data = bytes_of("hello eager world");
+  p.body = b;
+
+  Packet q = round_trip(p);
+  EXPECT_EQ(q.type(), PacketType::kEager);
+  EXPECT_EQ(q.header.src_ep, 3);
+  EXPECT_EQ(q.header.dst_ep, 7);
+  const auto& eb = std::get<EagerBody>(q.body);
+  EXPECT_EQ(eb.match, b.match);
+  EXPECT_EQ(eb.msg_len, 100u);
+  EXPECT_EQ(eb.frag_offset, 10u);
+  EXPECT_EQ(eb.seq, 42u);
+  EXPECT_EQ(eb.data, b.data);
+}
+
+TEST(Wire, EagerEmptyPayload) {
+  Packet p;
+  EagerBody b;
+  b.msg_len = 0;
+  p.body = b;
+  Packet q = round_trip(p);
+  EXPECT_TRUE(std::get<EagerBody>(q.body).data.empty());
+}
+
+TEST(Wire, RndvRoundTrip) {
+  Packet p;
+  RndvBody b;
+  b.match = 77;
+  b.msg_len = 16ull * 1024 * 1024;
+  b.region = 5;
+  b.seq = 1234;
+  p.body = b;
+  Packet q = round_trip(p);
+  const auto& rb = std::get<RndvBody>(q.body);
+  EXPECT_EQ(rb.msg_len, b.msg_len);
+  EXPECT_EQ(rb.region, 5u);
+  EXPECT_EQ(rb.seq, 1234u);
+}
+
+TEST(Wire, PullRoundTrip) {
+  Packet p;
+  PullBody b;
+  b.region = 9;
+  b.handle = 3;
+  b.offset = 0x123456789aULL;
+  b.len = 32768;
+  b.seq = 55;
+  p.body = b;
+  Packet q = round_trip(p);
+  const auto& pb = std::get<PullBody>(q.body);
+  EXPECT_EQ(pb.region, 9u);
+  EXPECT_EQ(pb.handle, 3u);
+  EXPECT_EQ(pb.offset, 0x123456789aULL);
+  EXPECT_EQ(pb.len, 32768u);
+  EXPECT_EQ(pb.seq, 55u);
+}
+
+TEST(Wire, PullReplyCarriesData) {
+  Packet p;
+  PullReplyBody b;
+  b.handle = 11;
+  b.offset = 8192;
+  b.data.assign(8192, std::byte{0x5a});
+  p.body = b;
+  auto wire = encode(p);
+  EXPECT_EQ(wire.size(), encoded_overhead(PacketType::kPullReply) + 8192);
+  Packet q = decode(wire);
+  const auto& rb = std::get<PullReplyBody>(q.body);
+  EXPECT_EQ(rb.data.size(), 8192u);
+  EXPECT_EQ(rb.data[100], std::byte{0x5a});
+}
+
+TEST(Wire, ControlPacketsRoundTrip) {
+  {
+    Packet p;
+    p.body = EagerAckBody{99};
+    EXPECT_EQ(std::get<EagerAckBody>(round_trip(p).body).seq, 99u);
+  }
+  {
+    Packet p;
+    p.body = NotifyBody{7, 8};
+    auto q = round_trip(p);
+    EXPECT_EQ(std::get<NotifyBody>(q.body).seq, 7u);
+    EXPECT_EQ(std::get<NotifyBody>(q.body).handle, 8u);
+  }
+  {
+    Packet p;
+    p.body = NotifyAckBody{13};
+    EXPECT_EQ(std::get<NotifyAckBody>(round_trip(p).body).handle, 13u);
+  }
+  {
+    Packet p;
+    p.body = AbortBody{21};
+    EXPECT_EQ(std::get<AbortBody>(round_trip(p).body).seq, 21u);
+  }
+}
+
+TEST(Wire, HeaderTypeMatchesBodyAlternative) {
+  Packet p;
+  p.body = PullBody{};
+  auto wire = encode(p);
+  EXPECT_EQ(static_cast<PacketType>(std::to_integer<int>(wire[0])),
+            PacketType::kPull);
+}
+
+TEST(Wire, TruncatedPacketThrows) {
+  Packet p;
+  RndvBody b;
+  p.body = b;
+  auto wire = encode(p);
+  wire.resize(wire.size() - 1);
+  EXPECT_THROW(decode(wire), WireFormatError);
+}
+
+TEST(Wire, EmptyBufferThrows) {
+  EXPECT_THROW(decode(std::span<const std::byte>{}), WireFormatError);
+}
+
+TEST(Wire, BadTypeThrows) {
+  std::vector<std::byte> wire(16, std::byte{0});
+  wire[0] = std::byte{0xff};
+  EXPECT_THROW(decode(wire), WireFormatError);
+}
+
+TEST(Wire, TrailingBytesOnFixedSizePacketThrow) {
+  Packet p;
+  p.body = NotifyBody{1, 2};
+  auto wire = encode(p);
+  wire.push_back(std::byte{0});
+  EXPECT_THROW(decode(wire), WireFormatError);
+}
+
+TEST(Wire, EagerFragmentBeyondMessageLengthThrows) {
+  Packet p;
+  EagerBody b;
+  b.msg_len = 4;
+  b.frag_offset = 0;
+  b.data = bytes_of("too much data");
+  p.body = b;
+  auto wire = encode(p);
+  EXPECT_THROW(decode(wire), WireFormatError);
+}
+
+TEST(Wire, PacketTypeNames) {
+  EXPECT_STREQ(packet_type_name(PacketType::kEager), "EAGER");
+  EXPECT_STREQ(packet_type_name(PacketType::kPullReply), "PULL_REPLY");
+  EXPECT_STREQ(packet_type_name(static_cast<PacketType>(99)), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace pinsim::core

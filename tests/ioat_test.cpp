@@ -1,0 +1,116 @@
+#include "ioat/dma_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pinsim::ioat {
+namespace {
+
+TEST(DmaEngine, CopyCompletesAfterSetupPlusTransfer) {
+  sim::Engine eng;
+  DmaEngine::Config cfg;
+  cfg.bandwidth_gbps = 2.0;  // 2 bytes per ns
+  cfg.setup_cost = 100;
+  DmaEngine dma(eng, cfg);
+  sim::Time done_at = 0;
+  bool performed = false;
+  ASSERT_TRUE(dma.copy(
+      1000, [&] { performed = true; }, [&] { done_at = eng.now(); }));
+  EXPECT_TRUE(dma.copy(0, [] {}, [] {}));
+  eng.run();
+  EXPECT_TRUE(performed);
+  EXPECT_EQ(done_at, 600u);  // 100 setup + 1000/2
+}
+
+TEST(DmaEngine, PerformRunsBeforeDone) {
+  sim::Engine eng;
+  DmaEngine dma(eng);
+  std::vector<int> order;
+  ASSERT_TRUE(dma.copy(
+      64, [&] { order.push_back(1); }, [&] { order.push_back(2); }));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(DmaEngine, RequestsSerializeOnTheChannel) {
+  sim::Engine eng;
+  DmaEngine::Config cfg;
+  cfg.bandwidth_gbps = 1.0;
+  cfg.setup_cost = 0;
+  DmaEngine dma(eng, cfg);
+  std::vector<sim::Time> completions;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dma.copy(1000, [] {}, [&] { completions.push_back(eng.now()); }));
+  }
+  eng.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 1000u);
+  EXPECT_EQ(completions[1], 2000u);
+  EXPECT_EQ(completions[2], 3000u);
+  EXPECT_TRUE(dma.idle());
+}
+
+TEST(DmaEngine, DataMovesAtCompletionTimeNotSubmitTime) {
+  // A late mutation of the source before DMA completion is what the engine
+  // ships (the hardware reads memory when the descriptor executes).
+  sim::Engine eng;
+  DmaEngine::Config cfg;
+  cfg.bandwidth_gbps = 1.0;
+  cfg.setup_cost = 0;
+  DmaEngine dma(eng, cfg);
+  int src = 1;
+  int dst = 0;
+  ASSERT_TRUE(dma.copy(1000, [&] { dst = src; }, [] {}));
+  eng.schedule_at(500, [&] { src = 2; });
+  eng.run();
+  EXPECT_EQ(dst, 2);
+}
+
+TEST(DmaEngine, QueueOverflowRejects) {
+  sim::Engine eng;
+  DmaEngine::Config cfg;
+  cfg.max_queue = 2;
+  DmaEngine dma(eng, cfg);
+  EXPECT_TRUE(dma.copy(10, [] {}, [] {}));   // starts immediately
+  EXPECT_TRUE(dma.copy(10, [] {}, [] {}));   // queued
+  EXPECT_TRUE(dma.copy(10, [] {}, [] {}));   // queued
+  EXPECT_FALSE(dma.copy(10, [] {}, [] {}));  // ring full
+  EXPECT_EQ(dma.stats().rejected, 1u);
+  eng.run();
+  EXPECT_EQ(dma.stats().copies, 3u);
+}
+
+TEST(DmaEngine, StatsAccumulate) {
+  sim::Engine eng;
+  DmaEngine dma(eng);
+  ASSERT_TRUE(dma.copy(4096, [] {}, [] {}));
+  ASSERT_TRUE(dma.copy(8192, [] {}, [] {}));
+  eng.run();
+  EXPECT_EQ(dma.stats().copies, 2u);
+  EXPECT_EQ(dma.stats().bytes, 12288u);
+  EXPECT_GT(dma.stats().busy, 0u);
+}
+
+TEST(DmaEngine, InvalidBandwidthThrows) {
+  sim::Engine eng;
+  DmaEngine::Config cfg;
+  cfg.bandwidth_gbps = -1.0;
+  EXPECT_THROW(DmaEngine(eng, cfg), std::invalid_argument);
+}
+
+TEST(DmaEngine, FasterThanCpuForLargeCopies) {
+  // Sanity of the calibration: the engine beats a 2.6 GB/s CPU memcpy on
+  // large blocks despite its setup cost.
+  sim::Engine eng;
+  DmaEngine dma(eng);
+  const auto dma_time = dma.transfer_time(64 * 1024);
+  const auto cpu_time =
+      static_cast<sim::Time>(static_cast<double>(64 * 1024) / 2.6);
+  EXPECT_LT(dma_time, cpu_time);
+}
+
+}  // namespace
+}  // namespace pinsim::ioat

@@ -1,0 +1,274 @@
+#include "mem/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mem/physical_memory.hpp"
+#include "mem/types.hpp"
+
+namespace pinsim::mem {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+std::string string_of(const std::vector<std::byte>& v) {
+  std::string s(v.size(), '\0');
+  std::memcpy(s.data(), v.data(), v.size());
+  return s;
+}
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  PhysicalMemory pm_{4096};
+  AddressSpace as_{pm_};
+};
+
+TEST_F(AddressSpaceTest, PageMathHelpers) {
+  EXPECT_EQ(page_floor(0x1234), 0x1000u);
+  EXPECT_EQ(page_ceil(0x1234), 0x2000u);
+  EXPECT_EQ(page_ceil(0x1000), 0x1000u);
+  EXPECT_EQ(page_offset(0x1234), 0x234u);
+  EXPECT_EQ(pages_spanned(0x1000, 0x1000), 1u);
+  EXPECT_EQ(pages_spanned(0x1fff, 2), 2u);
+  EXPECT_EQ(pages_spanned(0x1000, 0), 0u);
+}
+
+TEST_F(AddressSpaceTest, MmapReturnsPageAlignedDistinctRanges) {
+  const VirtAddr a = as_.mmap(10000);
+  const VirtAddr b = as_.mmap(10000);
+  EXPECT_EQ(page_offset(a), 0u);
+  EXPECT_EQ(page_offset(b), 0u);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(as_.is_mapped(a, 10000));
+  EXPECT_TRUE(as_.is_mapped(b, 10000));
+  EXPECT_EQ(as_.mapped_bytes(), 2 * page_ceil(10000));
+}
+
+TEST_F(AddressSpaceTest, MmapAfterMunmapReusesTheSameAddress) {
+  const VirtAddr a = as_.mmap(64 * 1024);
+  as_.munmap(a, 64 * 1024);
+  const VirtAddr b = as_.mmap(64 * 1024);
+  EXPECT_EQ(a, b);  // first-fit: the reuse pattern pinning caches rely on
+}
+
+TEST_F(AddressSpaceTest, MmapZeroThrows) {
+  EXPECT_THROW(as_.mmap(0), std::invalid_argument);
+}
+
+TEST_F(AddressSpaceTest, MmapFixedRejectsOverlap) {
+  const VirtAddr a = as_.mmap_fixed((VirtAddr{1} << 32) + 0x100000, 8192);
+  EXPECT_EQ(a, (VirtAddr{1} << 32) + 0x100000);
+  EXPECT_THROW(as_.mmap_fixed(a, 4096), std::invalid_argument);
+  EXPECT_THROW(as_.mmap_fixed(a + 4096, 4096), std::invalid_argument);
+  EXPECT_NO_THROW(as_.mmap_fixed(a + 8192, 4096));
+  EXPECT_THROW(as_.mmap_fixed(a + 1, 4096), std::invalid_argument);  // align
+}
+
+TEST_F(AddressSpaceTest, WriteReadRoundTripWithinOnePage) {
+  const VirtAddr a = as_.mmap(4096);
+  auto msg = bytes_of("hello, pinned world");
+  as_.write(a + 100, msg);
+  std::vector<std::byte> out(msg.size());
+  as_.read(a + 100, out);
+  EXPECT_EQ(string_of(out), "hello, pinned world");
+}
+
+TEST_F(AddressSpaceTest, WriteReadAcrossPageBoundaries) {
+  const VirtAddr a = as_.mmap(3 * 4096);
+  std::vector<std::byte> msg(8192);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::byte>(i * 7 % 251);
+  }
+  as_.write(a + 2000, msg);
+  std::vector<std::byte> out(msg.size());
+  as_.read(a + 2000, out);
+  EXPECT_EQ(out, msg);
+}
+
+TEST_F(AddressSpaceTest, FreshPagesReadAsZero) {
+  const VirtAddr a = as_.mmap(4096);
+  std::vector<std::byte> out(64, std::byte{0xff});
+  as_.read(a, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(AddressSpaceTest, AccessOutsideMappingThrows) {
+  std::vector<std::byte> buf(16);
+  EXPECT_THROW(as_.read(0x500, buf), InvalidAddressError);
+  const VirtAddr a = as_.mmap(4096);
+  EXPECT_THROW(as_.write(a + 4090, bytes_of("0123456789")),
+               InvalidAddressError);
+}
+
+TEST_F(AddressSpaceTest, PartialMunmapSplitsVma) {
+  const VirtAddr a = as_.mmap(4 * 4096);
+  as_.munmap(a + 4096, 4096);  // punch a hole in page 1
+  EXPECT_TRUE(as_.is_mapped(a, 4096));
+  EXPECT_FALSE(as_.is_mapped(a + 4096, 4096));
+  EXPECT_TRUE(as_.is_mapped(a + 2 * 4096, 2 * 4096));
+  EXPECT_FALSE(as_.is_mapped(a, 4 * 4096));
+  std::vector<std::byte> buf(8);
+  EXPECT_THROW(as_.read(a + 4096, buf), InvalidAddressError);
+  EXPECT_NO_THROW(as_.read(a + 2 * 4096, buf));
+}
+
+TEST_F(AddressSpaceTest, MunmapOfHoleIsNoOp) {
+  EXPECT_NO_THROW(as_.munmap(0xdead000, 4096));
+}
+
+TEST_F(AddressSpaceTest, MunmapSpanningTwoVmas) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  const VirtAddr b = as_.mmap(2 * 4096);
+  ASSERT_EQ(b, a + 2 * 4096);  // adjacent by first-fit
+  as_.munmap(a + 4096, 2 * 4096);  // tail of first + head of second
+  EXPECT_TRUE(as_.is_mapped(a, 4096));
+  EXPECT_FALSE(as_.is_mapped(a + 4096, 2 * 4096));
+  EXPECT_TRUE(as_.is_mapped(b + 4096, 4096));
+}
+
+TEST_F(AddressSpaceTest, MunmapReleasesFrames) {
+  const VirtAddr a = as_.mmap(16 * 4096);
+  as_.touch(a, 16 * 4096);
+  const std::size_t used = pm_.used_frames();
+  EXPECT_GE(used, 16u);
+  as_.munmap(a, 16 * 4096);
+  EXPECT_EQ(pm_.used_frames(), used - 16);
+}
+
+TEST_F(AddressSpaceTest, FaultStatistics) {
+  const VirtAddr a = as_.mmap(4 * 4096);
+  as_.touch(a, 4 * 4096);
+  EXPECT_EQ(as_.stats().minor_faults, 4u);
+  EXPECT_TRUE(as_.swap_out(a));
+  EXPECT_EQ(as_.stats().swap_outs, 1u);
+  std::vector<std::byte> buf(8);
+  as_.read(a, buf);  // swap back in
+  EXPECT_EQ(as_.stats().major_faults, 1u);
+}
+
+TEST_F(AddressSpaceTest, SwapOutPreservesContents) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  auto msg = bytes_of("persist me across swap");
+  as_.write(a + 4090, msg);  // crosses into page 1
+  EXPECT_TRUE(as_.swap_out(a));
+  EXPECT_TRUE(as_.swap_out(a + 4096));
+  EXPECT_FALSE(as_.is_present(a));
+  std::vector<std::byte> out(msg.size());
+  as_.read(a + 4090, out);
+  EXPECT_EQ(string_of(out), "persist me across swap");
+}
+
+TEST_F(AddressSpaceTest, SwapOutRefusesPinnedAndAbsentPages) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  EXPECT_FALSE(as_.swap_out(a));  // not resident yet
+  auto frames = as_.pin_range(a, 4096);
+  EXPECT_FALSE(as_.swap_out(a));  // pinned
+  as_.unpin_page(a, frames[0]);
+  EXPECT_TRUE(as_.swap_out(a));
+}
+
+TEST_F(AddressSpaceTest, MigrateMovesFrameAndKeepsData) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("migrant"));
+  const FrameId before = as_.frame_of(a);
+  EXPECT_TRUE(as_.migrate(a));
+  EXPECT_NE(as_.frame_of(a), before);
+  std::vector<std::byte> out(7);
+  as_.read(a, out);
+  EXPECT_EQ(string_of(out), "migrant");
+  EXPECT_EQ(as_.stats().migrations, 1u);
+}
+
+TEST_F(AddressSpaceTest, MigrateRefusesPinnedPage) {
+  const VirtAddr a = as_.mmap(4096);
+  auto frames = as_.pin_range(a, 4096);
+  EXPECT_FALSE(as_.migrate(a));
+  as_.unpin_page(a, frames[0]);
+}
+
+TEST_F(AddressSpaceTest, CowSnapshotSeesOldContentsAfterOverwrite) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  as_.write(a, bytes_of("original"));
+  auto snap = as_.cow_snapshot(a, 2 * 4096);
+  as_.write(a, bytes_of("REWRITTEN"));
+  std::vector<std::byte> out(8);
+  snap.read(a, out);
+  EXPECT_EQ(string_of(out), "original");
+  std::vector<std::byte> now(9);
+  as_.read(a, now);
+  EXPECT_EQ(string_of(now), "REWRITTEN");
+  EXPECT_GE(as_.stats().cow_breaks, 1u);
+}
+
+TEST_F(AddressSpaceTest, CowBreakOnlyCopiesWrittenPages) {
+  const VirtAddr a = as_.mmap(4 * 4096);
+  as_.touch(a, 4 * 4096);
+  auto snap = as_.cow_snapshot(a, 4 * 4096);
+  const std::size_t used_before = pm_.used_frames();
+  as_.write(a + 2 * 4096, bytes_of("x"));  // break page 2 only
+  EXPECT_EQ(pm_.used_frames(), used_before + 1);
+}
+
+TEST_F(AddressSpaceTest, SnapshotOfPinnedPageCopiesEagerly) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("dma-target"));
+  auto frames = as_.pin_range(a, 4096);
+  auto snap = as_.cow_snapshot(a, 4096);
+  // Page stays writable in place (no COW under the device): same frame.
+  EXPECT_EQ(as_.frame_of(a), frames[0]);
+  as_.write(a, bytes_of("CHANGED-NOW"));
+  std::vector<std::byte> out(10);
+  snap.read(a, out);
+  EXPECT_EQ(string_of(out), "dma-target");
+  as_.unpin_page(a, frames[0]);
+}
+
+TEST_F(AddressSpaceTest, SnapshotMoveTransfersOwnership) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("moved"));
+  auto snap = as_.cow_snapshot(a, 4096);
+  CowSnapshot moved = std::move(snap);
+  std::vector<std::byte> out(5);
+  moved.read(a, out);
+  EXPECT_EQ(string_of(out), "moved");
+}
+
+TEST_F(AddressSpaceTest, SnapshotOutOfRangeReadThrows) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.touch(a, 4096);
+  auto snap = as_.cow_snapshot(a, 4096);
+  std::vector<std::byte> out(16);
+  EXPECT_THROW(snap.read(a + 4090, out), InvalidAddressError);
+}
+
+TEST_F(AddressSpaceTest, VmaListAndResidentPages) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  const VirtAddr b = as_.mmap(4096);
+  auto vmas = as_.vma_list();
+  ASSERT_EQ(vmas.size(), 2u);
+  EXPECT_EQ(vmas[0].first, a);
+  EXPECT_EQ(vmas[1].first, b);
+  as_.touch(a, 4096);
+  auto frames = as_.pin_range(b, 4096);
+  auto resident = as_.resident_unpinned_pages();
+  ASSERT_EQ(resident.size(), 1u);
+  EXPECT_EQ(resident[0], a);
+  as_.unpin_page(b, frames[0]);
+}
+
+TEST_F(AddressSpaceTest, OutOfPhysicalFramesThrows) {
+  PhysicalMemory tiny(4);
+  AddressSpace as(tiny);
+  const VirtAddr a = as.mmap(16 * 4096);
+  EXPECT_THROW(as.touch(a, 16 * 4096), OutOfMemoryError);
+}
+
+}  // namespace
+}  // namespace pinsim::mem

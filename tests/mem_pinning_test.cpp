@@ -1,0 +1,273 @@
+// Pinning + MMU-notifier interplay: the invariants the paper's driver-side
+// pinning model depends on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hpp"
+#include "mem/mmu_notifier.hpp"
+#include "mem/physical_memory.hpp"
+
+namespace pinsim::mem {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+/// Records invalidations; optionally auto-unpins like the Open-MX hook.
+class RecordingNotifier : public MmuNotifier {
+ public:
+  struct Range {
+    VirtAddr start;
+    VirtAddr end;
+  };
+  void invalidate_range(VirtAddr start, VirtAddr end) override {
+    ranges.push_back({start, end});
+    if (on_invalidate) on_invalidate(start, end);
+  }
+  void release() override { released = true; }
+
+  std::vector<Range> ranges;
+  bool released = false;
+  std::function<void(VirtAddr, VirtAddr)> on_invalidate;
+};
+
+class PinningTest : public ::testing::Test {
+ protected:
+  PhysicalMemory pm_{1024};
+  AddressSpace as_{pm_};
+};
+
+TEST_F(PinningTest, PinFaultsPagesInAndCounts) {
+  const VirtAddr a = as_.mmap(4 * 4096);
+  EXPECT_FALSE(as_.is_present(a));
+  auto frames = as_.pin_range(a, 4 * 4096);
+  ASSERT_EQ(frames.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(as_.is_present(a + static_cast<VirtAddr>(i) * 4096));
+    EXPECT_TRUE(as_.is_pinned(a + static_cast<VirtAddr>(i) * 4096));
+  }
+  EXPECT_EQ(pm_.pinned_pages(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    as_.unpin_page(a + static_cast<VirtAddr>(i) * 4096,
+                   frames[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_FALSE(as_.is_pinned(a));
+}
+
+TEST_F(PinningTest, PinRangeCoversPartialPages) {
+  const VirtAddr a = as_.mmap(3 * 4096);
+  // 2 bytes straddling a page boundary pin both pages.
+  auto frames = as_.pin_range(a + 4095, 2);
+  EXPECT_EQ(frames.size(), 2u);
+  as_.unpin_page(a, frames[0]);
+  as_.unpin_page(a + 4096, frames[1]);
+}
+
+TEST_F(PinningTest, PinOfInvalidRangeThrowsAndRollsBack) {
+  const VirtAddr a = as_.mmap(2 * 4096);
+  // Third page is unmapped: the paper's "declaration succeeds, pinning fails
+  // at communication time" case.
+  EXPECT_THROW((void)as_.pin_range(a, 3 * 4096), InvalidAddressError);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_FALSE(as_.is_pinned(a));
+}
+
+TEST_F(PinningTest, PinnedFrameSurvivesMunmap) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("still-here"));
+  auto frames = as_.pin_range(a, 4096);
+  const FrameId f = frames[0];
+  EXPECT_EQ(pm_.refcount(f), 2u);  // mapping + pin
+  as_.munmap(a, 4096);             // no notifier subscriber unpins
+  EXPECT_EQ(pm_.refcount(f), 1u);  // orphaned but alive through the pin
+  char buf[10];
+  std::memcpy(buf, pm_.data(f).data(), 10);
+  EXPECT_EQ(std::memcmp(buf, "still-here", 10), 0);
+  as_.unpin_page(a, f);
+  EXPECT_EQ(pm_.used_frames(), 0u);
+}
+
+TEST_F(PinningTest, UnpinAfterRemapDoesNotCorruptNewPage) {
+  const VirtAddr a = as_.mmap(4096);
+  auto frames = as_.pin_range(a, 4096);
+  as_.munmap(a, 4096);
+  const VirtAddr b = as_.mmap(4096);
+  ASSERT_EQ(b, a);  // same VA reused
+  auto frames2 = as_.pin_range(b, 4096);
+  EXPECT_NE(frames2[0], frames[0]);
+  // Late unpin of the *old* frame must not touch the new page's pin count.
+  as_.unpin_page(a, frames[0]);
+  EXPECT_TRUE(as_.is_pinned(b));
+  as_.unpin_page(b, frames2[0]);
+  EXPECT_FALSE(as_.is_pinned(b));
+}
+
+TEST_F(PinningTest, DoublePinRequiresDoubleUnpin) {
+  const VirtAddr a = as_.mmap(4096);
+  auto f1 = as_.pin_range(a, 4096);
+  auto f2 = as_.pin_range(a, 4096);
+  EXPECT_EQ(f1[0], f2[0]);
+  as_.unpin_page(a, f1[0]);
+  EXPECT_TRUE(as_.is_pinned(a));
+  as_.unpin_page(a, f2[0]);
+  EXPECT_FALSE(as_.is_pinned(a));
+}
+
+TEST_F(PinningTest, PinBreaksCow) {
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("shared"));
+  auto snap = as_.cow_snapshot(a, 4096);
+  const FrameId shared = as_.frame_of(a);
+  auto frames = as_.pin_range(a, 4096);  // write-mode: must break COW
+  EXPECT_NE(frames[0], shared);
+  // DMA into the pinned frame must not be visible in the snapshot.
+  auto page = pm_.data(frames[0]);
+  std::memcpy(page.data(), "DMAWRITE", 8);
+  std::vector<std::byte> out(6);
+  snap.read(a, out);
+  EXPECT_EQ(std::memcmp(out.data(), "shared", 6), 0);
+  as_.unpin_page(a, frames[0]);
+}
+
+TEST_F(PinningTest, NotifierFiresBeforeTeardownOnMunmap) {
+  RecordingNotifier notifier;
+  as_.register_notifier(&notifier);
+  const VirtAddr a = as_.mmap(2 * 4096);
+  as_.touch(a, 2 * 4096);
+  bool page_was_still_present = false;
+  notifier.on_invalidate = [&](VirtAddr start, VirtAddr) {
+    page_was_still_present = as_.is_present(start);
+  };
+  as_.munmap(a, 2 * 4096);
+  ASSERT_EQ(notifier.ranges.size(), 1u);
+  EXPECT_EQ(notifier.ranges[0].start, a);
+  EXPECT_EQ(notifier.ranges[0].end, a + 2 * 4096);
+  EXPECT_TRUE(page_was_still_present);  // Linux ordering
+  as_.unregister_notifier(&notifier);
+}
+
+TEST_F(PinningTest, NotifierFiresOnSwapMigrationAndCow) {
+  RecordingNotifier notifier;
+  as_.register_notifier(&notifier);
+  const VirtAddr a = as_.mmap(4096);
+  as_.touch(a, 4096);
+
+  EXPECT_TRUE(as_.swap_out(a));
+  ASSERT_EQ(notifier.ranges.size(), 1u);
+
+  as_.touch(a, 4096);  // fault back in
+  EXPECT_TRUE(as_.migrate(a));
+  ASSERT_EQ(notifier.ranges.size(), 2u);
+
+  auto snap = as_.cow_snapshot(a, 4096);
+  as_.write(a, bytes_of("w"));  // COW break
+  ASSERT_EQ(notifier.ranges.size(), 3u);
+  for (const auto& r : notifier.ranges) {
+    EXPECT_EQ(r.start, a);
+    EXPECT_EQ(r.end, a + 4096);
+  }
+  as_.unregister_notifier(&notifier);
+}
+
+TEST_F(PinningTest, NotifierDrivenUnpinOnFree) {
+  // The Open-MX pattern: subscriber unpins inside invalidate_range so the
+  // frames are released exactly when the application frees the buffer.
+  const VirtAddr a = as_.mmap(4 * 4096);
+  auto frames = as_.pin_range(a, 4 * 4096);
+
+  RecordingNotifier notifier;
+  notifier.on_invalidate = [&](VirtAddr start, VirtAddr end) {
+    for (VirtAddr va = start; va < end; va += 4096) {
+      const auto idx = static_cast<std::size_t>((va - a) / 4096);
+      as_.unpin_page(va, frames[idx]);
+    }
+  };
+  as_.register_notifier(&notifier);
+  as_.munmap(a, 4 * 4096);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_EQ(pm_.used_frames(), 0u);  // nothing orphaned
+  as_.unregister_notifier(&notifier);
+}
+
+TEST_F(PinningTest, UnregisteredNotifierStopsReceiving) {
+  RecordingNotifier notifier;
+  as_.register_notifier(&notifier);
+  const VirtAddr a = as_.mmap(4096);
+  as_.touch(a, 4096);
+  as_.unregister_notifier(&notifier);
+  as_.munmap(a, 4096);
+  EXPECT_TRUE(notifier.ranges.empty());
+}
+
+TEST_F(PinningTest, ReleaseFiresOnAddressSpaceDestruction) {
+  RecordingNotifier notifier;
+  {
+    AddressSpace dying(pm_);
+    dying.register_notifier(&notifier);
+  }
+  EXPECT_TRUE(notifier.released);
+}
+
+TEST_F(PinningTest, NotifierMayUnregisterItselfDuringCallback) {
+  RecordingNotifier notifier;
+  notifier.on_invalidate = [&](VirtAddr, VirtAddr) {
+    as_.unregister_notifier(&notifier);
+  };
+  as_.register_notifier(&notifier);
+  const VirtAddr a = as_.mmap(2 * 4096);
+  as_.touch(a, 2 * 4096);
+  as_.munmap(a, 4096);
+  as_.munmap(a + 4096, 4096);  // must not re-notify or crash
+  EXPECT_EQ(notifier.ranges.size(), 1u);
+}
+
+TEST_F(PinningTest, StaleTranslationScenario) {
+  // The corruption a *user-space* registration cache risks (paper §2.1/§5):
+  // cache keeps (va -> frame), app frees + reallocates, new data lands in a
+  // new frame, cached frame serves stale bytes.
+  const VirtAddr a = as_.mmap(4096);
+  as_.write(a, bytes_of("GENERATION-1"));
+  auto cached = as_.pin_range(a, 4096);  // "NIC table" keeps this frame
+  as_.munmap(a, 4096);                   // free not intercepted
+  const VirtAddr b = as_.mmap(4096);
+  ASSERT_EQ(b, a);
+  as_.write(b, bytes_of("GENERATION-2"));
+  // Sending from the cached translation reads generation-1 bytes:
+  char wire[12];
+  std::memcpy(wire, pm_.data(cached[0]).data(), 12);
+  EXPECT_EQ(std::memcmp(wire, "GENERATION-1", 12), 0);
+  // whereas the application's buffer now holds generation-2: corruption.
+  std::vector<std::byte> app(12);
+  as_.read(b, app);
+  EXPECT_EQ(std::memcmp(app.data(), "GENERATION-2", 12), 0);
+  as_.unpin_page(a, cached[0]);
+}
+
+TEST_F(PinningTest, PinnedPagesAccounting) {
+  const VirtAddr a = as_.mmap(8 * 4096);
+  auto f1 = as_.pin_range(a, 4 * 4096);
+  auto f2 = as_.pin_range(a + 4 * 4096, 4 * 4096);
+  EXPECT_EQ(pm_.pinned_pages(), 8u);
+  EXPECT_EQ(as_.stats().pins, 8u);
+  for (int i = 0; i < 4; ++i) {
+    as_.unpin_page(a + static_cast<VirtAddr>(i) * 4096,
+                   f1[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(pm_.pinned_pages(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    as_.unpin_page(a + static_cast<VirtAddr>(4 + i) * 4096,
+                   f2[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_EQ(as_.stats().unpins, 8u);
+}
+
+}  // namespace
+}  // namespace pinsim::mem

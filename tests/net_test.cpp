@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "net/fabric.hpp"
+#include "net/frame.hpp"
+#include "net/nic.hpp"
+#include "sim/engine.hpp"
+
+namespace pinsim::net {
+namespace {
+
+Frame make_frame(NodeId dst, const std::string& body) {
+  Frame f;
+  f.dst = dst;
+  f.payload.resize(body.size());
+  std::memcpy(f.payload.data(), body.data(), body.size());
+  return f;
+}
+
+Frame make_frame(NodeId dst, std::size_t size) {
+  Frame f;
+  f.dst = dst;
+  f.payload.assign(size, std::byte{0xab});
+  return f;
+}
+
+struct TwoNodeFixture : ::testing::Test {
+  TwoNodeFixture()
+      : fabric(eng, fabric_cfg()),
+        core_a(eng, "a0"),
+        core_b(eng, "b0"),
+        nic_a(eng, fabric, core_a),
+        nic_b(eng, fabric, core_b) {}
+
+  static Fabric::Config fabric_cfg() {
+    Fabric::Config cfg;
+    cfg.latency = 2 * sim::kMicrosecond;
+    return cfg;
+  }
+
+  sim::Engine eng;
+  Fabric fabric;
+  cpu::Core core_a, core_b;
+  Nic nic_a, nic_b;
+};
+
+TEST_F(TwoNodeFixture, NodeIdsAreSequential) {
+  EXPECT_EQ(nic_a.node_id(), 0u);
+  EXPECT_EQ(nic_b.node_id(), 1u);
+}
+
+TEST_F(TwoNodeFixture, FrameArrivesIntactAfterLatencyAndSerialization) {
+  std::string received;
+  sim::Time arrival = 0;
+  nic_b.set_rx_handler([&](Frame&& f) {
+    received.assign(reinterpret_cast<const char*>(f.payload.data()),
+                    f.payload.size());
+    arrival = eng.now();
+  });
+  ASSERT_TRUE(nic_a.send(make_frame(nic_b.node_id(), "over the wire")));
+  eng.run();
+  EXPECT_EQ(received, "over the wire");
+  // Egress serialization + latency + ingress serialization + rx BH overhead.
+  const sim::Time wire =
+      fabric.serialization_time(Frame{0, 0, std::vector<std::byte>(46)}
+                                    .wire_bytes());
+  const sim::Time expected = 2 * wire + fabric.latency() + 1000;
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(TwoNodeFixture, SerializationTimeMatchesLineRate) {
+  // 10 Gb/s == 1.25 bytes/ns: 1250 wire bytes take exactly 1 µs.
+  EXPECT_EQ(fabric.serialization_time(1250), sim::kMicrosecond);
+  // A full 9000-byte jumbo frame: (9000+38)/1.25 = 7230.4 ns.
+  Frame f = make_frame(0, std::size_t{9000});
+  EXPECT_EQ(fabric.serialization_time(f.wire_bytes()), 7230u);
+}
+
+TEST_F(TwoNodeFixture, SmallFramesArePaddedToMinimum) {
+  Frame tiny = make_frame(0, "x");
+  EXPECT_EQ(tiny.wire_bytes(), kMinPayload + kEthernetOverhead);
+}
+
+TEST_F(TwoNodeFixture, FramesFromOneSenderArriveInOrder) {
+  std::vector<int> order;
+  nic_b.set_rx_handler([&](Frame&& f) {
+    order.push_back(static_cast<int>(f.payload[0]));
+  });
+  for (int i = 0; i < 16; ++i) {
+    Frame f;
+    f.dst = nic_b.node_id();
+    f.payload.assign(4096, static_cast<std::byte>(i));
+    ASSERT_TRUE(nic_a.send(std::move(f)));
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST_F(TwoNodeFixture, BackToBackFramesRespectLineRate) {
+  // N jumbo frames can't arrive faster than the wire can carry them.
+  sim::Time last_arrival = 0;
+  int count = 0;
+  nic_b.set_rx_handler([&](Frame&&) {
+    last_arrival = eng.now();
+    ++count;
+  });
+  constexpr int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(nic_a.send(make_frame(nic_b.node_id(), std::size_t{8192})));
+  }
+  eng.run();
+  EXPECT_EQ(count, kFrames);
+  const double goodput =
+      static_cast<double>(kFrames * 8192) / sim::to_seconds(last_arrival);
+  // Must be below the 1.25 GB/s line rate but reasonably close (overheads).
+  EXPECT_LT(goodput, 1.25e9);
+  EXPECT_GT(goodput, 1.1e9);
+}
+
+TEST_F(TwoNodeFixture, TxRingOverflowDropsFrames) {
+  Nic::Config cfg;
+  cfg.tx_ring = 4;
+  cpu::Core core_c(eng, "c0");
+  Nic small(eng, fabric, core_c, cfg);
+  int sent = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (small.send(make_frame(nic_b.node_id(), std::size_t{8192}))) ++sent;
+  }
+  // One serializing + 4 queued = 5 accepted.
+  EXPECT_EQ(sent, 5);
+  EXPECT_EQ(small.stats().tx_ring_drops, 5u);
+  eng.run();
+}
+
+TEST_F(TwoNodeFixture, RxOverflowDropsWhenCoreCannotDrain) {
+  // Block receiver BH processing with an endless higher-load: rx ring of 2.
+  Nic::Config cfg;
+  cfg.rx_ring = 2;
+  cpu::Core core_c(eng, "c0");
+  Nic tiny_rx(eng, fabric, core_c, cfg);
+  // Occupy the core so BH jobs queue but never start.
+  core_c.consume(cpu::Priority::kBottomHalf, 10 * sim::kSecond);
+  int processed = 0;
+  tiny_rx.set_rx_handler([&](Frame&&) { ++processed; });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(nic_a.send(make_frame(tiny_rx.node_id(), std::size_t{1024})));
+  }
+  eng.run_until(sim::kMillisecond);
+  EXPECT_EQ(processed, 0);
+  EXPECT_EQ(tiny_rx.stats().rx_ring_drops, 6u);  // 2 held, 6 dropped
+}
+
+TEST_F(TwoNodeFixture, ConcurrentSendersShareReceiverIngress) {
+  cpu::Core core_c(eng, "c0");
+  Nic nic_c(eng, fabric, core_c);
+  sim::Time finish = 0;
+  std::size_t received_bytes = 0;
+  nic_b.set_rx_handler([&](Frame&& f) {
+    received_bytes += f.payload.size();
+    finish = eng.now();
+  });
+  constexpr int kEach = 32;
+  for (int i = 0; i < kEach; ++i) {
+    ASSERT_TRUE(nic_a.send(make_frame(nic_b.node_id(), std::size_t{8192})));
+    ASSERT_TRUE(nic_c.send(make_frame(nic_b.node_id(), std::size_t{8192})));
+  }
+  eng.run();
+  EXPECT_EQ(received_bytes, 2u * kEach * 8192);
+  const double goodput =
+      static_cast<double>(received_bytes) / sim::to_seconds(finish);
+  // Two 10G senders into one 10G port: aggregate capped by the port.
+  EXPECT_LT(goodput, 1.25e9);
+}
+
+TEST(FabricLoss, RandomDropsAreApplied) {
+  sim::Engine eng;
+  Fabric::Config cfg;
+  cfg.drop_probability = 0.5;
+  cfg.seed = 7;
+  Fabric fabric(eng, cfg);
+  cpu::Core core_a(eng, "a"), core_b(eng, "b");
+  Nic nic_a(eng, fabric, core_a), nic_b(eng, fabric, core_b);
+  int received = 0;
+  nic_b.set_rx_handler([&](Frame&&) { ++received; });
+  constexpr int kFrames = 400;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(nic_a.send(make_frame(nic_b.node_id(), std::size_t{1024})));
+  }
+  eng.run();
+  EXPECT_GT(received, kFrames / 3);
+  EXPECT_LT(received, 2 * kFrames / 3);
+  EXPECT_EQ(fabric.frames_dropped() + fabric.frames_delivered(),
+            static_cast<std::uint64_t>(kFrames));
+}
+
+TEST(FabricErrors, UnknownDestinationThrows) {
+  sim::Engine eng;
+  Fabric fabric(eng);
+  Frame f;
+  f.dst = 42;
+  EXPECT_THROW(fabric.transmit(std::move(f)), std::invalid_argument);
+}
+
+TEST(FabricErrors, NonPositiveBandwidthRejected) {
+  sim::Engine eng;
+  Fabric::Config cfg;
+  cfg.bandwidth_gbps = 0.0;
+  EXPECT_THROW(Fabric(eng, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pinsim::net

@@ -1,0 +1,261 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pinsim::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroWithEmptyQueue) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0u);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_FALSE(eng.step());
+  EXPECT_EQ(eng.run(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(eng.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30u);
+}
+
+TEST(Engine, SameTimeEventsFireInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine eng;
+  Time seen = 0;
+  eng.schedule_at(100, [&] {
+    eng.schedule_after(50, [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, SchedulingInThePastClampsToNow) {
+  Engine eng;
+  Time seen = 0;
+  eng.schedule_at(100, [&] {
+    eng.schedule_at(10, [&] { seen = eng.now(); });  // "earlier" than now
+  });
+  eng.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  auto id = eng.schedule_at(10, [&] { fired = true; });
+  EXPECT_EQ(eng.pending(), 1u);
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_EQ(eng.pending(), 0u);
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine eng;
+  auto id = eng.schedule_at(10, [] {});
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine eng;
+  auto id = eng.schedule_at(10, [] {});
+  eng.run();
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(Engine, CancelInvalidIdReturnsFalse) {
+  Engine eng;
+  EXPECT_FALSE(eng.cancel(Engine::EventId{}));
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    eng.schedule_at(static_cast<Time>(i), [&] {
+      if (++count == 3) eng.stop();
+    });
+  }
+  EXPECT_EQ(eng.run(), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(eng.pending(), 7u);
+  // run() clears the stop flag and resumes.
+  EXPECT_EQ(eng.run(), 7u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, RunUntilProcessesOnlyDueEventsAndAdvancesClock) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(eng.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 20u);
+  EXPECT_EQ(eng.pending(), 1u);
+  EXPECT_EQ(eng.run_until(25), 0u);
+  EXPECT_EQ(eng.now(), 25u);
+  EXPECT_EQ(eng.run_until(100), 1u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(eng.now(), 100u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledHead) {
+  Engine eng;
+  bool fired = false;
+  auto id = eng.schedule_at(5, [&] { fired = true; });
+  eng.schedule_at(50, [] {});
+  eng.cancel(id);
+  EXPECT_EQ(eng.run_until(10), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+TEST(Engine, EventsScheduledInsideCallbackAtSameTimeStillRun) {
+  Engine eng;
+  int depth = 0;
+  eng.schedule_at(10, [&] {
+    eng.schedule_after(0, [&] {
+      ++depth;
+      eng.schedule_after(0, [&] { ++depth; });
+    });
+  });
+  eng.run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(eng.now(), 10u);
+}
+
+TEST(Engine, ProcessedCounterAccumulates) {
+  Engine eng;
+  for (int i = 0; i < 5; ++i) eng.schedule_at(static_cast<Time>(i), [] {});
+  eng.run();
+  EXPECT_EQ(eng.processed(), 5u);
+}
+
+TEST(Engine, MoveOnlyCallbackPayloadsAreSupported) {
+  Engine eng;
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  eng.schedule_at(1, [p = std::move(payload), &got] { got = *p + 1; });
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Engine, TaskFailureReporting) {
+  Engine eng;
+  EXPECT_NO_THROW(eng.rethrow_task_failures());
+  eng.report_task_failure(
+      std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_THROW(eng.rethrow_task_failures(), std::runtime_error);
+}
+
+// Randomized ordering property: N events with random timestamps always
+// observe a non-decreasing clock, and all fire exactly once.
+TEST(Engine, RandomizedOrderingProperty) {
+  Engine eng;
+  Rng rng(1234);
+  constexpr int kEvents = 5000;
+  int fired = 0;
+  Time last = 0;
+  bool monotonic = true;
+  for (int i = 0; i < kEvents; ++i) {
+    eng.schedule_at(rng.uniform(0, 10'000), [&] {
+      if (eng.now() < last) monotonic = false;
+      last = eng.now();
+      ++fired;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_TRUE(monotonic);
+}
+
+// Cancellation under churn: schedule/cancel at random, verify only the
+// surviving events fire.
+TEST(Engine, RandomizedCancellationProperty) {
+  Engine eng;
+  Rng rng(99);
+  constexpr int kEvents = 2000;
+  std::vector<Engine::EventId> ids;
+  std::vector<bool> fired(kEvents, false);
+  std::vector<bool> expect(kEvents, true);
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(eng.schedule_at(rng.uniform(0, 1000),
+                                  [&fired, i] { fired[static_cast<size_t>(i)] = true; }));
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    if (rng.bernoulli(0.4)) {
+      EXPECT_TRUE(eng.cancel(ids[static_cast<size_t>(i)]));
+      expect[static_cast<size_t>(i)] = false;
+    }
+  }
+  eng.run();
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyMatches) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(from_usec(1.0), kMicrosecond);
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(-1.0), 0u);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_usec(kMicrosecond), 1.0);
+}
+
+}  // namespace
+}  // namespace pinsim::sim

@@ -1,0 +1,99 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace pinsim::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanMinMax) {
+  OnlineStats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(OnlineStats, VarianceMatchesTextbook) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sample variance of the classic example data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Samples, PercentileNearestRank) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(Samples, MeanAndExtremes) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+}
+
+TEST(Throughput, MibPerSec) {
+  // 1 MiB in 1 ms = 1000 MiB/s.
+  EXPECT_NEAR(mib_per_sec(1024 * 1024, kMillisecond), 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(mib_per_sec(123, 0), 0.0);
+}
+
+TEST(Throughput, GbPerSec) {
+  EXPECT_NEAR(gb_per_sec(1'000'000'000ull, kSecond), 1.0, 1e-12);
+}
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(static_cast<double>(i));
+    y.push_back(1.3 + 0.15 * static_cast<double>(i));
+  }
+  auto f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1.3, 1e-9);
+  EXPECT_NEAR(f.slope, 0.15, 1e-9);
+}
+
+TEST(LinearFit, RecoversNoisyPinCostModel) {
+  // Shaped like Table 1: cost(pages) = base + per_page * pages.
+  Rng rng(42);
+  std::vector<double> x, y;
+  for (int pages = 1; pages <= 4096; pages *= 2) {
+    x.push_back(static_cast<double>(pages));
+    const double noise = (rng.next_double() - 0.5) * 10.0;
+    y.push_back(1300.0 + 150.0 * pages + noise);
+  }
+  auto f = fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 1300.0, 50.0);
+  EXPECT_NEAR(f.slope, 150.0, 1.0);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_line({}, {}).slope, 0.0);
+  auto f = fit_line({5.0}, {7.0});
+  EXPECT_DOUBLE_EQ(f.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  // All-equal x cannot determine a slope.
+  auto g = fit_line({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(g.slope, 0.0);
+  EXPECT_DOUBLE_EQ(g.intercept, 2.0);
+}
+
+}  // namespace
+}  // namespace pinsim::sim

@@ -1,0 +1,177 @@
+// The tracer itself, and the protocol's use of it: a traced transfer must
+// show the causal order the paper's Figures 2/5 draw.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/host.hpp"
+#include "sim/task.hpp"
+
+namespace pinsim {
+namespace {
+
+TEST(Tracer, RecordsAndFilters) {
+  sim::Engine eng;
+  sim::Tracer tracer(eng);
+  eng.schedule_at(100, [&] { tracer.record("pkt.rx", "RNDV"); });
+  eng.schedule_at(200, [&] { tracer.record("pin.start", "region 1"); });
+  eng.schedule_at(300, [&] { tracer.record("pkt.tx", "PULL"); });
+  eng.run();
+
+  ASSERT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.records()[0].time, 100u);
+  EXPECT_EQ(tracer.records()[1].category, "pin.start");
+  EXPECT_EQ(tracer.filter("pkt").size(), 2u);
+  EXPECT_EQ(tracer.filter("pin").size(), 1u);
+  EXPECT_EQ(tracer.filter("nope").size(), 0u);
+  EXPECT_LT(tracer.find_first("pkt.rx"), tracer.find_first("pkt.tx"));
+  EXPECT_EQ(tracer.find_first("missing"), static_cast<std::size_t>(-1));
+}
+
+TEST(Tracer, RingDropsOldestBeyondCapacity) {
+  sim::Engine eng;
+  sim::Tracer tracer(eng, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record("x", std::to_string(i));
+  }
+  EXPECT_EQ(tracer.records().size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.records().front().detail, "6");
+  tracer.clear();
+  EXPECT_EQ(tracer.records().size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, DumpIsHumanReadable) {
+  sim::Engine eng;
+  sim::Tracer tracer(eng);
+  eng.schedule_at(1500, [&] { tracer.record("pkt.rx", "EAGER from node 1"); });
+  eng.run();
+  std::ostringstream os;
+  tracer.dump(os);
+  EXPECT_NE(os.str().find("1.5us] pkt.rx EAGER from node 1"),
+            std::string::npos);
+}
+
+TEST(Tracer, TracedTransferShowsTheFigure5Order) {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::Host::Config hc;
+  hc.memory_frames = 16384;
+  core::Host a(eng, fabric, hc, core::overlapped_cache_config());
+  core::Host b(eng, fabric, hc, core::overlapped_cache_config());
+  auto& pa = a.spawn_process();
+  auto& pb = b.spawn_process();
+
+  sim::Tracer sender_trace(eng);
+  sim::Tracer receiver_trace(eng);
+  a.driver().set_tracer(&sender_trace);
+  b.driver().set_tracer(&receiver_trace);
+
+  const std::size_t len = 256 * 1024;
+  const auto src = pa.heap.malloc(len);
+  const auto dst = pb.heap.malloc(len);
+  sim::spawn(eng, [](core::Library& lib, core::EndpointAddr to,
+                     mem::VirtAddr buf, std::size_t n) -> sim::Task<> {
+    (void)co_await lib.send(to, 1, buf, n);
+  }(pa.lib, pb.addr(), src, len));
+  sim::spawn(eng, [](core::Library& lib, mem::VirtAddr buf,
+                     std::size_t n) -> sim::Task<> {
+    (void)co_await lib.recv(1, ~std::uint64_t{0}, buf, n);
+  }(pb.lib, dst, len));
+  eng.run();
+  eng.rethrow_task_failures();
+
+  // Sender: Figure 5's defining property — the RNDV leaves *before* the
+  // region is fully pinned (overlapped mode).
+  const auto rndv_tx = sender_trace.find_first("pkt.tx", "RNDV");
+  const auto pin_start = sender_trace.find_first("pin.start");
+  const auto pin_done = sender_trace.find_first("pin.done");
+  ASSERT_NE(rndv_tx, static_cast<std::size_t>(-1));
+  ASSERT_NE(pin_start, static_cast<std::size_t>(-1));
+  ASSERT_NE(pin_done, static_cast<std::size_t>(-1));
+  EXPECT_LT(rndv_tx, pin_done);  // the RNDV overtakes the pin completion
+
+  // Receiver: RNDV arrives, pulls go out, data flows back.
+  const auto rndv_rx = receiver_trace.find_first("pkt.rx", "RNDV");
+  const auto pull_tx = receiver_trace.find_first("pkt.tx", "PULL to");
+  const auto reply_rx = receiver_trace.find_first("pkt.rx", "PULL_REPLY");
+  const auto notify_tx = receiver_trace.find_first("pkt.tx", "NOTIFY");
+  ASSERT_NE(rndv_rx, static_cast<std::size_t>(-1));
+  EXPECT_LT(rndv_rx, pull_tx);
+  EXPECT_LT(pull_tx, reply_rx);
+  EXPECT_LT(reply_rx, notify_tx);
+
+  // Freeing the buffer shows up as an invalidation event.
+  pa.heap.free(src);
+  EXPECT_NE(sender_trace.find_first("pin.invalidate"),
+            static_cast<std::size_t>(-1));
+}
+
+TEST(Tracer, OverlapBlockingOnlyRestrictsOverlapToBlockingRequests) {
+  // §6: "only enabling decoupled/overlapped pinning for blocking
+  // operations". A nonblocking isend must pin synchronously (RNDV after
+  // pin.done); a blocking send must overlap (RNDV before pin.done).
+  core::StackConfig stack = core::overlapped_pinning_config();
+  stack.pinning.overlap_blocking_only = true;
+
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::Host::Config hc;
+  hc.memory_frames = 16384;
+  core::Host a(eng, fabric, hc, stack);
+  core::Host b(eng, fabric, hc, stack);
+  auto& pa = a.spawn_process();
+  auto& pb = b.spawn_process();
+  sim::Tracer tracer(eng);
+  a.driver().set_tracer(&tracer);
+
+  const std::size_t len = 1024 * 1024;
+  const auto src = pa.heap.malloc(len);
+  const auto dst = pb.heap.malloc(len);
+
+  // Nonblocking send (hint defaults to false): sync pin.
+  {
+    auto sreq = pa.lib.isend(pb.addr(), 1, src, len);
+    auto rreq = pb.lib.irecv(1, ~std::uint64_t{0}, dst, len);
+    eng.run();
+    eng.rethrow_task_failures();
+    ASSERT_TRUE(sreq->status().ok);
+    const auto pin_done = tracer.find_first("pin.done");
+    const auto rndv_tx = tracer.find_first("pkt.tx", "RNDV");
+    ASSERT_NE(pin_done, static_cast<std::size_t>(-1));
+    ASSERT_NE(rndv_tx, static_cast<std::size_t>(-1));
+    EXPECT_LT(pin_done, rndv_tx);  // pin completed before the RNDV left
+  }
+
+  tracer.clear();
+  // No cache in this config, so the region repins; a *blocking* send
+  // overlaps as usual.
+  {
+    bool done = false;
+    sim::spawn(eng, [](core::Library& lib, core::EndpointAddr to,
+                       mem::VirtAddr buf, std::size_t n,
+                       bool& flag) -> sim::Task<> {
+      (void)co_await lib.send(to, 2, buf, n);
+      flag = true;
+    }(pa.lib, pb.addr(), src, len, done));
+    sim::spawn(eng, [](core::Library& lib, mem::VirtAddr buf,
+                       std::size_t n) -> sim::Task<> {
+      (void)co_await lib.recv(2, ~std::uint64_t{0}, buf, n);
+    }(pb.lib, dst, len));
+    eng.run();
+    eng.rethrow_task_failures();
+    ASSERT_TRUE(done);
+    const auto pin_done = tracer.find_first("pin.done");
+    const auto rndv_tx = tracer.find_first("pkt.tx", "RNDV");
+    ASSERT_NE(pin_done, static_cast<std::size_t>(-1));
+    ASSERT_NE(rndv_tx, static_cast<std::size_t>(-1));
+    EXPECT_LT(rndv_tx, pin_done);  // overlapped: RNDV overtakes the pin
+  }
+}
+
+}  // namespace
+}  // namespace pinsim

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/host.hpp"
+#include "mpi/communicator.hpp"
+#include "workloads/imb.hpp"
+#include "workloads/npb_is.hpp"
+#include "workloads/stencil.hpp"
+
+namespace pinsim::workloads {
+namespace {
+
+struct Cluster {
+  explicit Cluster(core::StackConfig stack, int nranks = 2,
+                   std::size_t frames = 24576) {
+    fabric = std::make_unique<net::Fabric>(eng);
+    core::Host::Config hc;
+    hc.memory_frames = frames;
+    for (int h = 0; h < 2; ++h) {
+      hosts.push_back(std::make_unique<core::Host>(eng, *fabric, hc, stack));
+    }
+    std::vector<core::Host::Process*> procs;
+    for (int r = 0; r < nranks; ++r) {
+      procs.push_back(&hosts[static_cast<std::size_t>(r % 2)]->spawn_process());
+    }
+    comm = std::make_unique<mpi::Communicator>(procs);
+  }
+
+  sim::Engine eng;
+  std::unique_ptr<net::Fabric> fabric;
+  std::vector<std::unique_ptr<core::Host>> hosts;
+  std::unique_ptr<mpi::Communicator> comm;
+};
+
+TEST(ImbSuite, PingPongThroughputIsPlausible) {
+  Cluster c(core::pinning_cache_config());
+  ImbSuite::Config cfg;
+  cfg.iterations = 5;
+  ImbSuite imb(*c.comm, cfg);
+  auto r = imb.pingpong(1024 * 1024);
+  EXPECT_EQ(r.benchmark, "PingPong");
+  EXPECT_EQ(r.bytes, 1024u * 1024);
+  EXPECT_GT(r.avg_usec, 0.0);
+  // On a 10G wire the figure-6/7 plateau is roughly 900-1200 MiB/s.
+  EXPECT_GT(r.mib_per_sec, 600.0);
+  EXPECT_LT(r.mib_per_sec, 1250.0);
+}
+
+TEST(ImbSuite, PingPongSmallMessagesGoEager) {
+  Cluster c(core::pinning_cache_config());
+  ImbSuite::Config cfg;
+  cfg.iterations = 5;
+  ImbSuite imb(*c.comm, cfg);
+  auto r = imb.pingpong(1024);
+  EXPECT_GT(r.mib_per_sec, 0.0);
+  EXPECT_EQ(c.comm->process(0).lib.counters().rndv_sent, 0u);
+  EXPECT_GT(c.comm->process(0).lib.counters().eager_sent, 0u);
+}
+
+TEST(ImbSuite, PermanentPinningBeatsPerCommunicationPinning) {
+  // The Figure 6 relationship, as a correctness property of the model.
+  auto run = [](core::StackConfig cfg) {
+    Cluster c(cfg);
+    ImbSuite::Config icfg;
+    icfg.iterations = 8;
+    ImbSuite imb(*c.comm, icfg);
+    return imb.pingpong(4 * 1024 * 1024).mib_per_sec;
+  };
+  const double per_comm = run(core::regular_pinning_config());
+  const double permanent = run(core::permanent_pinning_config());
+  EXPECT_GT(permanent, per_comm);
+  // ~5% on the Xeon E5460 model; allow 2-12%.
+  const double gain = (permanent - per_comm) / per_comm;
+  EXPECT_GT(gain, 0.02);
+  EXPECT_LT(gain, 0.15);
+}
+
+TEST(ImbSuite, CollectivesRunOnFourRanks) {
+  Cluster c(core::pinning_cache_config(), 4);
+  ImbSuite::Config cfg;
+  cfg.iterations = 3;
+  ImbSuite imb(*c.comm, cfg);
+  for (const auto& name : ImbSuite::benchmark_names()) {
+    if (name == "PingPong") continue;  // 2-rank benchmark
+    auto r = imb.run(name, 256 * 1024);
+    EXPECT_GT(r.avg_usec, 0.0) << name;
+  }
+}
+
+TEST(ImbSuite, UnknownBenchmarkThrows) {
+  Cluster c(core::pinning_cache_config());
+  ImbSuite imb(*c.comm);
+  EXPECT_THROW(imb.run("Gatherv", 1024), std::invalid_argument);
+}
+
+TEST(ImbSuite, BufferRotationDefeatsTheCache) {
+  Cluster c(core::pinning_cache_config());
+  ImbSuite::Config cfg;
+  cfg.iterations = 8;
+  cfg.buffer_rotation = 4;
+  ImbSuite imb(*c.comm, cfg);
+  (void)imb.pingpong(1024 * 1024);
+  // With 4 rotating buffers the cache holds them all, but each was a miss
+  // once; the point is that pin work happened more than once.
+  EXPECT_GE(c.comm->process(0).lib.counters().pin_ops, 4u);
+}
+
+TEST(ImbSuite, RotationConfigValidation) {
+  Cluster c(core::pinning_cache_config());
+  ImbSuite::Config cfg;
+  cfg.buffer_rotation = 0;
+  EXPECT_THROW(ImbSuite(*c.comm, cfg), std::invalid_argument);
+}
+
+TEST(NpbIs, SortsAndVerifiesAcrossFourRanks) {
+  Cluster c(core::pinning_cache_config(), 4);
+  IsConfig cfg;
+  cfg.total_keys = std::size_t{1} << 16;  // small for the unit test
+  cfg.iterations = 2;
+  auto r = run_is(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.elapsed, 0u);
+  EXPECT_EQ(r.total_keys, cfg.total_keys);
+}
+
+TEST(NpbIs, VerifiesUnderOverlappedPinningToo) {
+  Cluster c(core::overlapped_cache_config(), 4);
+  IsConfig cfg;
+  cfg.total_keys = std::size_t{1} << 16;
+  cfg.iterations = 2;
+  auto r = run_is(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(NpbIs, LargerRunUsesRendezvousMessages) {
+  Cluster c(core::pinning_cache_config(), 4);
+  IsConfig cfg;
+  cfg.total_keys = std::size_t{1} << 19;  // 128k keys/rank -> ~128kB blocks
+  cfg.iterations = 1;
+  auto r = run_is(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(c.comm->process(0).lib.counters().rndv_sent, 0u);
+}
+
+TEST(Stencil, MatchesSerialReferenceBitForBit) {
+  Cluster c(core::pinning_cache_config(), 4);
+  StencilConfig cfg;
+  cfg.nx = 256;
+  cfg.rows_per_rank = 16;
+  cfg.iterations = 5;
+  auto r = run_stencil(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.elapsed, 0u);
+  EXPECT_NE(r.checksum, 0.0);
+}
+
+TEST(Stencil, VerifiesUnderOverlappedPinningWithLargeRows) {
+  Cluster c(core::overlapped_pinning_config(), 4);
+  StencilConfig cfg;
+  cfg.nx = 16384;  // 128 kB rows: halo exchange in the rendezvous regime
+  cfg.rows_per_rank = 8;
+  cfg.iterations = 3;
+  auto r = run_stencil(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(c.comm->process(1).lib.counters().rndv_sent, 0u);
+}
+
+TEST(Stencil, SingleRankDegeneratesToSerial) {
+  Cluster c(core::pinning_cache_config(), 1);
+  StencilConfig cfg;
+  cfg.nx = 128;
+  cfg.rows_per_rank = 32;
+  cfg.iterations = 4;
+  auto r = run_stencil(*c.comm, cfg);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Stencil, RejectsDegenerateGrid) {
+  Cluster c(core::pinning_cache_config(), 2);
+  StencilConfig cfg;
+  cfg.nx = 1;
+  EXPECT_THROW(run_stencil(*c.comm, cfg), std::invalid_argument);
+}
+
+TEST(NpbIs, RejectsIndivisibleKeyCount) {
+  Cluster c(core::pinning_cache_config(), 4);
+  IsConfig cfg;
+  cfg.total_keys = 1001;
+  EXPECT_THROW(run_is(*c.comm, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pinsim::workloads
