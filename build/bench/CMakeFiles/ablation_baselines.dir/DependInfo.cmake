@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_baselines.cpp" "bench/CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o" "gcc" "bench/CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pinsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pinsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/pinsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pinsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pinsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pinsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pinsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioat/CMakeFiles/pinsim_ioat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pinsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

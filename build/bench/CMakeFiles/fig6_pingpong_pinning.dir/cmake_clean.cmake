@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pingpong_pinning.dir/fig6_pingpong_pinning.cpp.o"
+  "CMakeFiles/fig6_pingpong_pinning.dir/fig6_pingpong_pinning.cpp.o.d"
+  "fig6_pingpong_pinning"
+  "fig6_pingpong_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pingpong_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

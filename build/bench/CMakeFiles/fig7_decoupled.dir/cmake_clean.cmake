@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_decoupled.dir/fig7_decoupled.cpp.o"
+  "CMakeFiles/fig7_decoupled.dir/fig7_decoupled.cpp.o.d"
+  "fig7_decoupled"
+  "fig7_decoupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_decoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

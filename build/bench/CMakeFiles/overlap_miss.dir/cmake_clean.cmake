@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_miss.dir/overlap_miss.cpp.o"
+  "CMakeFiles/overlap_miss.dir/overlap_miss.cpp.o.d"
+  "overlap_miss"
+  "overlap_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

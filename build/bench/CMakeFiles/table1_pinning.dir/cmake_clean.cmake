@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pinning.dir/table1_pinning.cpp.o"
+  "CMakeFiles/table1_pinning.dir/table1_pinning.cpp.o.d"
+  "table1_pinning"
+  "table1_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

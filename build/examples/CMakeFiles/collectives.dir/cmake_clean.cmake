@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives.dir/collectives.cpp.o"
+  "CMakeFiles/collectives.dir/collectives.cpp.o.d"
+  "collectives"
+  "collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

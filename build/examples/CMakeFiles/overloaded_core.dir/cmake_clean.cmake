@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overloaded_core.dir/overloaded_core.cpp.o"
+  "CMakeFiles/overloaded_core.dir/overloaded_core.cpp.o.d"
+  "overloaded_core"
+  "overloaded_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overloaded_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

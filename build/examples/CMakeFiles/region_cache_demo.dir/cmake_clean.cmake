@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_cache_demo.dir/region_cache_demo.cpp.o"
+  "CMakeFiles/region_cache_demo.dir/region_cache_demo.cpp.o.d"
+  "region_cache_demo"
+  "region_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

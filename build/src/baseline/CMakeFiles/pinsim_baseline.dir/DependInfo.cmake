@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/pipelined.cpp" "src/baseline/CMakeFiles/pinsim_baseline.dir/pipelined.cpp.o" "gcc" "src/baseline/CMakeFiles/pinsim_baseline.dir/pipelined.cpp.o.d"
+  "/root/repo/src/baseline/userspace_regcache.cpp" "src/baseline/CMakeFiles/pinsim_baseline.dir/userspace_regcache.cpp.o" "gcc" "src/baseline/CMakeFiles/pinsim_baseline.dir/userspace_regcache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pinsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pinsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pinsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pinsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioat/CMakeFiles/pinsim_ioat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pinsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_baseline.dir/pipelined.cpp.o"
+  "CMakeFiles/pinsim_baseline.dir/pipelined.cpp.o.d"
+  "CMakeFiles/pinsim_baseline.dir/userspace_regcache.cpp.o"
+  "CMakeFiles/pinsim_baseline.dir/userspace_regcache.cpp.o.d"
+  "libpinsim_baseline.a"
+  "libpinsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/pinsim_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "src/core/CMakeFiles/pinsim_core.dir/driver.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/driver.cpp.o.d"
+  "/root/repo/src/core/endpoint.cpp" "src/core/CMakeFiles/pinsim_core.dir/endpoint.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/endpoint.cpp.o.d"
+  "/root/repo/src/core/host.cpp" "src/core/CMakeFiles/pinsim_core.dir/host.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/host.cpp.o.d"
+  "/root/repo/src/core/library.cpp" "src/core/CMakeFiles/pinsim_core.dir/library.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/library.cpp.o.d"
+  "/root/repo/src/core/pin_manager.cpp" "src/core/CMakeFiles/pinsim_core.dir/pin_manager.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/pin_manager.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/pinsim_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/region.cpp.o.d"
+  "/root/repo/src/core/region_cache.cpp" "src/core/CMakeFiles/pinsim_core.dir/region_cache.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/region_cache.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/pinsim_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/pinsim_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/pinsim_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pinsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pinsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pinsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pinsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioat/CMakeFiles/pinsim_ioat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

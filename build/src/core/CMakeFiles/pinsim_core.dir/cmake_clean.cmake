@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_core.dir/config.cpp.o"
+  "CMakeFiles/pinsim_core.dir/config.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/driver.cpp.o"
+  "CMakeFiles/pinsim_core.dir/driver.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/endpoint.cpp.o"
+  "CMakeFiles/pinsim_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/host.cpp.o"
+  "CMakeFiles/pinsim_core.dir/host.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/library.cpp.o"
+  "CMakeFiles/pinsim_core.dir/library.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/pin_manager.cpp.o"
+  "CMakeFiles/pinsim_core.dir/pin_manager.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/region.cpp.o"
+  "CMakeFiles/pinsim_core.dir/region.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/region_cache.cpp.o"
+  "CMakeFiles/pinsim_core.dir/region_cache.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/report.cpp.o"
+  "CMakeFiles/pinsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/pinsim_core.dir/wire.cpp.o"
+  "CMakeFiles/pinsim_core.dir/wire.cpp.o.d"
+  "libpinsim_core.a"
+  "libpinsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

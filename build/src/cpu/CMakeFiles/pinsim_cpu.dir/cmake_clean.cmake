@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_cpu.dir/core.cpp.o"
+  "CMakeFiles/pinsim_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/pinsim_cpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/pinsim_cpu.dir/cpu_model.cpp.o.d"
+  "libpinsim_cpu.a"
+  "libpinsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

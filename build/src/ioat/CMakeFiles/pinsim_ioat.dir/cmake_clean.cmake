@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_ioat.dir/dma_engine.cpp.o"
+  "CMakeFiles/pinsim_ioat.dir/dma_engine.cpp.o.d"
+  "libpinsim_ioat.a"
+  "libpinsim_ioat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_ioat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

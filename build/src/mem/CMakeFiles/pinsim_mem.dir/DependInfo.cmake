@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cpp" "src/mem/CMakeFiles/pinsim_mem.dir/address_space.cpp.o" "gcc" "src/mem/CMakeFiles/pinsim_mem.dir/address_space.cpp.o.d"
+  "/root/repo/src/mem/malloc_sim.cpp" "src/mem/CMakeFiles/pinsim_mem.dir/malloc_sim.cpp.o" "gcc" "src/mem/CMakeFiles/pinsim_mem.dir/malloc_sim.cpp.o.d"
+  "/root/repo/src/mem/physical_memory.cpp" "src/mem/CMakeFiles/pinsim_mem.dir/physical_memory.cpp.o" "gcc" "src/mem/CMakeFiles/pinsim_mem.dir/physical_memory.cpp.o.d"
+  "/root/repo/src/mem/swap_daemon.cpp" "src/mem/CMakeFiles/pinsim_mem.dir/swap_daemon.cpp.o" "gcc" "src/mem/CMakeFiles/pinsim_mem.dir/swap_daemon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pinsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

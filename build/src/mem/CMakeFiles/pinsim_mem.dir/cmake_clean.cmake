@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_mem.dir/address_space.cpp.o"
+  "CMakeFiles/pinsim_mem.dir/address_space.cpp.o.d"
+  "CMakeFiles/pinsim_mem.dir/malloc_sim.cpp.o"
+  "CMakeFiles/pinsim_mem.dir/malloc_sim.cpp.o.d"
+  "CMakeFiles/pinsim_mem.dir/physical_memory.cpp.o"
+  "CMakeFiles/pinsim_mem.dir/physical_memory.cpp.o.d"
+  "CMakeFiles/pinsim_mem.dir/swap_daemon.cpp.o"
+  "CMakeFiles/pinsim_mem.dir/swap_daemon.cpp.o.d"
+  "libpinsim_mem.a"
+  "libpinsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpinsim_mem.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_mpi.dir/communicator.cpp.o"
+  "CMakeFiles/pinsim_mpi.dir/communicator.cpp.o.d"
+  "libpinsim_mpi.a"
+  "libpinsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

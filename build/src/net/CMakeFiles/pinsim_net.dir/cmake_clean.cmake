@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_net.dir/fabric.cpp.o"
+  "CMakeFiles/pinsim_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/pinsim_net.dir/nic.cpp.o"
+  "CMakeFiles/pinsim_net.dir/nic.cpp.o.d"
+  "libpinsim_net.a"
+  "libpinsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/pinsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pinsim_sim.dir/log.cpp.o"
+  "CMakeFiles/pinsim_sim.dir/log.cpp.o.d"
+  "CMakeFiles/pinsim_sim.dir/random.cpp.o"
+  "CMakeFiles/pinsim_sim.dir/random.cpp.o.d"
+  "CMakeFiles/pinsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/pinsim_sim.dir/stats.cpp.o.d"
+  "libpinsim_sim.a"
+  "libpinsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

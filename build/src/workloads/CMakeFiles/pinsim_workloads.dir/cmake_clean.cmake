@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinsim_workloads.dir/imb.cpp.o"
+  "CMakeFiles/pinsim_workloads.dir/imb.cpp.o.d"
+  "CMakeFiles/pinsim_workloads.dir/npb_is.cpp.o"
+  "CMakeFiles/pinsim_workloads.dir/npb_is.cpp.o.d"
+  "CMakeFiles/pinsim_workloads.dir/stencil.cpp.o"
+  "CMakeFiles/pinsim_workloads.dir/stencil.cpp.o.d"
+  "libpinsim_workloads.a"
+  "libpinsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

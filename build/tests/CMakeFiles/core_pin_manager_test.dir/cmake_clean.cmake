@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pin_manager_test.dir/core_pin_manager_test.cpp.o"
+  "CMakeFiles/core_pin_manager_test.dir/core_pin_manager_test.cpp.o.d"
+  "core_pin_manager_test"
+  "core_pin_manager_test.pdb"
+  "core_pin_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pin_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

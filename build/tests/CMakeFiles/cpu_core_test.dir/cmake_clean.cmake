@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_core_test.dir/cpu_core_test.cpp.o"
+  "CMakeFiles/cpu_core_test.dir/cpu_core_test.cpp.o.d"
+  "cpu_core_test"
+  "cpu_core_test.pdb"
+  "cpu_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ioat_test.dir/ioat_test.cpp.o"
+  "CMakeFiles/ioat_test.dir/ioat_test.cpp.o.d"
+  "ioat_test"
+  "ioat_test.pdb"
+  "ioat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ioat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_address_space_test.dir/mem_address_space_test.cpp.o"
+  "CMakeFiles/mem_address_space_test.dir/mem_address_space_test.cpp.o.d"
+  "mem_address_space_test"
+  "mem_address_space_test.pdb"
+  "mem_address_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_malloc_swap_test.dir/mem_malloc_swap_test.cpp.o"
+  "CMakeFiles/mem_malloc_swap_test.dir/mem_malloc_swap_test.cpp.o.d"
+  "mem_malloc_swap_test"
+  "mem_malloc_swap_test.pdb"
+  "mem_malloc_swap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_malloc_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

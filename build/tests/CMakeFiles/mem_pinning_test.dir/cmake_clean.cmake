@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_pinning_test.dir/mem_pinning_test.cpp.o"
+  "CMakeFiles/mem_pinning_test.dir/mem_pinning_test.cpp.o.d"
+  "mem_pinning_test"
+  "mem_pinning_test.pdb"
+  "mem_pinning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_pinning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_transfer_test.dir/property_transfer_test.cpp.o"
+  "CMakeFiles/property_transfer_test.dir/property_transfer_test.cpp.o.d"
+  "property_transfer_test"
+  "property_transfer_test.pdb"
+  "property_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_address_space_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_pinning_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_malloc_swap_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_core_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ioat_test[1]_include.cmake")
+include("/root/repo/build/tests/core_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/core_config_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core_region_test[1]_include.cmake")
+include("/root/repo/build/tests/core_region_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pin_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core_api_test[1]_include.cmake")
+include("/root/repo/build/tests/property_transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/core_endpoint_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/core_report_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
