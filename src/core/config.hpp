@@ -92,9 +92,27 @@ struct ProtocolConfig {
   /// Pull blocks kept outstanding by the receiver.
   std::size_t pull_window = 2;
 
-  /// Retransmission timeout for control traffic (paper footnote: 1 s before
-  /// a lost packet is re-requested pessimistically).
+  /// Base retransmission timeout for control traffic (paper footnote: 1 s
+  /// before a lost packet is re-requested pessimistically). Consecutive
+  /// timeouts of the same request back off exponentially from this value.
   sim::Time retransmit_timeout = sim::kSecond;
+
+  /// Cap for the exponential retransmit backoff: the per-request timeout
+  /// doubles on every retry but never exceeds this.
+  sim::Time retransmit_backoff_max = 8 * sim::kSecond;
+
+  /// Retransmit attempts per send request (eager resend / RNDV resend /
+  /// passive wait) before the request aborts gracefully with ok=false.
+  int retry_budget = 64;
+
+  /// NOTIFY retransmissions before the receiver abandons the handshake (the
+  /// data already arrived; only the sender-side release is at stake).
+  int notify_retry_budget = 100;
+
+  /// Consecutive progress-free pull-retry ticks before the receiver aborts
+  /// the transfer and tells the sender. Bounds how long a dead sender can
+  /// hold receiver state: budget x pull_retry_timeout of silence.
+  int pull_stall_budget = 256;
 
   /// Per-block pull retry period. Overlap misses always drop the *tail* of
   /// a block (pages pin in order), which gap detection cannot see, so the

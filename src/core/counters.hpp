@@ -35,6 +35,12 @@ struct Counters {
   std::uint64_t duplicate_frames = 0;
   std::uint64_t aborts = 0;
 
+  // Fault tolerance (frame checksum, duplicate suppression, retry budget).
+  std::uint64_t frames_corrupted = 0;      // frames that failed to decode
+  std::uint64_t checksum_drops = 0;        // checksum mismatch or bounds abuse
+  std::uint64_t duplicates_suppressed = 0; // dup frames discarded side-effect-free
+  std::uint64_t retry_exhausted = 0;       // requests given up after the budget
+
   /// §4.3's headline metric: fraction of packet-driven region accesses that
   /// found their page not pinned yet.
   [[nodiscard]] double overlap_miss_rate() const noexcept {

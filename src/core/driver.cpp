@@ -46,8 +46,27 @@ void Driver::on_frame(net::Frame&& frame) {
   Packet pkt;
   try {
     pkt = decode(frame.payload);
+  } catch (const WireChecksumError&) {
+    // Bit-flipped in flight. The header may itself be corrupted, so the
+    // dst_ep lookup for counter attribution is best-effort only — the frame
+    // is dropped either way and retransmission recovers.
+    if (tracer_ != nullptr) tracer_->record("pkt.checksum", "");
+    if (frame.payload.size() >= 3) {
+      const auto ep_id = static_cast<std::uint8_t>(frame.payload[2]);
+      if (Endpoint* ep = endpoint(ep_id); ep != nullptr) {
+        ++ep->counters().frames_corrupted;
+        ++ep->counters().checksum_drops;
+      }
+    }
+    return;
   } catch (const WireFormatError&) {
     if (tracer_ != nullptr) tracer_->record("pkt.malformed", "");
+    if (frame.payload.size() >= 3) {
+      const auto ep_id = static_cast<std::uint8_t>(frame.payload[2]);
+      if (Endpoint* ep = endpoint(ep_id); ep != nullptr) {
+        ++ep->counters().frames_corrupted;
+      }
+    }
     return;  // malformed frame: dropped, retransmission recovers
   }
   if (tracer_ != nullptr) {

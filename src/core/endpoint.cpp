@@ -24,8 +24,6 @@ struct EndpointNotifier final : mem::MmuNotifier {
   bool address_space_alive = true;
 };
 
-constexpr int kMaxRetries = 64;
-constexpr int kMaxNotifyRetries = 100;
 constexpr std::size_t kCompletedMemory = 8192;
 
 }  // namespace
@@ -68,6 +66,20 @@ Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
 }
 
 Endpoint::~Endpoint() {
+  // Disarm every guarded() closure still sitting in the engine's event
+  // queue or a core's run queue, then drop the timers we know about. An
+  // endpoint closed mid-transfer otherwise leaves retransmit timers and
+  // queued bottom halves pointing at freed memory.
+  alive_.reset();
+  for (auto& [seq, req] : sends_) driver_.engine().cancel(req.rto);
+  for (auto& [handle, ps] : pulls_) driver_.engine().cancel(ps->rto);
+
+  // Regions still declared (an endpoint closed mid-transfer, or one driven
+  // without a Library): cancel in-flight pin jobs and release their pins so
+  // the pin manager never holds a pointer into the freed region table.
+  for (auto& [id, region] : regions_) pins_.unregister_region(*region);
+  regions_.clear();
+
   // If the address space died first, its destructor already fired the
   // notifier's release() — touching it again would be use-after-free.
   auto* notifier = static_cast<EndpointNotifier*>(notifier_.get());
@@ -158,9 +170,9 @@ std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
   sends_.emplace(seq, std::move(req));
   // The kernel-side copy into frames costs CPU on the submitting core.
   process_core_.submit(cpu::Priority::kKernel, driver_.cpu().copy_cost(len),
-                       [this, seq] {
+                       guarded([this, seq] {
                          if (sends_.count(seq) != 0) transmit_eager(seq);
-                       });
+                       }));
   return seq;
 }
 
@@ -211,7 +223,8 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
   // Pin per configuration: with overlapping the completion fires right away
   // (or after the pre-pin threshold) and the RNDV leaves before the region
   // is fully pinned (Figure 5); otherwise it waits (Figure 2).
-  pins_.ensure_pinned(*region, overlap_for(blocking_hint), [this, seq](bool ok) {
+  pins_.ensure_pinned(*region, overlap_for(blocking_hint),
+                      guarded([this, seq](bool ok) {
     auto it = sends_.find(seq);
     if (it == sends_.end()) return;  // already failed/aborted
     if (!ok) {
@@ -219,7 +232,7 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
       return;
     }
     if (!it->second.rndv_sent) send_rndv_frame(it->second);
-  });
+  }));
   return seq;
 }
 
@@ -235,15 +248,27 @@ void Endpoint::send_rndv_frame(SendRequest& req) {
   arm_send_rto(req);
 }
 
+sim::Time Endpoint::backoff_timeout(int retries) const {
+  const auto& proto = driver_.config().protocol;
+  sim::Time t = proto.retransmit_timeout;
+  for (int i = 0; i < retries && t < proto.retransmit_backoff_max; ++i) {
+    t *= 2;
+  }
+  return std::min(t, proto.retransmit_backoff_max);
+}
+
 void Endpoint::arm_send_rto(SendRequest& req) {
   const auto seq = req.seq;
   req.rto = driver_.engine().schedule_after(
-      driver_.config().protocol.retransmit_timeout, [this, seq] {
+      backoff_timeout(req.retries), guarded([this, seq] {
         auto it = sends_.find(seq);
         if (it == sends_.end()) return;
         SendRequest& r = it->second;
         ++counters_.retransmit_timeouts;
-        if (++r.retries > kMaxRetries) {
+        if (++r.retries > driver_.config().protocol.retry_budget) {
+          // Budget exhausted: give up gracefully instead of hammering a
+          // peer that is clearly not answering.
+          ++counters_.retry_exhausted;
           fail_send(seq, /*send_abort=*/!r.eager && r.rndv_sent);
           return;
         }
@@ -254,7 +279,7 @@ void Endpoint::arm_send_rto(SendRequest& req) {
         } else {
           arm_send_rto(r);  // passive: receiver drives; just keep waiting
         }
-      });
+      }));
 }
 
 void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
@@ -374,7 +399,10 @@ void Endpoint::on_eager(net::NodeId src, std::uint8_t src_ep,
                         EagerBody&& body) {
   const std::uint64_t key = inbound_key(src, src_ep, body.seq, false);
   if (is_completed(key)) {
+    // Retransmission of a message we already delivered: re-ack (the ack was
+    // probably lost) but never touch the user buffer again.
     ++counters_.duplicate_frames;
+    ++counters_.duplicates_suppressed;
     send_packet({src, src_ep}, EagerAckBody{body.seq},
                 cpu::Priority::kBottomHalf);
     return;
@@ -413,6 +441,7 @@ void Endpoint::on_eager(net::NodeId src, std::uint8_t src_ep,
 
   if (msg->frags_seen.count(body.frag_offset) != 0) {
     ++counters_.duplicate_frames;
+    ++counters_.duplicates_suppressed;
     return;
   }
   msg->frags_seen.insert(body.frag_offset);
@@ -441,9 +470,12 @@ void Endpoint::eager_deliver_frag(InboundMsg& msg, std::uint32_t frag_offset,
       } else {
         // Started as unexpected: every fragment stays in the kernel staging
         // buffer, even if an irecv bound the message mid-reassembly, so the
-        // final staged copy delivers a consistent whole.
-        std::memcpy(m.kernel_buffer.data() + frag_offset, data.data(),
-                    data.size());
+        // final staged copy delivers a consistent whole. A zero-length
+        // message has no bytes (and a null data pointer) to copy.
+        if (!data.empty()) {
+          std::memcpy(m.kernel_buffer.data() + frag_offset, data.data(),
+                      data.size());
+        }
       }
       m.bytes_received += data.size();
       if (m.bytes_received >= m.msg_len) finish_eager_inbound(m);
@@ -530,7 +562,10 @@ void Endpoint::complete_recv(const RecvRequest& recv, Status st) {
 void Endpoint::on_eager_ack(net::NodeId, std::uint8_t,
                             const EagerAckBody& body) {
   auto it = sends_.find(body.seq);
-  if (it == sends_.end()) return;  // duplicate ack
+  if (it == sends_.end()) {
+    ++counters_.duplicates_suppressed;  // duplicate ack
+    return;
+  }
   SendRequest req = std::move(it->second);
   sends_.erase(it);
   driver_.engine().cancel(req.rto);
@@ -543,17 +578,22 @@ void Endpoint::on_rndv(net::NodeId src, std::uint8_t src_ep,
                        const RndvBody& body) {
   ++counters_.rndv_received;
   const std::uint64_t key = inbound_key(src, src_ep, body.seq, true);
-  if (is_completed(key)) return;  // stale duplicate
+  if (is_completed(key)) {
+    ++counters_.duplicates_suppressed;  // stale duplicate
+    return;
+  }
   for (const auto& [handle, ps] : pulls_) {
     if (ps->peer_node == src && ps->peer_ep == src_ep &&
         ps->sender_seq == body.seq) {
-      return;  // duplicate of an in-progress transfer
+      ++counters_.duplicates_suppressed;  // dup of an in-progress transfer
+      return;
     }
   }
   for (const auto& m : inbound_) {
     if (m.rndv && m.peer_node == src && m.peer_ep == src_ep &&
         m.seq == body.seq) {
-      return;  // duplicate of an unmatched rendezvous
+      ++counters_.duplicates_suppressed;  // dup of an unmatched rendezvous
+      return;
     }
   }
 
@@ -622,7 +662,7 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
   region->add_use();
   arm_pull_rto(*pulls_[handle]);
   pins_.ensure_pinned(*region, overlap_for(pulls_[handle]->recv.blocking_hint),
-                      [this, handle](bool ok) {
+                      guarded([this, handle](bool ok) {
     auto it = pulls_.find(handle);
     if (it == pulls_.end()) return;
     PullState& p = *it->second;
@@ -636,7 +676,7 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
       return;
     }
     if (!p.started) begin_pull_requests(p);
-  });
+  }));
 }
 
 void Endpoint::begin_pull_requests(PullState& ps) {
@@ -680,6 +720,14 @@ void Endpoint::on_pull(net::NodeId src, std::uint8_t src_ep,
   if (region == nullptr) return;  // undeclared (aborted): ignore
   pins_.touch(*region);
 
+  // A pull must stay inside the region it names; a request that escapes it
+  // (corrupted-but-parseable, or hostile) is dropped, never served.
+  if (body.offset > region->total_length() ||
+      body.len > region->total_length() - body.offset) {
+    ++counters_.checksum_drops;
+    return;
+  }
+
   const auto& proto = driver_.config().protocol;
   const std::size_t end = body.offset + body.len;
   for (std::size_t off = body.offset; off < end;
@@ -712,17 +760,39 @@ void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
   auto it = pulls_.find(body.handle);
   if (it == pulls_.end()) {
     ++counters_.duplicate_frames;  // stale reply for a finished transfer
+    ++counters_.duplicates_suppressed;
     return;
   }
   PullState& ps = *it->second;
   const auto& proto = driver_.config().protocol;
+  // Validate the frame against this pull state before touching any memory:
+  // the offset must land on a frame boundary inside a known block and the
+  // payload must be exactly the frame the protocol would send for that slot.
+  // Anything else is a corrupted-but-parseable or hostile frame — drop it
+  // and let retransmission recover; never scribble into the region.
+  if (body.offset >= ps.msg_len) {
+    ++counters_.checksum_drops;
+    return;
+  }
   const std::size_t block_idx = body.offset / proto.pull_block;
-  if (block_idx >= ps.blocks.size()) return;
+  if (block_idx >= ps.blocks.size()) {
+    ++counters_.checksum_drops;
+    return;
+  }
   PullBlock& blk = ps.blocks[block_idx];
-  const std::size_t frame_idx =
-      (body.offset - blk.offset) / proto.frame_payload;
-  if (frame_idx >= blk.frame_seen.size() || blk.frame_seen[frame_idx]) {
+  const std::size_t in_block = body.offset - blk.offset;
+  if (in_block % proto.frame_payload != 0 || in_block >= blk.len) {
+    ++counters_.checksum_drops;
+    return;
+  }
+  const std::size_t frame_idx = in_block / proto.frame_payload;
+  if (body.data.size() != std::min(proto.frame_payload, blk.len - in_block)) {
+    ++counters_.checksum_drops;
+    return;
+  }
+  if (blk.frame_seen[frame_idx]) {
     ++counters_.duplicate_frames;
+    ++counters_.duplicates_suppressed;
     return;
   }
 
@@ -818,11 +888,11 @@ void Endpoint::arm_receiver_fast_retry(PullState& ps, std::size_t block_idx) {
     if (auto self = weak.lock()) {
       driver_.engine().schedule_after(
           driver_.config().protocol.rerequest_cooldown,
-          [self] { (*self)(); });
+          guarded([self] { (*self)(); }));
     }
   };
   driver_.engine().schedule_after(proto.rerequest_cooldown,
-                                  [poll] { (*poll)(); });
+                                  guarded([poll] { (*poll)(); }));
 }
 
 void Endpoint::arm_sender_fast_retry(net::NodeId src, std::uint8_t src_ep,
@@ -860,11 +930,11 @@ void Endpoint::arm_sender_fast_retry(net::NodeId src, std::uint8_t src_ep,
     if (auto self = weak.lock()) {
       driver_.engine().schedule_after(
           driver_.config().protocol.rerequest_cooldown,
-          [self] { (*self)(); });
+          guarded([self] { (*self)(); }));
     }
   };
   driver_.engine().schedule_after(proto.rerequest_cooldown,
-                                  [poll] { (*poll)(); });
+                                  guarded([poll] { (*poll)(); }));
 }
 
 void Endpoint::maybe_optimistic_rerequest(PullState& ps,
@@ -911,23 +981,27 @@ void Endpoint::send_notify(PullState& ps) {
               cpu::Priority::kBottomHalf);
   const std::uint32_t handle = ps.handle;
   ps.rto = driver_.engine().schedule_after(
-      driver_.config().protocol.retransmit_timeout, [this, handle] {
+      backoff_timeout(ps.notify_retries), guarded([this, handle] {
         auto it = pulls_.find(handle);
         if (it == pulls_.end()) return;
         PullState& p = *it->second;
-        if (++p.notify_retries > kMaxNotifyRetries) {
+        if (++p.notify_retries >
+            driver_.config().protocol.notify_retry_budget) {
+          // The data is safely delivered; only the sender-side release is
+          // lost. Stop retransmitting and free the handle.
+          ++counters_.retry_exhausted;
           destroy_pull(handle);
           return;
         }
         ++counters_.retransmit_timeouts;
         send_notify(p);
-      });
+      }));
 }
 
 void Endpoint::arm_pull_rto(PullState& ps) {
   const std::uint32_t handle = ps.handle;
   ps.rto = driver_.engine().schedule_after(
-      driver_.config().protocol.pull_retry_timeout, [this, handle] {
+      driver_.config().protocol.pull_retry_timeout, guarded([this, handle] {
         auto it = pulls_.find(handle);
         if (it == pulls_.end()) return;
         PullState& p = *it->second;
@@ -937,15 +1011,29 @@ void Endpoint::arm_pull_rto(PullState& ps) {
         // one that is merely streaming must not be re-pulled.
         const std::size_t progress = p.frames_received_total();
         if (p.started && progress == p.last_progress) {
+          if (++p.stall_ticks > driver_.config().protocol.pull_stall_budget) {
+            // The sender has been silent for the whole budget: stop holding
+            // receiver state for it, tell it we gave up, fail the receive.
+            ++counters_.retry_exhausted;
+            ++counters_.aborts;
+            send_packet({p.peer_node, p.peer_ep}, AbortBody{p.sender_seq},
+                        cpu::Priority::kKernel);
+            if (p.region != nullptr) p.region->drop_use();
+            complete_recv(p.recv, Status{false, false, 0});
+            destroy_pull(handle);
+            return;
+          }
           ++counters_.retransmit_timeouts;
           for (std::size_t i = 0; i < p.blocks.size(); ++i) {
             PullBlock& blk = p.blocks[i];
             if (blk.requested && !blk.complete) request_block(p, i);
           }
+        } else {
+          p.stall_ticks = 0;
         }
         p.last_progress = progress;
         arm_pull_rto(p);
-      });
+      }));
 }
 
 void Endpoint::destroy_pull(std::uint32_t handle) {
@@ -962,7 +1050,10 @@ void Endpoint::on_notify(net::NodeId src, std::uint8_t src_ep,
   send_packet({src, src_ep}, NotifyAckBody{body.handle},
               cpu::Priority::kBottomHalf);
   auto it = sends_.find(body.seq);
-  if (it == sends_.end()) return;
+  if (it == sends_.end()) {
+    ++counters_.duplicates_suppressed;  // notify retransmission
+    return;
+  }
   SendRequest req = std::move(it->second);
   sends_.erase(it);
   driver_.engine().cancel(req.rto);
@@ -971,6 +1062,10 @@ void Endpoint::on_notify(net::NodeId src, std::uint8_t src_ep,
 }
 
 void Endpoint::on_notify_ack(const NotifyAckBody& body) {
+  if (pulls_.find(body.handle) == pulls_.end()) {
+    ++counters_.duplicates_suppressed;  // ack for an already-freed handle
+    return;
+  }
   destroy_pull(body.handle);
 }
 
@@ -1004,7 +1099,10 @@ void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
 
 // --- plumbing ---------------------------------------------------------------------
 
-void Endpoint::charge_rx_copy(std::size_t bytes, sim::UniqueFunction after) {
+void Endpoint::charge_rx_copy(std::size_t bytes, sim::UniqueFunction raw) {
+  // The continuation captures `this` and runs after an arbitrary queueing
+  // delay (CPU run queue or DMA channel) — guard it against endpoint close.
+  sim::UniqueFunction after = guarded(std::move(raw));
   cpu::Core& irq = bh_core();
   ioat::DmaEngine* dma = driver_.dma();
   if (driver_.config().protocol.use_ioat && dma != nullptr) {
@@ -1050,9 +1148,9 @@ void Endpoint::send_packet(EndpointAddr dest, PacketBody body,
                         ? bh_core()
                         : process_core_;
   const sim::Time cost = driver_.cpu().tx_frame_overhead + extra_cost;
-  core.submit(priority, cost, [this, f = std::move(frame)]() mutable {
+  core.submit(priority, cost, guarded([this, f = std::move(frame)]() mutable {
     driver_.nic().send(std::move(f));
-  });
+  }));
 }
 
 void Endpoint::remember_completed(std::uint64_t key) {

@@ -220,6 +220,7 @@ class Endpoint {
     bool started = false;  // pulls flowing (pin gate passed)
     bool done = false;     // data complete, NOTIFY (re)transmitting
     int notify_retries = 0;
+    int stall_ticks = 0;   // consecutive progress-free pull-retry ticks
     std::size_t last_progress = 0;  // frames received at the last rto tick
     sim::Engine::EventId rto{};
 
@@ -238,6 +239,10 @@ class Endpoint {
   void send_rndv_frame(SendRequest& req);
   void arm_send_rto(SendRequest& req);
   void fail_send(std::uint32_t seq, bool send_abort);
+
+  /// Exponential backoff: base retransmit timeout doubled per retry already
+  /// burned, capped at `retransmit_backoff_max`.
+  [[nodiscard]] sim::Time backoff_timeout(int retries) const;
 
   // Packet handlers (BH context).
   void on_eager(net::NodeId src, std::uint8_t src_ep, EagerBody&& body);
@@ -303,10 +308,26 @@ class Endpoint {
   /// (bounded memory).
   void remember_completed(std::uint64_t key);
   [[nodiscard]] bool is_completed(std::uint64_t key) const;
+
+  /// Wraps a timer/core-queue callback so it turns into a no-op once this
+  /// endpoint is destroyed. Closures capturing `this` can outlive the
+  /// endpoint inside the engine's event queue or a core's run queue; an
+  /// endpoint closed mid-transfer must not let them fire into freed memory.
+  template <typename F>
+  [[nodiscard]] auto guarded(F f) {
+    return [weak = std::weak_ptr<void>(alive_),
+            fn = std::move(f)](auto&&... args) mutable {
+      if (weak.expired()) return;
+      fn(std::forward<decltype(args)>(args)...);
+    };
+  }
   [[nodiscard]] static std::uint64_t inbound_key(net::NodeId node,
                                                  std::uint8_t ep,
                                                  std::uint32_t seq,
                                                  bool rndv);
+
+  /// Liveness token for guarded() closures; reset first thing in ~Endpoint.
+  std::shared_ptr<void> alive_ = std::make_shared<char>();
 
   Driver& driver_;
   std::uint8_t id_;

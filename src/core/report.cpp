@@ -40,6 +40,12 @@ std::string format_report(Host::Process& p, Host& host) {
        static_cast<unsigned long long>(c.retransmit_timeouts),
        static_cast<unsigned long long>(c.duplicate_frames),
        static_cast<unsigned long long>(c.aborts));
+  line(out, "  faults: corrupted=%llu checksum_drops=%llu dup_suppressed=%llu "
+            "retry_exhausted=%llu",
+       static_cast<unsigned long long>(c.frames_corrupted),
+       static_cast<unsigned long long>(c.checksum_drops),
+       static_cast<unsigned long long>(c.duplicates_suppressed),
+       static_cast<unsigned long long>(c.retry_exhausted));
   line(out, "  pinning: ops=%llu pages=%llu unpins=%llu repins=%llu "
             "failures=%llu",
        static_cast<unsigned long long>(c.pin_ops),

@@ -74,7 +74,31 @@ PacketType body_type(const PacketBody& b) noexcept {
   return static_cast<PacketType>(b.index() + 1);
 }
 
+struct Crc32Table {
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+  std::uint32_t entries[256] = {};
+};
+
+constexpr Crc32Table kCrc32;
+
 }  // namespace
+
+std::uint32_t frame_checksum(std::span<const std::byte> bytes) noexcept {
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::byte b : bytes) {
+    crc = kCrc32.entries[(crc ^ static_cast<std::uint8_t>(b)) & 0xffu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
 
 const char* packet_type_name(PacketType t) noexcept {
   switch (t) {
@@ -101,23 +125,23 @@ const char* packet_type_name(PacketType t) noexcept {
 std::size_t encoded_overhead(PacketType t) noexcept {
   switch (t) {
     case PacketType::kEager:
-      return kHeaderBytes + 8 + 4 + 4 + 4;
+      return kHeaderBytes + 8 + 4 + 4 + 4 + kChecksumBytes;
     case PacketType::kEagerAck:
-      return kHeaderBytes + 4;
+      return kHeaderBytes + 4 + kChecksumBytes;
     case PacketType::kRndv:
-      return kHeaderBytes + 8 + 8 + 4 + 4;
+      return kHeaderBytes + 8 + 8 + 4 + 4 + kChecksumBytes;
     case PacketType::kPull:
-      return kHeaderBytes + 4 + 4 + 8 + 4 + 4;
+      return kHeaderBytes + 4 + 4 + 8 + 4 + 4 + kChecksumBytes;
     case PacketType::kPullReply:
-      return kHeaderBytes + 4 + 8;
+      return kHeaderBytes + 4 + 8 + kChecksumBytes;
     case PacketType::kNotify:
-      return kHeaderBytes + 4 + 4;
+      return kHeaderBytes + 4 + 4 + kChecksumBytes;
     case PacketType::kNotifyAck:
-      return kHeaderBytes + 4;
+      return kHeaderBytes + 4 + kChecksumBytes;
     case PacketType::kAbort:
-      return kHeaderBytes + 4;
+      return kHeaderBytes + 4 + kChecksumBytes;
   }
-  return kHeaderBytes;
+  return kHeaderBytes + kChecksumBytes;
 }
 
 std::vector<std::byte> encode(const Packet& p) {
@@ -168,11 +192,29 @@ std::vector<std::byte> encode(const Packet& p) {
         }
       },
       p.body);
-  return w.take();
+  std::vector<std::byte> out = w.take();
+  // Trailing CRC-32 over everything before it. At the end (not the front) so
+  // the dst_ep byte keeps its fixed offset for NIC flow steering.
+  const std::uint32_t crc = frame_checksum(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>(crc >> (8 * i)));
+  }
+  return out;
 }
 
 Packet decode(std::span<const std::byte> bytes) {
-  Reader r(bytes);
+  if (bytes.size() < kHeaderBytes + kChecksumBytes) {
+    throw WireFormatError("truncated packet");
+  }
+  const std::span<const std::byte> body =
+      bytes.first(bytes.size() - kChecksumBytes);
+  std::uint32_t stored = 0;
+  for (std::size_t i = 0; i < kChecksumBytes; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[body.size() + i]) << (8 * i);
+  }
+  if (frame_checksum(body) != stored) throw WireChecksumError();
+
+  Reader r(body);
   Packet p;
   const auto raw_type = r.u8();
   if (raw_type < 1 || raw_type > 8) throw WireFormatError("bad packet type");

@@ -109,15 +109,33 @@ class WireFormatError : public std::runtime_error {
       : std::runtime_error("wire format: " + what) {}
 };
 
-/// Serializes a packet (header + body + payload) into frame payload bytes.
-/// The header's `type` field is taken from the body alternative.
+/// The frame checksum did not match: the payload was corrupted in flight.
+/// Distinct from a plain parse error so the driver can count checksum drops
+/// separately (the retransmission machinery recovers either way).
+class WireChecksumError : public WireFormatError {
+ public:
+  WireChecksumError() : WireFormatError("checksum mismatch") {}
+};
+
+/// Trailing frame checksum appended by encode() and verified by decode().
+inline constexpr std::size_t kChecksumBytes = 4;
+
+/// CRC-32 (IEEE 802.3 polynomial) over `bytes`. Exposed so tests and fault
+/// tooling can craft or verify frames by hand.
+[[nodiscard]] std::uint32_t frame_checksum(
+    std::span<const std::byte> bytes) noexcept;
+
+/// Serializes a packet (header + body + payload + trailing CRC-32) into
+/// frame payload bytes. The header's `type` field is taken from the body
+/// alternative.
 [[nodiscard]] std::vector<std::byte> encode(const Packet& p);
 
-/// Parses frame payload bytes. Throws WireFormatError on truncated or
-/// malformed input.
+/// Parses frame payload bytes. Throws WireChecksumError when the trailing
+/// CRC does not match, and WireFormatError on truncated or malformed input.
 [[nodiscard]] Packet decode(std::span<const std::byte> bytes);
 
 /// Serialized size of a packet with `data_bytes` of payload, for MTU math.
+/// Includes the trailing checksum.
 [[nodiscard]] std::size_t encoded_overhead(PacketType t) noexcept;
 
 }  // namespace pinsim::core

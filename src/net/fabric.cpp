@@ -10,7 +10,7 @@
 namespace pinsim::net {
 
 Fabric::Fabric(sim::Engine& eng, Config cfg)
-    : eng_(eng), cfg_(cfg), rng_(cfg.seed) {
+    : eng_(eng), cfg_(cfg), rng_(cfg.seed), faults_(cfg.seed ^ 0xfa017u) {
   if (cfg_.bandwidth_gbps <= 0.0) {
     throw std::invalid_argument("fabric bandwidth must be positive");
   }
@@ -39,13 +39,32 @@ void Fabric::transmit(Frame frame) {
     ++dropped_;
     return;
   }
-  // The frame starts arriving after the one-way latency, but the ingress
-  // port clocks frames in one at a time at line rate.
+  FaultInjector::Verdict verdict;
+  if (faults_.enabled()) verdict = faults_.inspect(frame);
+  if (verdict.drop) {
+    ++dropped_;
+    return;
+  }
+  if (verdict.duplicate) deliver_frame(frame, 0);
+  deliver_frame(std::move(frame), verdict.extra_latency);
+}
+
+void Fabric::deliver_frame(Frame frame, sim::Time extra_latency) {
   const sim::Time wire = serialization_time(frame.wire_bytes());
-  const sim::Time start =
-      std::max(eng_.now() + cfg_.latency, ingress_free_[frame.dst]);
-  const sim::Time done = start + wire;
-  ingress_free_[frame.dst] = done;
+  sim::Time done;
+  if (extra_latency == 0) {
+    // The frame starts arriving after the one-way latency, but the ingress
+    // port clocks frames in one at a time at line rate.
+    const sim::Time start =
+        std::max(eng_.now() + cfg_.latency, ingress_free_[frame.dst]);
+    done = start + wire;
+    ingress_free_[frame.dst] = done;
+  } else {
+    // Jittered (reordered) frame: model it as arriving over a different
+    // switch path. It does not reserve the ingress port ahead of time —
+    // otherwise one long jitter would stall every frame queued behind it.
+    done = eng_.now() + cfg_.latency + extra_latency + wire;
+  }
   ++delivered_;
   eng_.schedule_at(done, [this, f = std::move(frame)]() mutable {
     nics_[f.dst]->deliver(std::move(f));

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -14,8 +15,10 @@ class Nic;
 
 /// The switched Ethernet fabric connecting hosts. Full duplex, one port per
 /// NIC; a fixed one-way latency models propagation plus the cut-through
-/// switch. Optional random frame loss exercises the MXoE retransmission
-/// machinery in tests.
+/// switch. The built-in FaultInjector (see net/fault.hpp) exercises the MXoE
+/// retransmission machinery under loss, bursty loss, corruption, duplication
+/// and reordering; the legacy `drop_probability` knob remains as a shorthand
+/// for plain independent loss.
 ///
 /// Delivery into a port is serialized at the port's line rate, so several
 /// senders blasting one receiver share its 10 Gb/s ingress — which is what
@@ -55,12 +58,20 @@ class Fabric {
     return dropped_;
   }
 
+  /// The fabric's fault-injection layer. Configure plans on it directly; it
+  /// is seeded from Config::seed so runs stay reproducible.
+  [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
+
  private:
+  /// Applies latency/ingress accounting and hands the frame to the NIC.
+  void deliver_frame(Frame frame, sim::Time extra_latency);
+
   sim::Engine& eng_;
   Config cfg_;
   std::vector<Nic*> nics_;
   std::vector<sim::Time> ingress_free_;  // per-port ingress availability
   sim::Rng rng_;
+  FaultInjector faults_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };

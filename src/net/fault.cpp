@@ -1,0 +1,71 @@
+#include "net/fault.hpp"
+
+#include <string>
+
+namespace pinsim::net {
+
+void FaultInjector::trace(const char* category, const Frame& frame) {
+  if (tracer_ == nullptr) return;
+  tracer_->record(category, "frame " + std::to_string(frame.src) + "->" +
+                                std::to_string(frame.dst) + " (" +
+                                std::to_string(frame.payload.size()) + "B)");
+}
+
+FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
+  Verdict v;
+  const auto it = link_plans_.find(link_key(frame.src, frame.dst));
+  const FaultPlan& plan = it != link_plans_.end() ? it->second : global_;
+  if (!plan.active()) return v;
+  ++stats_.frames_seen;
+
+  // Loss stage 1: Gilbert–Elliott bursty channel. The chain steps on every
+  // frame of the link so burst lengths are measured in frames, not time.
+  if (plan.burst_enter > 0.0) {
+    bool& bad = burst_bad_[link_key(frame.src, frame.dst)];
+    bad = bad ? !rng_.bernoulli(plan.burst_exit)
+              : rng_.bernoulli(plan.burst_enter);
+    if (bad && rng_.bernoulli(plan.burst_loss)) {
+      ++stats_.burst_drops;
+      trace("fault.drop", frame);
+      v.drop = true;
+      return v;
+    }
+  }
+
+  // Loss stage 2: independent loss.
+  if (plan.loss > 0.0 && rng_.bernoulli(plan.loss)) {
+    ++stats_.drops;
+    trace("fault.drop", frame);
+    v.drop = true;
+    return v;
+  }
+
+  // Corruption: flip bits in place; the frame still travels and the
+  // receiver's checksum must reject it.
+  if (plan.corrupt > 0.0 && !frame.payload.empty() &&
+      rng_.bernoulli(plan.corrupt)) {
+    for (int i = 0; i < plan.corrupt_bits; ++i) {
+      const std::uint64_t bit = rng_.next_below(frame.payload.size() * 8);
+      frame.payload[bit / 8] ^= std::byte{1} << (bit % 8);
+    }
+    ++stats_.corruptions;
+    trace("fault.corrupt", frame);
+    v.corrupted = true;
+  }
+
+  if (plan.duplicate > 0.0 && rng_.bernoulli(plan.duplicate)) {
+    ++stats_.duplicates;
+    trace("fault.dup", frame);
+    v.duplicate = true;
+  }
+
+  if (plan.reorder > 0.0 && plan.reorder_jitter > 0 &&
+      rng_.bernoulli(plan.reorder)) {
+    v.extra_latency = 1 + rng_.next_below(plan.reorder_jitter);
+    ++stats_.reorders;
+    trace("fault.reorder", frame);
+  }
+  return v;
+}
+
+}  // namespace pinsim::net

@@ -98,6 +98,15 @@ TEST_P(WireDecodeFuzz, ArbitraryBytesNeverCrash) {
     if (!bytes.empty() && rng.bernoulli(0.5)) {
       bytes[0] = static_cast<std::byte>(1 + rng.next_below(8));
     }
+    // Half the frames get a correct trailing CRC so decode proceeds past the
+    // checksum gate into field parsing; the rest exercise checksum rejection
+    // (a random trailer passes with probability 2^-32, i.e. never).
+    if (rng.bernoulli(0.5)) {
+      const std::uint32_t crc = frame_checksum(bytes);
+      for (int i = 0; i < 4; ++i) {
+        bytes.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xff));
+      }
+    }
     try {
       const Packet p = decode(bytes);
       ++parsed;

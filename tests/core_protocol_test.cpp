@@ -417,23 +417,26 @@ TEST_F(ProtocolTest, InvalidSendBufferAbortsBothSides) {
   // communication time (paper §3.1) and both requests error out.
   const mem::VirtAddr bogus = 0x7000'0000'0000ULL;
 
-  Status send_st, recv_st;
+  Status send_st;
   sim::spawn(eng_, [](Host::Process& p, EndpointAddr to, mem::VirtAddr buf,
                       std::size_t n, Status& out) -> sim::Task<> {
     out = co_await p.lib.send(to, 0x6, buf, n);
   }(*pa_, pb_->addr(), bogus, len, send_st));
-  sim::spawn(eng_, [](Host::Process& p, mem::VirtAddr buf, std::size_t n,
-                      Status& out) -> sim::Task<> {
-    out = co_await p.lib.recv(0x6, kMatchAll, buf, n);
-  }(*pb_, dst, len, recv_st));
+  auto recv = pb_->lib.irecv(0x6, kMatchAll, dst, len);
   eng_.run();
   eng_.rethrow_task_failures();
   EXPECT_FALSE(send_st.ok);
   EXPECT_GE(pa_->lib.counters().pin_failures, 1u);
-  // With synchronous pinning the RNDV never leaves, so the receiver is
-  // still waiting; that is MPI semantics (the recv hangs). Cancel it by
-  // tearing the test down: just check the sender aborted cleanly.
   EXPECT_EQ(pa_->ep.inflight(), 0u);
+  // With synchronous pinning the RNDV never leaves, so the receiver is
+  // still waiting; that is MPI semantics (the recv would hang forever).
+  // mx_cancel it so no request outlives the test.
+  ASSERT_FALSE(recv->completed());
+  EXPECT_TRUE(pb_->lib.cancel(*recv));
+  eng_.run();
+  ASSERT_TRUE(recv->completed());
+  EXPECT_FALSE(recv->status().ok);
+  EXPECT_EQ(pb_->ep.inflight(), 0u);
 }
 
 TEST_F(ProtocolTest, OverlappedInvalidBufferAbortsReceiverToo) {

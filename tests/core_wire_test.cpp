@@ -170,6 +170,68 @@ TEST(Wire, EagerFragmentBeyondMessageLengthThrows) {
   EXPECT_THROW(decode(wire), WireFormatError);
 }
 
+TEST(Wire, ChecksumCatchesSingleBitFlip) {
+  Packet p;
+  EagerBody b;
+  b.match = 0x1234;
+  b.msg_len = 64;
+  b.seq = 7;
+  b.data.assign(64, std::byte{0xa5});
+  p.body = b;
+  auto wire = encode(p);
+  // Flip one bit in every byte position (header, body, payload, CRC itself):
+  // decode must reject each damaged frame.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    auto damaged = wire;
+    damaged[i] ^= std::byte{0x10};
+    EXPECT_THROW(decode(damaged), WireChecksumError) << "byte " << i;
+  }
+  // The pristine frame still decodes.
+  EXPECT_EQ(decode(wire).type(), PacketType::kEager);
+}
+
+TEST(Wire, ChecksumIsLittleEndianTrailerOverPrecedingBytes) {
+  Packet p;
+  p.body = EagerAckBody{4711};
+  auto wire = encode(p);
+  ASSERT_GT(wire.size(), kChecksumBytes);
+  const auto body = std::span<const std::byte>(wire).first(
+      wire.size() - kChecksumBytes);
+  const std::uint32_t crc = frame_checksum(body);
+  const std::size_t t = wire.size() - kChecksumBytes;
+  EXPECT_EQ(wire[t + 0], std::byte(crc & 0xff));
+  EXPECT_EQ(wire[t + 1], std::byte((crc >> 8) & 0xff));
+  EXPECT_EQ(wire[t + 2], std::byte((crc >> 16) & 0xff));
+  EXPECT_EQ(wire[t + 3], std::byte((crc >> 24) & 0xff));
+}
+
+TEST(Wire, ChecksumIsDeterministicAndContentSensitive) {
+  std::vector<std::byte> a(100, std::byte{0x11});
+  std::vector<std::byte> b(100, std::byte{0x11});
+  EXPECT_EQ(frame_checksum(a), frame_checksum(b));
+  b[50] = std::byte{0x12};
+  EXPECT_NE(frame_checksum(a), frame_checksum(b));
+  // CRC-32 (IEEE) of "123456789" is the classic check value.
+  const char* check = "123456789";
+  std::vector<std::byte> v(9);
+  std::memcpy(v.data(), check, 9);
+  EXPECT_EQ(frame_checksum(v), 0xcbf43926u);
+}
+
+TEST(Wire, ChecksumErrorIsDistinctFromFormatError) {
+  Packet p;
+  p.body = AbortBody{1};
+  auto wire = encode(p);
+  wire.back() ^= std::byte{0xff};
+  bool caught_checksum = false;
+  try {
+    (void)decode(wire);
+  } catch (const WireChecksumError&) {
+    caught_checksum = true;
+  }
+  EXPECT_TRUE(caught_checksum);
+}
+
 TEST(Wire, PacketTypeNames) {
   EXPECT_STREQ(packet_type_name(PacketType::kEager), "EAGER");
   EXPECT_STREQ(packet_type_name(PacketType::kPullReply), "PULL_REPLY");

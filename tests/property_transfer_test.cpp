@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/host.hpp"
+#include "net/fault.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 
@@ -53,10 +54,12 @@ StackConfig config_by_index(int idx) {
 }
 
 struct Rig {
-  Rig(StackConfig stack, net::Fabric::Config net_cfg = {}) {
+  Rig(StackConfig stack, net::Fabric::Config net_cfg = {},
+      bool with_ioat = false) {
     fabric = std::make_unique<net::Fabric>(eng, net_cfg);
     Host::Config hc;
     hc.memory_frames = 24576;
+    hc.with_ioat = with_ioat;
     a = std::make_unique<Host>(eng, *fabric, hc, stack);
     b = std::make_unique<Host>(eng, *fabric, hc, stack);
     pa = &a->spawn_process();
@@ -180,6 +183,132 @@ TEST_P(LossSweep, CorrectUnderLoss) {
 
 INSTANTIATE_TEST_SUITE_P(DropRates, LossSweep,
                          ::testing::Values(1, 5, 10, 20, 35));
+
+// --- injected-fault matrix ---------------------------------------------------
+
+/// Named fault plans for the seeded sweep below.
+struct FaultCase {
+  const char* name;
+  net::FaultPlan plan;
+};
+
+std::vector<FaultCase> fault_cases() {
+  std::vector<FaultCase> out;
+  net::FaultPlan p;
+  p.loss = 0.05;
+  out.push_back({"loss5", p});
+  p = {};
+  p.loss = 0.10;
+  out.push_back({"loss10", p});
+  p = {};
+  p.burst_enter = 0.02;
+  p.burst_exit = 0.25;
+  p.burst_loss = 1.0;
+  out.push_back({"burst", p});
+  p = {};
+  p.corrupt = 0.08;
+  out.push_back({"corrupt", p});
+  p = {};
+  p.duplicate = 0.25;
+  out.push_back({"dup", p});
+  p = {};
+  p.reorder = 0.4;
+  p.reorder_jitter = 40 * sim::kMicrosecond;
+  out.push_back({"reorder", p});
+  p = {};
+  p.loss = 0.05;
+  p.corrupt = 0.03;
+  p.duplicate = 0.05;
+  p.reorder = 0.1;
+  p.reorder_jitter = 30 * sim::kMicrosecond;
+  out.push_back({"mixed", p});
+  return out;
+}
+
+struct Transport {
+  const char* name;
+  std::size_t size;
+  bool ioat;
+};
+
+constexpr Transport kTransports[] = {
+    {"eager", 16 * 1024, false},
+    {"rndv", 256 * 1024, false},
+    {"rndv_ioat", 256 * 1024, true},
+};
+
+/// (fault case index, transport index, seed)
+class FaultMatrix : public ::testing::TestWithParam<
+                        std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(FaultMatrix, DeliversBitExactWithBoundedRetries) {
+  const auto [fault_idx, transport_idx, seed] = GetParam();
+  const FaultCase fc = fault_cases()[static_cast<std::size_t>(fault_idx)];
+  const Transport tr = kTransports[transport_idx];
+  SCOPED_TRACE(fc.name);
+
+  StackConfig stack = overlapped_cache_config();
+  stack.protocol.retransmit_timeout = 300 * sim::kMicrosecond;
+  stack.protocol.pull_retry_timeout = 300 * sim::kMicrosecond;
+  stack.protocol.use_ioat = tr.ioat;
+  net::Fabric::Config net_cfg;
+  net_cfg.seed = seed;  // seeds the fault injector (reproducible verdicts)
+  Rig rig(stack, net_cfg, /*with_ioat=*/tr.ioat);
+  rig.fabric->faults().set_plan(fc.plan);
+
+  const std::size_t size = tr.size;
+  const auto src = rig.pa->heap.malloc(size);
+  const auto dst = rig.pb->heap.malloc(size);
+  const auto data = pattern(size, static_cast<std::uint32_t>(seed * 31 + 7));
+  rig.pa->as.write(src, data);
+
+  Status s_st, r_st;
+  sim::spawn(rig.eng, [](Library& lib, EndpointAddr to, mem::VirtAddr buf,
+                         std::size_t n, Status& out) -> sim::Task<> {
+    out = co_await lib.send(to, 8, buf, n);
+  }(rig.pa->lib, rig.pb->addr(), src, size, s_st));
+  sim::spawn(rig.eng, [](Library& lib, mem::VirtAddr buf, std::size_t n,
+                         Status& out) -> sim::Task<> {
+    out = co_await lib.recv(8, kAll, buf, n);
+  }(rig.pb->lib, dst, size, r_st));
+  rig.eng.run();
+  rig.eng.rethrow_task_failures();
+
+  ASSERT_TRUE(s_st.ok);
+  ASSERT_TRUE(r_st.ok);
+  ASSERT_EQ(r_st.len, size);
+  std::vector<std::byte> got(size);
+  rig.pb->as.read(dst, got);
+  ASSERT_EQ(got, data);
+
+  // Recovery must come from the fine-grained pull retry / dup suppression /
+  // optimistic re-request machinery, not from burning the retry budget: no
+  // request may abort, and coarse timeouts must stay far below the budget.
+  const auto timeouts = rig.pa->lib.counters().retransmit_timeouts +
+                        rig.pb->lib.counters().retransmit_timeouts;
+  EXPECT_EQ(rig.pa->lib.counters().retry_exhausted, 0u);
+  EXPECT_EQ(rig.pb->lib.counters().retry_exhausted, 0u);
+  EXPECT_EQ(rig.pa->lib.counters().aborts, 0u);
+  EXPECT_EQ(rig.pb->lib.counters().aborts, 0u);
+  EXPECT_LE(timeouts,
+            static_cast<std::uint64_t>(stack.protocol.retry_budget));
+  EXPECT_EQ(rig.pa->ep.inflight(), 0u);
+  EXPECT_EQ(rig.pb->ep.inflight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultsTimesTransports, FaultMatrix,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 3),
+                       ::testing::Values(std::uint64_t{17},
+                                         std::uint64_t{4242})),
+    [](const auto& info) {
+      return std::string(
+                 fault_cases()[static_cast<std::size_t>(
+                                   std::get<0>(info.param))]
+                     .name) +
+             "_" + kTransports[std::get<1>(info.param)].name + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
 
 /// Randomized traffic fuzz: a mix of eager and rendezvous messages with
 /// random sizes, random posting delays, and distinct tags, all verified.
