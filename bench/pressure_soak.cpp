@@ -1,0 +1,371 @@
+// Pressure soak: PingPong driven through escalating *memory-subsystem* fault
+// stages — injected get_user_pages failures, bursty denial episodes, a tight
+// pinned-page quota forcing LRU shedding and chunk-shrunk frontiers, and
+// notifier storms (swap sweeps, migrations, COW breaks) against in-flight
+// transfers — asserting bit-exact end-to-end payload delivery at every stage.
+// A final starvation probe pins under a zero quota and demands a graceful
+// ok=false abort (never a hang), then full recovery once the quota returns.
+// Exits non-zero on the first integrity failure, so it doubles as a ctest
+// entry (`pressure_soak --quick`) and as a target for the ASan+UBSan preset.
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/report.hpp"
+#include "mem/pressure.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+constexpr std::size_t kNoQuota = std::numeric_limits<std::size_t>::max();
+
+std::vector<std::byte> pattern(std::size_t n, std::uint32_t salt) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 2654435761u + salt) >> 13);
+  }
+  return v;
+}
+
+struct Stage {
+  const char* label;
+  mem::PressurePlan plan;
+  std::size_t quota = kNoQuota;  // per-host pinned-page quota
+};
+
+std::vector<Stage> stages() {
+  std::vector<Stage> out;
+  out.push_back({"clean", {}, kNoQuota});
+
+  mem::PressurePlan fail;
+  fail.pin_fail = 0.10;
+  out.push_back({"pin failures 10%", fail, kNoQuota});
+
+  mem::PressurePlan bursty;
+  bursty.pin_fail = 0.05;
+  bursty.burst_enter = 0.02;
+  bursty.burst_exit = 0.25;
+  bursty.burst_fail = 1.0;
+  out.push_back({"bursty (Gilbert-Elliott) denial episodes", bursty, kNoQuota});
+
+  // 512 kB messages span 128 pages; a 160-page quota cannot hold the cached
+  // send region and the active receive region together, so every iteration
+  // sheds the LRU region and shrinks chunks to the remaining headroom.
+  mem::PressurePlan squeeze;
+  squeeze.pin_fail = 0.05;
+  out.push_back({"tight quota (160 pages) + pin failures 5%", squeeze, 160});
+
+  mem::PressurePlan storm;
+  storm.pin_fail = 0.02;
+  storm.sweep = 0.8;
+  storm.sweep_pages = 16;
+  storm.migrate = 0.5;
+  storm.migrate_pages = 4;
+  storm.cow = 0.4;
+  storm.cow_pages = 2;
+  storm.storm_period = 20 * sim::kMicrosecond;
+  out.push_back({"notifier storms (sweep/migrate/cow) + pin failures 2%",
+                 storm, kNoQuota});
+  return out;
+}
+
+/// Short protocol + pin-retry timeouts: the soak injects thousands of faults
+/// and the paper's 1 s pessimistic timers would stretch one stage to hours
+/// of simulated time.
+core::StackConfig soak_stack() {
+  core::StackConfig stack = core::overlapped_cache_config();
+  stack.protocol.retransmit_timeout = 300 * sim::kMicrosecond;
+  stack.protocol.retransmit_backoff_max = 10 * sim::kMillisecond;
+  stack.protocol.pull_retry_timeout = 300 * sim::kMicrosecond;
+  stack.pinning.pin_retry_backoff = 30 * sim::kMicrosecond;
+  stack.pinning.pin_retry_backoff_max = 2 * sim::kMillisecond;
+  stack.pinning.pin_retry_budget = 32;
+  return stack;
+}
+
+/// Wires one PressureInjector per host: pin-denial gate on the host's
+/// physical memory, storms watching every process address space on it.
+struct PressureRig {
+  PressureRig(bench::Cluster& cluster, const Stage& st) {
+    for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+      auto inj = std::make_unique<mem::PressureInjector>(0x9e550e + h);
+      inj->set_plan(st.plan);
+      cluster.hosts[h]->memory().set_pressure(inj.get());
+      cluster.hosts[h]->memory().set_pin_quota(st.quota);
+      injectors.push_back(std::move(inj));
+    }
+    for (int r = 0; cluster.comm && r < cluster.comm->size(); ++r) {
+      auto& p = cluster.comm->process(r);
+      injectors[static_cast<std::size_t>(r % 2)]->watch(&p.as);
+    }
+    if (st.plan.storms()) {
+      for (auto& inj : injectors) inj->start_storm(cluster.eng);
+    }
+    hosts = &cluster.hosts;
+  }
+
+  ~PressureRig() {
+    for (std::size_t h = 0; h < injectors.size(); ++h) {
+      injectors[h]->stop_storm();
+      (*hosts)[h]->memory().set_pressure(nullptr);
+      (*hosts)[h]->memory().set_pin_quota(kNoQuota);
+    }
+  }
+
+  mem::PressureInjector::Stats total() const {
+    mem::PressureInjector::Stats t;
+    for (auto& inj : injectors) {
+      const auto& s = inj->stats();
+      t.pin_attempts += s.pin_attempts;
+      t.pins_denied += s.pins_denied;
+      t.burst_denied += s.burst_denied;
+      t.storm_ticks += s.storm_ticks;
+      t.swept_pages += s.swept_pages;
+      t.migrated_pages += s.migrated_pages;
+      t.cow_breaks += s.cow_breaks;
+    }
+    return t;
+  }
+
+  std::vector<std::unique_ptr<mem::PressureInjector>> injectors;
+  const std::vector<std::unique_ptr<core::Host>>* hosts = nullptr;
+};
+
+// --- PingPong under pressure -------------------------------------------------
+
+struct PingPongCtx {
+  mpi::Communicator* comm = nullptr;
+  std::size_t size = 0;
+  int iters = 0;
+  mem::VirtAddr src0{}, echo0{}, dst1{};
+  std::vector<std::byte> expect;
+  int mismatches = 0;
+  int failed_ops = 0;
+};
+
+sim::Task<> pingpong_rank(PingPongCtx& ctx, int rank) {
+  for (int i = 0; i < ctx.iters; ++i) {
+    if (rank == 0) {
+      const auto s1 =
+          co_await ctx.comm->send(0, 1, i, ctx.src0, ctx.size);
+      const auto s2 =
+          co_await ctx.comm->recv(0, 1, 1000 + i, ctx.echo0, ctx.size);
+      if (!s1.ok || !s2.ok) {
+        ++ctx.failed_ops;
+        continue;  // a failed op must report itself — silent loss is a bug
+      }
+      std::vector<std::byte> got(ctx.size);
+      ctx.comm->process(0).as.read(ctx.echo0, got);
+      if (got != ctx.expect) ++ctx.mismatches;
+    } else {
+      const auto r1 = co_await ctx.comm->recv(1, 0, i, ctx.dst1, ctx.size);
+      const auto r2 =
+          co_await ctx.comm->send(1, 0, 1000 + i, ctx.dst1, ctx.size);
+      if (!r1.ok || !r2.ok) ++ctx.failed_ops;
+    }
+  }
+}
+
+/// Round-trips patterned buffers (eager- and rendezvous-sized) under one
+/// pressure stage, verifying the echoed payload after every iteration.
+/// Returns mismatches + unexpectedly failed operations.
+int run_pingpong(const Stage& st, const bench::Options& opt) {
+  bench::Cluster cluster(*opt.cpu, soak_stack(), /*nranks=*/2,
+                         /*with_ioat=*/false);
+  PressureRig rig(cluster, st);
+
+  int bad = 0;
+  const std::size_t sizes[] = {2048, 64 * 1024, 512 * 1024};
+  for (std::size_t size : sizes) {
+    PingPongCtx ctx;
+    ctx.comm = cluster.comm.get();
+    ctx.size = size;
+    ctx.iters = opt.quick ? 3 : 8;
+    auto& p0 = cluster.comm->process(0);
+    auto& p1 = cluster.comm->process(1);
+    ctx.src0 = p0.heap.malloc(size);
+    ctx.echo0 = p0.heap.malloc(size);
+    ctx.dst1 = p1.heap.malloc(size);
+    ctx.expect = pattern(size, static_cast<std::uint32_t>(size));
+    p0.as.write(ctx.src0, ctx.expect);
+
+    mpi::run_ranks(cluster.eng, 2,
+                   [&ctx](int rank) { return pingpong_rank(ctx, rank); });
+    if (ctx.mismatches + ctx.failed_ops != 0) {
+      std::printf("  %s: %d mismatch(es), %d failed op(s)\n",
+                  bench::human_size(size).c_str(), ctx.mismatches,
+                  ctx.failed_ops);
+    }
+    bad += ctx.mismatches + ctx.failed_ops;
+  }
+
+  const auto is = rig.total();
+  core::Counters total;
+  for (int r = 0; r < 2; ++r) {
+    const auto& c = cluster.comm->process(r).lib.counters();
+    total.pins_denied += c.pins_denied;
+    total.pin_retries += c.pin_retries;
+    total.pin_retry_exhausted += c.pin_retry_exhausted;
+    total.pin_chunk_shrinks += c.pin_chunk_shrinks;
+    total.pressure_unpins += c.pressure_unpins;
+    total.notifier_invalidations += c.notifier_invalidations;
+    total.repins += c.repins;
+    total.overlap_misses += c.overlap_misses;
+    total.aborts += c.aborts;
+    total.retry_exhausted += c.retry_exhausted;
+    total.pin_failures += c.pin_failures;
+  }
+  std::printf(
+      "  injector: attempts=%llu denied=%llu+%llu sweeps=%llu migr=%llu "
+      "cow=%llu\n"
+      "  endpoint: denied=%llu retries=%llu exhausted=%llu shrinks=%llu "
+      "shed=%llu inval=%llu repins=%llu misses=%llu aborts=%llu "
+      "proto_rex=%llu pinfail=%llu  -> %s\n",
+      static_cast<unsigned long long>(is.pin_attempts),
+      static_cast<unsigned long long>(is.pins_denied),
+      static_cast<unsigned long long>(is.burst_denied),
+      static_cast<unsigned long long>(is.swept_pages),
+      static_cast<unsigned long long>(is.migrated_pages),
+      static_cast<unsigned long long>(is.cow_breaks),
+      static_cast<unsigned long long>(total.pins_denied),
+      static_cast<unsigned long long>(total.pin_retries),
+      static_cast<unsigned long long>(total.pin_retry_exhausted),
+      static_cast<unsigned long long>(total.pin_chunk_shrinks),
+      static_cast<unsigned long long>(total.pressure_unpins),
+      static_cast<unsigned long long>(total.notifier_invalidations),
+      static_cast<unsigned long long>(total.repins),
+      static_cast<unsigned long long>(total.overlap_misses),
+      static_cast<unsigned long long>(total.aborts),
+      static_cast<unsigned long long>(total.retry_exhausted),
+      static_cast<unsigned long long>(total.pin_failures),
+      bad == 0 ? "bit-exact" : "CORRUPTED/FAILED");
+
+  if (st.quota != kNoQuota && bad == 0) {
+    static bool printed = false;
+    if (!printed) {
+      printed = true;
+      std::printf("\n--- run report, rank 0 (stage: %s) ---\n%s\n", st.label,
+                  core::format_report(cluster.comm->process(0),
+                                      *cluster.hosts[0])
+                      .c_str());
+    }
+  }
+  return bad;
+}
+
+// --- Starvation probe --------------------------------------------------------
+
+struct ProbeCtx {
+  mpi::Communicator* comm = nullptr;
+  std::size_t size = 0;
+  int tag = 0;
+  mem::VirtAddr src0{}, dst1{};
+  core::Status send_st{}, recv_st{};
+};
+
+sim::Task<> probe_rank(ProbeCtx& ctx, int rank) {
+  if (rank == 0) {
+    ctx.send_st = co_await ctx.comm->send(0, 1, ctx.tag, ctx.src0, ctx.size);
+  } else {
+    ctx.recv_st = co_await ctx.comm->recv(1, 0, ctx.tag, ctx.dst1, ctx.size);
+  }
+}
+
+/// The acceptance bar: a rendezvous transfer into a host whose pinned-page
+/// quota is zero must end with ok=false on both sides — no hang, no silent
+/// corruption — with the denial visible in the pressure counters; and the
+/// *same* buffers must transfer bit-exact once the quota is lifted (kFailed
+/// is retryable).
+int run_starvation_probe(const bench::Options& opt) {
+  std::printf("stage: starvation probe (receiver quota 0)\n");
+  bench::Cluster cluster(*opt.cpu, soak_stack(), /*nranks=*/2,
+                         /*with_ioat=*/false);
+  const std::size_t size = 512 * 1024;  // rendezvous-sized: must pin to land
+  auto& p0 = cluster.comm->process(0);
+  auto& p1 = cluster.comm->process(1);
+
+  ProbeCtx ctx;
+  ctx.comm = cluster.comm.get();
+  ctx.size = size;
+  ctx.tag = 1;
+  ctx.src0 = p0.heap.malloc(size);
+  ctx.dst1 = p1.heap.malloc(size);
+  const auto expect = pattern(size, 0x5047);
+  p0.as.write(ctx.src0, expect);
+
+  cluster.hosts[1]->memory().set_pin_quota(0);  // receiver starved
+  mpi::run_ranks(cluster.eng, 2,
+                 [&ctx](int rank) { return probe_rank(ctx, rank); });
+
+  const auto& c1 = p1.lib.counters();
+  int bad = 0;
+  if (ctx.send_st.ok || ctx.recv_st.ok) {
+    std::printf("  FAIL: starved transfer reported success (send ok=%d recv "
+                "ok=%d)\n",
+                ctx.send_st.ok, ctx.recv_st.ok);
+    ++bad;
+  }
+  if (c1.pins_denied == 0 || c1.pin_retry_exhausted == 0) {
+    std::printf("  FAIL: starvation not visible in counters (denied=%llu "
+                "exhausted=%llu)\n",
+                static_cast<unsigned long long>(c1.pins_denied),
+                static_cast<unsigned long long>(c1.pin_retry_exhausted));
+    ++bad;
+  }
+  std::printf("  starved: send ok=%d recv ok=%d denied=%llu retries=%llu "
+              "exhausted=%llu aborts=%llu\n",
+              ctx.send_st.ok, ctx.recv_st.ok,
+              static_cast<unsigned long long>(c1.pins_denied),
+              static_cast<unsigned long long>(c1.pin_retries),
+              static_cast<unsigned long long>(c1.pin_retry_exhausted),
+              static_cast<unsigned long long>(c1.aborts));
+
+  // Pressure lifts: the same declared-but-failed region must repin on
+  // demand and the retry must be bit-exact.
+  cluster.hosts[1]->memory().set_pin_quota(kNoQuota);
+  ctx.tag = 2;
+  ctx.send_st = core::Status{};
+  ctx.recv_st = core::Status{};
+  mpi::run_ranks(cluster.eng, 2,
+                 [&ctx](int rank) { return probe_rank(ctx, rank); });
+  std::vector<std::byte> got(size);
+  p1.as.read(ctx.dst1, got);
+  const bool exact = got == expect;
+  if (!ctx.send_st.ok || !ctx.recv_st.ok || !exact) {
+    std::printf("  FAIL: post-starvation retry (send ok=%d recv ok=%d "
+                "bit-exact=%d)\n",
+                ctx.send_st.ok, ctx.recv_st.ok, exact);
+    ++bad;
+  } else {
+    std::printf("  recovered: retry bit-exact, failed_resets=%llu\n",
+                static_cast<unsigned long long>(c1.pin_fail_resets));
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Pressure soak: graceful degradation under memory-subsystem chaos",
+      "paper §3.1 unpin-under-pressure / repin-on-demand, generalized to pin "
+      "denial, quotas and notifier storms");
+
+  int failures = 0;
+  for (const Stage& st : stages()) {
+    std::printf("stage: %s\n", st.label);
+    failures += run_pingpong(st, opt);
+  }
+  failures += run_starvation_probe(opt);
+
+  if (failures != 0) {
+    std::printf("\nFAIL: %d corrupted/failed transfer(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nall stages bit-exact, starvation handled gracefully\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the default preset, then the ASan+UBSan
+# preset (the memory-chaos acceptance bar is "bit-exact with zero sanitizer
+# findings"). Pass --soak to also run the full-length soak tier.
+#
+#   scripts/ci.sh           # default + asan tiers
+#   scripts/ci.sh --soak    # ... plus the full chaos/pressure soaks
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_soak=0
+for arg in "$@"; do
+  case "$arg" in
+    --soak) run_soak=1 ;;
+    *) echo "usage: $0 [--soak]" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+tier() {
+  local preset="$1"
+  echo "=== tier: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+tier default
+tier asan
+
+if [[ "${run_soak}" -eq 1 ]]; then
+  tier soak
+fi
+
+echo "=== ci: all tiers passed ==="

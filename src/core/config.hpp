@@ -67,6 +67,16 @@ struct PinningConfig {
   /// Driver sheds pins (LRU idle region first) when the host exceeds this
   /// many pinned pages (§3.1 "if there are too many pinned pages").
   std::size_t max_pinned_pages = std::numeric_limits<std::size_t>::max();
+
+  /// Transient pin-failure handling. get_user_pages returning -ENOMEM under
+  /// memory pressure (or a PhysicalMemory pin quota refusing the chunk) is
+  /// retried with exponential backoff instead of failing the region; the
+  /// budget counts consecutive chunk attempts that made *zero* progress, so
+  /// a slowly advancing frontier never exhausts it but a permanently starved
+  /// pin ends in a clean ok=false abort rather than a hang.
+  int pin_retry_budget = 16;
+  sim::Time pin_retry_backoff = 50 * sim::kMicrosecond;
+  sim::Time pin_retry_backoff_max = 5 * sim::kMillisecond;
 };
 
 /// User-space region cache behaviour (§3.2).

@@ -15,7 +15,18 @@ struct Counters {
   std::uint64_t repins = 0;             // region pinned again after losing pins
   std::uint64_t notifier_invalidations = 0;  // regions unpinned by MMU notifier
   std::uint64_t pressure_unpins = 0;         // regions unpinned for memory pressure
-  std::uint64_t pin_failures = 0;            // invalid segment at pin time
+  std::uint64_t pin_failures = 0;            // region pin ultimately failed
+
+  // Memory-pressure degradation (pin denial, quota, retry/backoff). The
+  // acceptance bar for chaos runs: pins_denied and pin_retry_exhausted move,
+  // everything still ends in clean completions or ok=false aborts.
+  std::uint64_t pins_denied = 0;         // page pins refused (quota/injected)
+  std::uint64_t pin_retries = 0;         // chunk retries after a denial
+  std::uint64_t pin_retry_exhausted = 0; // regions failed after the budget
+  std::uint64_t pin_chunk_shrinks = 0;   // chunks shrunk to the quota headroom
+  std::uint64_t pin_fail_resets = 0;     // kFailed regions retried on next use
+  std::uint64_t pin_inval_restarts = 0;  // in-flight pin jobs restarted by
+                                         // a notifier invalidation
 
   // Overlapped-pinning behaviour (§4.3).
   std::uint64_t region_accesses = 0;    // packet-driven reads/writes of regions

@@ -58,6 +58,17 @@ void PinManager::ensure_pinned(Region& r, bool overlapped, Completion done) {
     done(true);
     return;
   }
+  // kFailed is retryable, not terminal (§3.1: the region "stays declared,
+  // repinned at next communication"): a past pin failure — memory pressure,
+  // a then-invalid segment since remapped — must not poison the declaration.
+  if (r.state() == Region::PinState::kFailed) {
+    auto it = jobs_.find(&r);
+    if (it == jobs_.end() || !it->second.active) {
+      r.set_state(Region::PinState::kUnpinned);
+      ++counters_.pin_fail_resets;
+      trace("pin.reset", r, "failed region retried");
+    }
+  }
   start_or_join(r, /*wait_full=*/!overlapped, std::move(done));
 }
 
@@ -88,6 +99,8 @@ void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
   if (!job.active) {
     job.active = true;
     job.charged_base = false;
+    job.retries = 0;
+    job.inval_restarts = 0;
     ++counters_.pin_ops;
     if (was_pinned_.count(&r) != 0 && was_pinned_[&r]) ++counters_.repins;
     r.set_state(Region::PinState::kPinning);
@@ -103,9 +116,28 @@ void PinManager::schedule_chunk(Region& r) {
     finish(r, true);
     return;
   }
-  const std::size_t chunk =
-      std::min(cfg_.pin_chunk_pages, r.unpinned_pages());
-  shed_pins_if_needed(chunk);
+  auto& pm = r.address_space().physical();
+  std::size_t chunk = std::min(cfg_.pin_chunk_pages, r.unpinned_pages());
+  shed_pins_if_needed(pm, chunk);
+
+  // Graceful degradation under a pinned-page quota: when the full chunk
+  // cannot fit even after shedding idle regions, pin what fits — a smaller
+  // frontier advance beats a failed one. With zero headroom nothing can pin
+  // at all; back off and retry so a transient squeeze (another endpoint
+  // releasing pages, the quota being raised) heals, and a permanent one
+  // ends in a clean ok=false abort once the budget runs out.
+  const std::size_t headroom = pm.pin_headroom();
+  if (headroom == 0) {
+    ++counters_.pins_denied;
+    pm.count_quota_denial();
+    retry_or_fail(r);
+    return;
+  }
+  if (chunk > headroom) {
+    chunk = headroom;
+    ++counters_.pin_chunk_shrinks;
+    trace("pin.shrink", r, "chunk shrunk to quota headroom");
+  }
 
   sim::Time cost = static_cast<sim::Time>(chunk) *
                    (cpu_.pin_cost(1) - cpu_.pin_cost(0));
@@ -124,20 +156,31 @@ void PinManager::schedule_chunk(Region& r) {
     // The work time has been paid; take the page references now.
     std::vector<mem::FrameId> frames;
     frames.reserve(chunk);
-    bool failed = false;
+    bool hard_failed = false;   // the page can never pin (invalid segment)
+    bool denied = false;        // transient: retry with backoff
     auto& as = r.address_space();
     const std::size_t base_slot = r.pinned_pages();
     for (std::size_t i = 0; i < chunk; ++i) {
       try {
         frames.push_back(as.pin_page(r.page_va_at(base_slot + i)));
       } catch (const mem::InvalidAddressError&) {
-        failed = true;  // the paper's invalid-segment-at-pin-time case
+        hard_failed = true;  // the paper's invalid-segment-at-pin-time case
+        break;
+      } catch (const mem::PinDeniedError& e) {
+        ++counters_.pins_denied;
+        if (e.reason() == mem::PinDeniedError::Reason::kQuota &&
+            shed_one_victim()) {
+          --i;  // freed quota headroom; retry this page now
+          continue;
+        }
+        denied = true;
         break;
       } catch (const mem::OutOfMemoryError&) {
         // Physical frames exhausted: direct reclaim. Shed an idle region's
         // pins (making its pages reclaimable) and swap out unpinned pages
-        // until the allocation can proceed; with nothing reclaimable the
-        // request fails like get_user_pages returning -ENOMEM.
+        // until the allocation can proceed; with nothing reclaimable this
+        // attempt is over — like get_user_pages returning -ENOMEM — and the
+        // chunk is retried after a backoff.
         (void)shed_one_victim();
         std::size_t freed = 0;
         for (mem::VirtAddr va : as.resident_unpinned_pages()) {
@@ -145,7 +188,7 @@ void PinManager::schedule_chunk(Region& r) {
           if (as.swap_out(va)) ++freed;
         }
         if (freed == 0) {
-          failed = true;
+          denied = true;
           break;
         }
         --i;  // retry this page
@@ -153,12 +196,53 @@ void PinManager::schedule_chunk(Region& r) {
     }
     r.commit_pins(frames);
     counters_.pages_pinned += frames.size();
-    if (failed) {
+    if (hard_failed) {
       ++counters_.pin_failures;
       finish(r, false);
       return;
     }
+    // Any forward progress resets the budget: only a *stalled* frontier
+    // counts against it, so sustained-but-survivable pressure cannot
+    // starve a big region that pins a few pages per round.
+    if (!frames.empty()) it->second.retries = 0;
     release_early_waiters(r, true);
+    if (denied && frames.empty()) {
+      retry_or_fail(r);
+      return;
+    }
+    schedule_chunk(r);
+  });
+}
+
+sim::Time PinManager::retry_backoff(int retries) const {
+  sim::Time t = cfg_.pin_retry_backoff;
+  for (int i = 1; i < retries && t < cfg_.pin_retry_backoff_max; ++i) {
+    t *= 2;
+  }
+  return std::min(t, cfg_.pin_retry_backoff_max);
+}
+
+void PinManager::retry_or_fail(Region& r) {
+  PinJob& job = jobs_[&r];
+  if (job.retries >= cfg_.pin_retry_budget) {
+    ++counters_.pin_retry_exhausted;
+    ++counters_.pin_failures;
+    trace("pin.fail", r, "retry budget exhausted");
+    finish(r, false);
+    return;
+  }
+  ++job.retries;
+  ++counters_.pin_retries;
+  const std::uint64_t gen = job.generation;
+  trace("pin.retry", r, "transient pin denial, backing off");
+  std::weak_ptr<char> alive = alive_;
+  eng_.schedule_after(retry_backoff(job.retries), [this, &r, gen, alive] {
+    if (alive.expired()) return;  // the manager died while we slept
+    auto it = jobs_.find(&r);
+    if (it == jobs_.end() || !it->second.active ||
+        it->second.generation != gen) {
+      return;  // invalidated or undeclared during the backoff
+    }
     schedule_chunk(r);
   });
 }
@@ -206,7 +290,13 @@ void PinManager::unpin(Region& r) {
 }
 
 void PinManager::do_unpin(Region& r, std::uint64_t& op_counter) {
-  auto pins = r.take_all_pins();
+  do_unpin_from(r, 0, op_counter);
+  r.set_state(Region::PinState::kUnpinned);
+}
+
+void PinManager::do_unpin_from(Region& r, std::size_t first_slot,
+                               std::uint64_t& op_counter) {
+  auto pins = r.take_pins_from(first_slot);
   if (pins.empty()) return;
   auto& as = r.address_space();
   for (auto& [va, frame] : pins) as.unpin_page(va, frame);
@@ -240,27 +330,53 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     ++counters_.notifier_invalidations;
     trace("pin.invalidate", r, "mmu notifier");
 
-    bool aborted_active_pin = false;
-    if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
-      ++it->second.generation;
-      it->second.active = false;
-      aborted_active_pin = true;
-    }
-    do_unpin(r, counters_.unpin_ops);
+    // Range-granular response, like a real MMU-notifier driver: only pins
+    // at or above the first invalidated page have stale translations.
+    // Pages pin strictly in address order, so truncating the frontier at
+    // that slot keeps every pin below it valid and DMA-visible. An
+    // invalidation wholly ahead of the frontier — the swap daemon
+    // reclaiming a page the pin job has not reached yet, the most common
+    // storm event — costs no pins at all.
+    const std::size_t cut = r.first_slot_overlapping(start, end);
+    if (cut >= r.pinned_pages()) continue;
 
-    if (aborted_active_pin) {
-      // Anyone waiting on this pin loses the race with the invalidation.
-      PinJob& job = jobs_[&r];
-      r.set_state(Region::PinState::kFailed);
-      std::vector<Completion> early;
-      early.swap(job.early_waiters);
-      std::vector<Completion> full;
-      full.swap(job.full_waiters);
-      for (auto& w : full) w(false);
-      for (auto& w : early) w(false);
-      if (failure_handler_) failure_handler_(r);
-      r.set_state(Region::PinState::kUnpinned);
+    auto it = jobs_.find(&r);
+    const bool mid_pin = it != jobs_.end() && it->second.active;
+    if (mid_pin) ++it->second.generation;  // discard the chunk in flight
+    do_unpin_from(r, cut, counters_.unpin_ops);
+    if (!mid_pin) continue;
+
+    // An invalidation landing on an in-flight pin job restarts the job
+    // (after a backoff) instead of failing its waiters: the overlapped
+    // protocol already drops-and-retransmits frames that raced the unpin,
+    // so a notifier storm must only *delay* the transfer, never abort it.
+    // The restart budget bounds pathological storms — a job invalidated
+    // over and over with no completion in between eventually fails cleanly
+    // (the endpoint aborts) rather than live-locking the pin/unpin loop.
+    PinJob& job = it->second;
+    if (job.inval_restarts >= cfg_.pin_retry_budget) {
+      ++counters_.pin_retry_exhausted;
+      ++counters_.pin_failures;
+      trace("pin.fail", r, "invalidation restart budget exhausted");
+      finish(r, false);
+      continue;
     }
+    ++job.inval_restarts;
+    ++counters_.pin_inval_restarts;
+    r.set_state(Region::PinState::kPinning);
+    trace("pin.restart", r, "invalidated mid-pin, restarting");
+    const std::uint64_t gen = job.generation;
+    std::weak_ptr<char> alive = alive_;
+    eng_.schedule_after(retry_backoff(job.inval_restarts),
+                        [this, &r, gen, alive] {
+      if (alive.expired()) return;  // the manager died during the backoff
+      auto jit = jobs_.find(&r);
+      if (jit == jobs_.end() || !jit->second.active ||
+          jit->second.generation != gen) {
+        return;  // invalidated again or undeclared during the backoff
+      }
+      schedule_chunk(r);
+    });
   }
 }
 
@@ -284,10 +400,15 @@ bool PinManager::shed_one_victim() {
   return true;
 }
 
-void PinManager::shed_pins_if_needed(std::size_t incoming_pages) {
-  if (lru_.empty()) return;
-  auto& pm = lru_.begin()->first->address_space().physical();
-  while (pm.pinned_pages() + incoming_pages > cfg_.max_pinned_pages) {
+void PinManager::shed_pins_if_needed(mem::PhysicalMemory& pm,
+                                     std::size_t incoming_pages) {
+  // Two ceilings bound the host's pinned pages: the driver's own policy
+  // (cfg_.max_pinned_pages) and the PhysicalMemory quota (the
+  // RLIMIT_MEMLOCK analogue). Shed LRU idle regions until the incoming
+  // chunk fits under both — or nothing evictable remains, in which case the
+  // caller shrinks the chunk to the headroom or backs off.
+  const std::size_t limit = std::min(cfg_.max_pinned_pages, pm.pin_quota());
+  while (pm.pinned_pages() + incoming_pages > limit) {
     if (!shed_one_victim()) return;
   }
 }

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -87,15 +88,22 @@ class PinManager {
     std::size_t early_threshold = 0;        // pages pinned before early release
     bool charged_base = false;
     bool active = false;
+    int retries = 0;        // consecutive zero-progress chunk attempts
+    int inval_restarts = 0; // notifier invalidations absorbed by this job
   };
 
   void start_or_join(Region& r, bool wait_full, Completion done);
   void schedule_chunk(Region& r);
+  void retry_or_fail(Region& r);
+  [[nodiscard]] sim::Time retry_backoff(int retries) const;
   void finish(Region& r, bool ok);
   void release_early_waiters(Region& r, bool ok);
-  void shed_pins_if_needed(std::size_t incoming_pages);
+  void shed_pins_if_needed(mem::PhysicalMemory& pm,
+                           std::size_t incoming_pages);
   bool shed_one_victim();
   void do_unpin(Region& r, std::uint64_t& op_counter);
+  void do_unpin_from(Region& r, std::size_t first_slot,
+                     std::uint64_t& op_counter);
 
   sim::Engine& eng_;
   cpu::Core& core_;
@@ -107,6 +115,9 @@ class PinManager {
   std::unordered_map<Region*, bool> was_pinned_;   // for repin counting
   std::function<void(Region&)> failure_handler_;
   TracerProvider tracer_;
+  // Liveness token for engine timers (retry backoff): a timer may fire after
+  // the endpoint (and its PinManager) is destroyed; captured weakly.
+  std::shared_ptr<char> alive_ = std::make_shared<char>('p');
 
   void trace(const char* category, Region& r, const char* what);
 };

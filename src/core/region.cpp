@@ -54,16 +54,33 @@ void Region::commit_pins(std::span<const mem::FrameId> frames) {
 }
 
 std::vector<std::pair<mem::VirtAddr, mem::FrameId>> Region::take_all_pins() {
+  std::vector<std::pair<mem::VirtAddr, mem::FrameId>> out = take_pins_from(0);
+  state_ = PinState::kUnpinned;
+  return out;
+}
+
+std::vector<std::pair<mem::VirtAddr, mem::FrameId>> Region::take_pins_from(
+    std::size_t slot) {
   std::vector<std::pair<mem::VirtAddr, mem::FrameId>> out;
-  out.reserve(frontier_);
-  for (std::size_t i = 0; i < frontier_; ++i) {
+  if (slot >= frontier_) return out;  // nothing pinned at or above `slot`
+  out.reserve(frontier_ - slot);
+  for (std::size_t i = slot; i < frontier_; ++i) {
     out.emplace_back(slots_[i].page_va, slots_[i].frame);
     slots_[i].pinned = false;
     slots_[i].frame = mem::kInvalidFrame;
   }
-  frontier_ = 0;
+  frontier_ = slot;
   state_ = PinState::kUnpinned;
   return out;
+}
+
+std::size_t Region::first_slot_overlapping(mem::VirtAddr start,
+                                           mem::VirtAddr end) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const mem::VirtAddr va = slots_[i].page_va;
+    if (va < end && va + kPageSize > start) return i;
+  }
+  return npos;
 }
 
 bool Region::overlaps(mem::VirtAddr start, mem::VirtAddr end) const {

@@ -75,10 +75,23 @@ class Region {
   void commit_pins(std::span<const mem::FrameId> frames);
 
   /// Forgets every pin and returns the (va, frame) pairs so the caller can
-  /// release them through the address space. Used on invalidation, memory
-  /// pressure and undeclare.
+  /// release them through the address space. Used on memory pressure and
+  /// undeclare.
   [[nodiscard]] std::vector<std::pair<mem::VirtAddr, mem::FrameId>>
   take_all_pins();
+
+  /// Range-granular variant for MMU-notifier invalidation: forgets the pins
+  /// of slots [slot, frontier) and truncates the frontier to `slot`, keeping
+  /// every pin below it valid (pages pin strictly in order, so the
+  /// contiguous-frontier invariant survives). No-op when `slot` is at or
+  /// past the frontier.
+  [[nodiscard]] std::vector<std::pair<mem::VirtAddr, mem::FrameId>>
+  take_pins_from(std::size_t slot);
+
+  /// Lowest slot whose page intersects [start, end), or npos.
+  [[nodiscard]] std::size_t first_slot_overlapping(mem::VirtAddr start,
+                                                   mem::VirtAddr end) const;
+  static constexpr std::size_t npos = ~std::size_t{0};
 
   /// True if [start, end) intersects any page of this region.
   [[nodiscard]] bool overlaps(mem::VirtAddr start, mem::VirtAddr end) const;

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 
 namespace pinsim::core {
 
@@ -56,6 +57,14 @@ std::string format_report(Host::Process& p, Host& host) {
   line(out, "  invalidations: notifier=%llu pressure=%llu",
        static_cast<unsigned long long>(c.notifier_invalidations),
        static_cast<unsigned long long>(c.pressure_unpins));
+  line(out, "  pressure: denied=%llu retries=%llu retry_exhausted=%llu "
+            "shrinks=%llu failed_resets=%llu inval_restarts=%llu",
+       static_cast<unsigned long long>(c.pins_denied),
+       static_cast<unsigned long long>(c.pin_retries),
+       static_cast<unsigned long long>(c.pin_retry_exhausted),
+       static_cast<unsigned long long>(c.pin_chunk_shrinks),
+       static_cast<unsigned long long>(c.pin_fail_resets),
+       static_cast<unsigned long long>(c.pin_inval_restarts));
   line(out, "  overlap: accesses=%llu misses=%llu (rate %.2e)",
        static_cast<unsigned long long>(c.region_accesses),
        static_cast<unsigned long long>(c.overlap_misses),
@@ -70,7 +79,14 @@ std::string format_report(Host::Process& p, Host& host) {
        p.core.name().c_str(), sim::to_usec(core_stats.busy[0]),
        sim::to_usec(core_stats.busy[1]), sim::to_usec(core_stats.busy[2]),
        sim::to_usec(core_stats.busy[3]), p.core.utilization() * 100.0);
-  line(out, "  host pinned pages now: %zu", host.memory().pinned_pages());
+  if (host.memory().pin_quota() !=
+      std::numeric_limits<std::size_t>::max()) {
+    line(out, "  host pinned pages now: %zu (quota %zu, denials %llu)",
+         host.memory().pinned_pages(), host.memory().pin_quota(),
+         static_cast<unsigned long long>(host.memory().quota_denials()));
+  } else {
+    line(out, "  host pinned pages now: %zu", host.memory().pinned_pages());
+  }
   return out;
 }
 

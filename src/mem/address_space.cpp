@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "mem/pressure.hpp"
+
 namespace pinsim::mem {
 
 AddressSpace::AddressSpace(PhysicalMemory& pm, VirtAddr base, VirtAddr limit)
@@ -241,6 +243,17 @@ std::vector<FrameId> AddressSpace::pin_range(VirtAddr addr, std::size_t len) {
 }
 
 FrameId AddressSpace::pin_page(VirtAddr addr) {
+  // get_user_pages can fail transiently before it ever walks the page table:
+  // under injected memory pressure or when the host's pinned-page quota
+  // (RLIMIT_MEMLOCK analogue) is exhausted. Both surface as PinDeniedError,
+  // which callers treat like -ENOMEM: reclaim, back off and retry.
+  if (PressureInjector* p = pm_.pressure(); p != nullptr && !p->allow_pin()) {
+    throw PinDeniedError(PinDeniedError::Reason::kInjected);
+  }
+  if (pm_.pin_headroom() == 0) {
+    pm_.count_quota_denial();
+    throw PinDeniedError(PinDeniedError::Reason::kQuota);
+  }
   // Pinning is for DMA, i.e. write access: break COW first, like
   // get_user_pages(write=1).
   PageEntry& e = fault_in(addr, /*for_write=*/true);

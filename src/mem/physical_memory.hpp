@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "mem/types.hpp"
 
 namespace pinsim::mem {
+
+class PressureInjector;
 
 /// Physical memory: a pool of reference-counted 4 kB frames holding real
 /// bytes.
@@ -57,6 +61,35 @@ class PhysicalMemory {
     return pinned_pages_;
   }
 
+  /// Hard cap on pinned pages across the host — the RLIMIT_MEMLOCK /
+  /// ib_umem accounting analogue. `pin_page` throws PinDeniedError(kQuota)
+  /// above it; the pin manager sheds LRU idle regions and shrinks its chunk
+  /// to fit the remaining headroom. Default: unlimited. Shrinking the quota
+  /// below the current pinned count does not unpin anything by itself; it
+  /// only refuses *new* pins until the count drains below it.
+  void set_pin_quota(std::size_t pages) noexcept { pin_quota_ = pages; }
+  [[nodiscard]] std::size_t pin_quota() const noexcept { return pin_quota_; }
+
+  /// Pins still allowed under the quota (SIZE_MAX when unlimited).
+  [[nodiscard]] std::size_t pin_headroom() const noexcept {
+    if (pin_quota_ == std::numeric_limits<std::size_t>::max()) {
+      return pin_quota_;
+    }
+    return pin_quota_ > pinned_pages_ ? pin_quota_ - pinned_pages_ : 0;
+  }
+
+  [[nodiscard]] std::uint64_t quota_denials() const noexcept {
+    return quota_denials_;
+  }
+  void count_quota_denial() noexcept { ++quota_denials_; }
+
+  /// Optional memory-pressure fault injector consulted by AddressSpace::
+  /// pin_page. Not owned; nullptr disables injection.
+  void set_pressure(PressureInjector* p) noexcept { pressure_ = p; }
+  [[nodiscard]] PressureInjector* pressure() const noexcept {
+    return pressure_;
+  }
+
  private:
   void check_live(FrameId f) const;
 
@@ -64,6 +97,9 @@ class PhysicalMemory {
   std::vector<std::uint32_t> refcounts_;  // 0 == free
   std::vector<FrameId> free_list_;
   std::size_t pinned_pages_ = 0;
+  std::size_t pin_quota_ = std::numeric_limits<std::size_t>::max();
+  std::uint64_t quota_denials_ = 0;
+  PressureInjector* pressure_ = nullptr;
 };
 
 }  // namespace pinsim::mem

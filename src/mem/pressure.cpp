@@ -1,0 +1,127 @@
+#include "mem/pressure.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace pinsim::mem {
+
+PressureInjector::~PressureInjector() { stop_storm(); }
+
+void PressureInjector::watch(AddressSpace* as) { spaces_.push_back(as); }
+
+void PressureInjector::unwatch(AddressSpace* as) {
+  spaces_.erase(std::remove(spaces_.begin(), spaces_.end(), as),
+                spaces_.end());
+}
+
+void PressureInjector::trace(const char* category, const char* what) {
+  if (tracer_ != nullptr) tracer_->record(category, what);
+}
+
+bool PressureInjector::allow_pin() {
+  ++stats_.pin_attempts;
+  // Step the Gilbert–Elliott chain once per attempt, like the network
+  // injector steps it per frame: reclaim episodes span many consecutive
+  // get_user_pages calls.
+  if (plan_.burst_enter > 0.0) {
+    if (!burst_bad_) {
+      if (rng_.bernoulli(plan_.burst_enter)) burst_bad_ = true;
+    } else if (rng_.bernoulli(plan_.burst_exit)) {
+      burst_bad_ = false;
+    }
+    if (burst_bad_ && rng_.bernoulli(plan_.burst_fail)) {
+      ++stats_.burst_denied;
+      trace("pressure.deny", "burst pin denial");
+      return false;
+    }
+  }
+  if (plan_.pin_fail > 0.0 && rng_.bernoulli(plan_.pin_fail)) {
+    ++stats_.pins_denied;
+    trace("pressure.deny", "pin denial");
+    return false;
+  }
+  return true;
+}
+
+void PressureInjector::start_storm(sim::Engine& eng) {
+  if (storming_) return;
+  eng_ = &eng;
+  storming_ = true;
+  pending_ = eng_->schedule_after(plan_.storm_period, [this] { tick(); });
+}
+
+void PressureInjector::stop_storm() {
+  if (!storming_) return;
+  storming_ = false;
+  eng_->cancel(pending_);
+}
+
+void PressureInjector::tick() {
+  storm_once();
+  if (storming_) {
+    pending_ = eng_->schedule_after(plan_.storm_period, [this] { tick(); });
+  }
+}
+
+void PressureInjector::storm_once() {
+  ++stats_.storm_ticks;
+  for (AddressSpace* as : spaces_) {
+    // Aggressive swap-daemon sweep: random unpinned resident pages go to
+    // swap mid-transfer. The MMU notifier fires before each page leaves, so
+    // pinned DMA targets are invalidated-then-repinned, never torn.
+    if (plan_.sweep > 0.0 && rng_.bernoulli(plan_.sweep)) {
+      auto victims = as->resident_unpinned_pages();
+      for (std::size_t i = victims.size(); i > 1; --i) {
+        std::swap(victims[i - 1], victims[rng_.next_below(i)]);
+      }
+      std::size_t swept = 0;
+      for (VirtAddr va : victims) {
+        if (swept >= plan_.sweep_pages) break;
+        if (as->swap_out(va)) ++swept;
+      }
+      stats_.swept_pages += swept;
+      if (swept > 0) trace("pressure.sweep", "swap-daemon sweep");
+    }
+    // Page migration (NUMA balancing / compaction): same virtual page, new
+    // frame. A stale pinned translation would now DMA into a freed frame —
+    // exactly what the notifier invalidation must prevent.
+    if (plan_.migrate > 0.0 && rng_.bernoulli(plan_.migrate)) {
+      auto victims = as->resident_unpinned_pages();
+      std::size_t moved = 0;
+      while (moved < plan_.migrate_pages && !victims.empty()) {
+        const std::size_t i = rng_.next_below(victims.size());
+        try {
+          if (as->migrate(victims[i])) ++moved;
+        } catch (const OutOfMemoryError&) {
+          break;  // no frame for the migration target; storm yields
+        }
+        victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      stats_.migrated_pages += moved;
+      if (moved > 0) trace("pressure.migrate", "page migration");
+    }
+    // COW churn: snapshot a few pages (fork analogue) and immediately write
+    // them, breaking COW. If the page is later pinned, the break replaces
+    // the frame under the translation — notifier territory again.
+    if (plan_.cow > 0.0 && rng_.bernoulli(plan_.cow)) {
+      auto victims = as->resident_unpinned_pages();
+      std::size_t broken = 0;
+      for (std::size_t n = 0; n < plan_.cow_pages && !victims.empty(); ++n) {
+        const std::size_t i = rng_.next_below(victims.size());
+        const VirtAddr va = victims[i];
+        victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(i));
+        try {
+          CowSnapshot snap = as->cow_snapshot(va, kPageSize);
+          as->touch(va, 1);  // break COW; fires the notifier
+          ++broken;
+        } catch (const OutOfMemoryError&) {
+          break;  // no frame for the private copy; storm yields
+        }
+      }
+      stats_.cow_breaks += broken;
+      if (broken > 0) trace("pressure.cow", "cow break");
+    }
+  }
+}
+
+}  // namespace pinsim::mem

@@ -60,6 +60,35 @@ class InvalidAddressError : public std::runtime_error {
 class OutOfMemoryError : public std::runtime_error {
  public:
   OutOfMemoryError() : std::runtime_error("out of physical frames") {}
+
+ protected:
+  explicit OutOfMemoryError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A page pin was refused without the frame pool being exhausted: either the
+/// host's pinned-page quota is full (the rlimit/IB_UMEM accounting analogue)
+/// or a PressureInjector forced a get_user_pages-style failure. Derives from
+/// OutOfMemoryError because callers handle it the same way -ENOMEM from
+/// get_user_pages is handled: reclaim, retry or give up — transient, unlike
+/// InvalidAddressError.
+class PinDeniedError : public OutOfMemoryError {
+ public:
+  enum class Reason {
+    kQuota,     // pinned_pages would exceed the configured quota
+    kInjected,  // PressureInjector simulated allocator/LRU contention
+  };
+
+  explicit PinDeniedError(Reason r)
+      : OutOfMemoryError(r == Reason::kQuota
+                             ? "pin denied: pinned-page quota exhausted"
+                             : "pin denied: injected memory pressure"),
+        reason_(r) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
 };
 
 }  // namespace pinsim::mem

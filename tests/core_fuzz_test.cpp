@@ -2,15 +2,24 @@
 //  * Region copy_in/copy_out over random vectorial layouts must behave like
 //    a flat byte array;
 //  * wire decode() must never crash on arbitrary bytes — it either throws
-//    WireFormatError or returns a packet that re-encodes consistently.
+//    WireFormatError or returns a packet that re-encodes consistently;
+//  * seeded memory-pressure schedules (quota shrink/grow, injected pin
+//    denials, notifier storms) against the pin manager must always converge
+//    to a bit-exact fully-pinned region once the pressure lifts.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
+#include "core/pin_manager.hpp"
 #include "core/region.hpp"
 #include "core/wire.hpp"
+#include "cpu/core.hpp"
+#include "cpu/cpu_model.hpp"
 #include "mem/physical_memory.hpp"
+#include "mem/pressure.hpp"
+#include "sim/engine.hpp"
 #include "sim/random.hpp"
 
 namespace pinsim::core {
@@ -83,6 +92,119 @@ TEST_P(RegionCopyFuzz, BehavesLikeAFlatByteArray) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionCopyFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- memory-pressure schedule fuzz ------------------------------------------
+
+class PressureScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PressureScheduleFuzz, AlwaysConvergesBitExactWhenPressureLifts) {
+  sim::Rng rng(GetParam());
+  sim::Engine eng;
+  mem::PhysicalMemory pm(512);
+  mem::AddressSpace as(pm);
+  cpu::Core core(eng, "cpu0");
+  Counters counters;
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.pin_chunk_pages = 4;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  cfg.pin_retry_budget = 8;
+  PinManager mgr(eng, core, cpu::xeon_e5460(), cfg, counters);
+
+  mem::PressureInjector inj(GetParam() * 2654435761u + 1);
+  pm.set_pressure(&inj);
+  inj.watch(&as);
+
+  constexpr std::size_t kPages = 48;
+  constexpr std::size_t kBytes = kPages * mem::kPageSize;
+  const auto addr = as.mmap(kBytes);
+  Region r(1, as, {Segment{addr, kBytes}});
+  mgr.register_region(r);
+
+  // Reference model: whatever the schedule wrote must be what the region
+  // holds once everything settles.
+  std::vector<std::byte> model(kBytes);
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    model[i] = static_cast<std::byte>(i % 241);
+  }
+  as.write(addr, model);
+
+  const std::size_t quotas[] = {0, 8, 24, 64,
+                                std::numeric_limits<std::size_t>::max()};
+  const double fail_rates[] = {0.0, 0.3, 0.9};
+
+  for (int op = 0; op < 80; ++op) {
+    switch (rng.next_below(7)) {
+      case 0:  // a communication wants the region pinned
+        mgr.ensure_pinned(r, [](bool) {});
+        break;
+      case 1: {  // let simulated time pass
+        const int steps = 1 + static_cast<int>(rng.next_below(40));
+        for (int s = 0; s < steps && eng.step(); ++s) {
+        }
+        break;
+      }
+      case 2:  // quota shrink/grow under the driver's feet
+        pm.set_pin_quota(quotas[rng.next_below(5)]);
+        break;
+      case 3: {  // injected get_user_pages failures come and go
+        mem::PressurePlan plan = inj.plan();
+        plan.pin_fail = fail_rates[rng.next_below(3)];
+        plan.burst_enter = rng.bernoulli(0.3) ? 0.05 : 0.0;
+        inj.set_plan(plan);
+        break;
+      }
+      case 4: {  // notifier burst: sweep/migrate/cow storm right now
+        mem::PressurePlan plan = inj.plan();
+        plan.sweep = 1.0;
+        plan.sweep_pages = rng.next_below(16);
+        plan.migrate = 0.5;
+        plan.cow = 0.5;
+        inj.set_plan(plan);
+        inj.storm_once();
+        break;
+      }
+      case 5: {  // MMU notifier invalidates a random subrange
+        const std::size_t first = rng.next_below(kPages);
+        const std::size_t n = 1 + rng.next_below(kPages - first);
+        mgr.invalidate_range(
+            addr + first * mem::kPageSize,
+            addr + (first + n) * mem::kPageSize);
+        break;
+      }
+      default: {  // the application writes its buffer (always succeeds)
+        const std::size_t off = rng.next_below(kBytes);
+        const std::size_t len = 1 + rng.next_below(kBytes - off);
+        std::vector<std::byte> data(len);
+        for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+        as.write(addr + off, data);
+        std::memcpy(model.data() + off, data.data(), len);
+        break;
+      }
+    }
+  }
+
+  // Pressure lifts: everything must converge, with no stuck events.
+  inj.set_plan({});
+  pm.set_pin_quota(std::numeric_limits<std::size_t>::max());
+  bool ok = false;
+  mgr.ensure_pinned(r, /*overlapped=*/false, [&](bool o) { ok = o; });
+  eng.run();
+  EXPECT_TRUE(ok) << "seed " << GetParam();
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(eng.pending(), 0u);
+
+  std::vector<std::byte> out(kBytes);
+  ASSERT_EQ(r.copy_out(0, out), Region::AccessResult::kOk);
+  EXPECT_EQ(out, model) << "seed " << GetParam();
+
+  mgr.unregister_region(r);
+  EXPECT_EQ(pm.pinned_pages(), 0u);  // no leaked pins anywhere in the schedule
+  pm.set_pressure(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PressureScheduleFuzz,
+                         ::testing::Values(7, 11, 19, 23, 31, 47));
 
 class WireDecodeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

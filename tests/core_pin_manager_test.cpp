@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "cpu/core.hpp"
 #include "cpu/cpu_model.hpp"
 #include "mem/physical_memory.hpp"
+#include "mem/pressure.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::core {
@@ -221,7 +223,7 @@ TEST_F(PinManagerTest, InvalidationOutsideRegionIsIgnored) {
   mgr.unregister_region(r);
 }
 
-TEST_F(PinManagerTest, InvalidationDuringAsyncPinCancelsIt) {
+TEST_F(PinManagerTest, InvalidationDuringAsyncPinRestartsIt) {
   PinningConfig cfg;
   cfg.overlapped = true;
   cfg.pin_chunk_pages = 4;
@@ -229,16 +231,69 @@ TEST_F(PinManagerTest, InvalidationDuringAsyncPinCancelsIt) {
   const auto addr = as_.mmap(64 * 4096);
   Region r(1, as_, {Segment{addr, 64 * 4096}});
   mgr.register_region(r);
-  mgr.ensure_pinned(r, [](bool) {});
+  bool done = false, ok = false;
+  mgr.ensure_pinned(r, /*overlapped=*/false,
+                    [&](bool o) { done = true, ok = o; });
 
-  // Let a few chunks land, then invalidate mid-flight.
+  // Let a few chunks land, then invalidate mid-flight. The partial pins are
+  // dropped on the spot (the translations are stale), but the job restarts
+  // instead of failing its waiters: a storm of VM events must only delay a
+  // transfer, never abort it.
   eng_.run_until(cpu::xeon_e5460().pin_cost(12));
   EXPECT_GT(r.pinned_pages(), 0u);
   EXPECT_LT(r.pinned_pages(), 64u);
   mgr.invalidate_range(addr, addr + 64 * 4096);
+  EXPECT_EQ(r.pinned_pages(), 0u);  // no leaked pins from stale chunks
+  EXPECT_FALSE(done);
   eng_.run();
-  EXPECT_EQ(r.pinned_pages(), 0u);
-  EXPECT_EQ(pm_.pinned_pages(), 0u);  // no leaked pins from stale chunks
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_EQ(pm_.pinned_pages(), r.pinned_pages());
+  EXPECT_GE(counters_.pin_inval_restarts, 1u);
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, EndlessInvalidationStormFailsCleanlyAfterBudget) {
+  // A job that never completes because every restart is invalidated again
+  // must end in a clean ok=false once the restart budget runs out — the
+  // bound that turns a notifier live-lock into an abortable failure.
+  PinningConfig cfg;
+  cfg.overlapped = true;
+  cfg.pin_chunk_pages = 4;
+  cfg.pin_retry_budget = 5;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  auto mgr = make(cfg);
+  const auto addr = as_.mmap(16 * 4096);
+  Region r(1, as_, {Segment{addr, 16 * 4096}});
+  mgr.register_region(r);
+  bool done = false, ok = true;
+  mgr.ensure_pinned(r, /*overlapped=*/false,
+                    [&](bool o) { done = true, ok = o; });
+
+  int storms = 0;
+  while (!done && eng_.step()) {
+    if (r.pinned_pages() > 0) {
+      mgr.invalidate_range(addr, addr + 16 * 4096);
+      ++storms;
+    }
+    ASSERT_LT(storms, 1000) << "storm never bounded by the restart budget";
+  }
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  EXPECT_EQ(counters_.pin_inval_restarts, 5u);
+  EXPECT_GE(counters_.pin_retry_exhausted, 1u);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  eng_.run();
+  EXPECT_EQ(eng_.pending(), 0u);
+
+  // And the failure is not sticky: with the storm gone the region repins.
+  bool ok2 = false;
+  mgr.ensure_pinned(r, /*overlapped=*/false, [&](bool o) { ok2 = o; });
+  eng_.run();
+  EXPECT_TRUE(ok2);
+  EXPECT_TRUE(r.fully_pinned());
   mgr.unregister_region(r);
 }
 
@@ -343,6 +398,173 @@ TEST(PinManagerOom, ShedsIdleRegionToSatisfyNewPin) {
   EXPECT_GE(counters.pressure_unpins, 1u);
   mgr.unregister_region(r1);
   mgr.unregister_region(r2);
+}
+
+// --- kFailed is retryable, quotas, pressure injection ------------------------
+
+TEST(PinManagerRecovery, FailedRegionResetsAndRepinsOnDemand) {
+  // §3.1: a pin failure leaves the region *declared*; the next communication
+  // must transparently retry instead of hitting a terminal kFailed.
+  sim::Engine eng;
+  mem::PhysicalMemory pm(64);
+  mem::AddressSpace as(pm);
+  cpu::Core core(eng, "cpu0");
+  Counters counters;
+  PinningConfig cfg;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  cfg.pin_retry_budget = 6;
+  PinManager mgr(eng, core, cpu::xeon_e5460(), cfg, counters);
+
+  const auto hog_addr = as.mmap(50 * 4096);
+  auto hog = as.pin_range(hog_addr, 50 * 4096);  // unreclaimable ballast
+  const auto addr = as.mmap(30 * 4096);
+  Region r(1, as, {Segment{addr, 30 * 4096}});
+  mgr.register_region(r);
+
+  bool ok = true;
+  mgr.ensure_pinned(r, [&](bool o) { ok = o; });
+  eng.run();  // retries with backoff, then gives up — never hangs
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  EXPECT_GE(counters.pin_retry_exhausted, 1u);
+
+  // The hog goes away (application freed memory); the same declared region
+  // must pin fine on the next use, with no manual reset.
+  for (std::size_t i = 0; i < hog.size(); ++i) {
+    as.unpin_page(hog_addr + static_cast<mem::VirtAddr>(i) * 4096, hog[i]);
+  }
+  bool ok2 = false;
+  mgr.ensure_pinned(r, [&](bool o) { ok2 = o; });
+  eng.run();
+  EXPECT_TRUE(ok2);
+  EXPECT_TRUE(r.fully_pinned());
+  EXPECT_GE(counters.pin_fail_resets, 1u);
+  mgr.unregister_region(r);
+  EXPECT_EQ(pm.pinned_pages(), 0u);
+}
+
+TEST_F(PinManagerTest, QuotaZeroStarvationEndsGracefully) {
+  PinningConfig cfg;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  cfg.pin_retry_budget = 6;
+  auto mgr = make(cfg);
+  pm_.set_pin_quota(0);  // permanently starved: no pin can ever succeed
+  Region r = make_region(8 * 4096);
+  mgr.register_region(r);
+
+  bool ok = true;
+  mgr.ensure_pinned(r, [&](bool o) { ok = o; });
+  eng_.run();
+  EXPECT_FALSE(ok);  // clean abort, not a hang
+  EXPECT_EQ(eng_.pending(), 0u);
+  EXPECT_EQ(r.state(), Region::PinState::kFailed);
+  EXPECT_GE(counters_.pins_denied, 1u);
+  EXPECT_EQ(counters_.pin_retries, 6u);
+  EXPECT_EQ(counters_.pin_retry_exhausted, 1u);
+  EXPECT_EQ(pm_.pinned_pages(), 0u);
+  EXPECT_GE(pm_.quota_denials(), 1u);
+  pm_.set_pin_quota(std::numeric_limits<std::size_t>::max());
+  mgr.unregister_region(r);
+}
+
+TEST_F(PinManagerTest, QuotaEvictsLruIdleRegionLikeDriverLimit) {
+  // The PhysicalMemory quota must trigger the same LRU shedding as the
+  // driver's own max_pinned_pages policy.
+  auto mgr = make({});
+  pm_.set_pin_quota(20);
+  Region a = make_region(8 * 4096, 1);
+  Region b = make_region(8 * 4096, 2);
+  Region c = make_region(8 * 4096, 3);
+  mgr.register_region(a);
+  mgr.register_region(b);
+  mgr.register_region(c);
+
+  mgr.ensure_pinned(a, [](bool) {});
+  eng_.run();
+  mgr.ensure_pinned(b, [](bool) {});
+  eng_.run();
+  EXPECT_EQ(pm_.pinned_pages(), 16u);
+  mgr.ensure_pinned(c, [](bool) {});
+  eng_.run();
+  EXPECT_EQ(a.pinned_pages(), 0u);  // LRU victim
+  EXPECT_TRUE(b.fully_pinned());
+  EXPECT_TRUE(c.fully_pinned());
+  EXPECT_GE(counters_.pressure_unpins, 1u);
+  EXPECT_LE(pm_.pinned_pages(), 20u);
+  pm_.set_pin_quota(std::numeric_limits<std::size_t>::max());
+  mgr.unregister_region(a);
+  mgr.unregister_region(b);
+  mgr.unregister_region(c);
+}
+
+TEST_F(PinManagerTest, ChunkShrinksToQuotaHeadroomAndHealsWhenItFrees) {
+  PinningConfig cfg;
+  cfg.pin_chunk_pages = 16;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  auto mgr = make(cfg);
+  pm_.set_pin_quota(20);
+  Region busy = make_region(8 * 4096, 1);
+  Region big = make_region(16 * 4096, 2);
+  mgr.register_region(busy);
+  mgr.register_region(big);
+
+  mgr.ensure_pinned(busy, [](bool) {});
+  eng_.run();
+  busy.add_use();  // in a communication: not evictable
+
+  // Headroom is 12 < the 16-page chunk: the chunk must shrink and pin what
+  // fits, then stall at zero headroom and keep retrying with backoff.
+  bool done = false, ok = false;
+  mgr.ensure_pinned(big, [&](bool o) { done = true; ok = o; });
+  while (eng_.step() && counters_.pin_retries < 3) {
+  }
+  EXPECT_GE(counters_.pin_chunk_shrinks, 1u);
+  EXPECT_EQ(big.pinned_pages(), 12u);  // partial frontier, not a failure
+  EXPECT_FALSE(done);
+
+  // The squeeze is transient: the busy region finishes and unpins, and the
+  // stalled frontier must complete without any new ensure_pinned call.
+  busy.drop_use();
+  mgr.unpin(busy);
+  eng_.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(big.fully_pinned());
+  pm_.set_pin_quota(std::numeric_limits<std::size_t>::max());
+  mgr.unregister_region(busy);
+  mgr.unregister_region(big);
+}
+
+TEST_F(PinManagerTest, InjectedDenialsRetryUntilPressureLifts) {
+  mem::PressureInjector inj(42);
+  mem::PressurePlan plan;
+  plan.pin_fail = 1.0;  // deny everything, deterministically
+  inj.set_plan(plan);
+  pm_.set_pressure(&inj);
+
+  PinningConfig cfg;
+  cfg.pin_retry_backoff = 10 * sim::kMicrosecond;
+  cfg.pin_retry_budget = 64;
+  auto mgr = make(cfg);
+  Region r = make_region(8 * 4096);
+  mgr.register_region(r);
+
+  bool done = false, ok = false;
+  mgr.ensure_pinned(r, [&](bool o) { done = true; ok = o; });
+  while (eng_.step() && counters_.pin_retries < 4) {
+  }
+  EXPECT_FALSE(done);  // still backing off
+  EXPECT_GE(counters_.pins_denied, 1u);
+  EXPECT_GE(inj.stats().total_denied(), 1u);
+
+  plan.pin_fail = 0.0;  // pressure lifts
+  inj.set_plan(plan);
+  eng_.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r.fully_pinned());
+  pm_.set_pressure(nullptr);
+  mgr.unregister_region(r);
 }
 
 TEST_F(PinManagerTest, UnpinChargesKernelTimeToTheCore) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -165,6 +166,96 @@ TEST(SwapDaemonTest, PeriodicTicksReclaimUnderPressure) {
   daemon.stop();
   eng.run();  // no further ticks pending
   EXPECT_EQ(eng.pending(), 0u);
+}
+
+TEST(SwapDaemonTest, PinnedFramesAreNeverSelectedForEviction) {
+  // The invariant the paper's pinning exists to guarantee: a DMA-visible
+  // (pinned) frame must never change or vanish under the device, no matter
+  // how hard reclaim runs.
+  sim::Engine eng;
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  SwapDaemon::Config cfg;
+  cfg.high_watermark = 0.01;  // pathologically aggressive: always reclaim
+  cfg.low_watermark = 0.0;
+  SwapDaemon daemon(eng, pm, cfg);
+  daemon.watch(&as);
+
+  const VirtAddr a = as.mmap(40 * 4096);
+  std::vector<std::byte> pattern(40 * 4096);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>((i * 31) % 251);
+  }
+  as.write(a, pattern);
+  auto pinned = as.pin_range(a, 10 * 4096);  // first 10 pages are DMA targets
+
+  for (int round = 0; round < 5; ++round) {
+    daemon.scan_once();
+    // The application keeps faulting the unpinned tail back in, giving the
+    // daemon fresh victims every round.
+    as.touch(a + 10 * 4096, 30 * 4096);
+    for (std::size_t i = 0; i < pinned.size(); ++i) {
+      const VirtAddr va = a + static_cast<VirtAddr>(i) * 4096;
+      ASSERT_TRUE(as.is_present(va)) << "round " << round << " page " << i;
+      ASSERT_TRUE(as.is_pinned(va));
+      // Same frame as at pin time: the device's translation is still good.
+      ASSERT_EQ(as.frame_of(va), pinned[i]);
+      // And the frame still holds the application's bytes.
+      auto frame = pm.data(pinned[i]);
+      ASSERT_EQ(0, std::memcmp(frame.data(), pattern.data() + i * 4096, 4096))
+          << "round " << round << " page " << i;
+    }
+  }
+  EXPECT_GT(daemon.total_reclaimed(), 0u);  // the sweeps did reclaim others
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    as.unpin_page(a + static_cast<VirtAddr>(i) * 4096, pinned[i]);
+  }
+}
+
+TEST(SwapDaemonTest, UnpinnedThenRepinnedRegionRoundTripsBytes) {
+  // §3.1's unpin-under-pressure / repin-on-demand cycle at the VM level: a
+  // region loses its pins, the daemon pages everything out, and the repin
+  // must fault the same bytes back in (through swap) into live frames.
+  sim::Engine eng;
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  SwapDaemon::Config cfg;
+  cfg.high_watermark = 0.01;
+  cfg.low_watermark = 0.0;
+  SwapDaemon daemon(eng, pm, cfg);
+  daemon.watch(&as);
+
+  const VirtAddr a = as.mmap(20 * 4096);
+  std::vector<std::byte> pattern(20 * 4096);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>((i * 131) % 255);
+  }
+  as.write(a, pattern);
+  auto pins = as.pin_range(a, 20 * 4096);
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    as.unpin_page(a + static_cast<VirtAddr>(i) * 4096, pins[i]);
+  }
+
+  // Everything is evictable now; the daemon pages the whole buffer out.
+  daemon.scan_once();
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_FALSE(as.is_present(a + static_cast<VirtAddr>(i) * 4096));
+  }
+
+  const auto faults_before = as.stats().major_faults;
+  auto repinned = as.pin_range(a, 20 * 4096);  // repin: major-faults back in
+  EXPECT_GT(as.stats().major_faults, faults_before);
+  for (std::size_t i = 0; i < repinned.size(); ++i) {
+    auto frame = pm.data(repinned[i]);
+    EXPECT_EQ(0, std::memcmp(frame.data(), pattern.data() + i * 4096, 4096))
+        << "page " << i;
+  }
+  std::vector<std::byte> out(pattern.size());
+  as.read(a, out);
+  EXPECT_EQ(out, pattern);
+  for (std::size_t i = 0; i < repinned.size(); ++i) {
+    as.unpin_page(a + static_cast<VirtAddr>(i) * 4096, repinned[i]);
+  }
 }
 
 TEST(SwapDaemonTest, SwappedPagesComeBackIntact) {
