@@ -7,8 +7,13 @@
 #include <vector>
 
 #include "core/host.hpp"
+#include "core/report.hpp"
 #include "mpi/communicator.hpp"
 #include "net/fabric.hpp"
+#include "obs/bus.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/invariants.hpp"
+#include "obs/latency.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::bench {
@@ -44,10 +49,14 @@ struct Cluster {
 };
 
 /// Minimal CLI: --cpu=<model>, --quick and --csv are shared by all benches.
+/// --trace-out=<prefix> turns on the observability rig: Chrome traces land
+/// at <prefix>*.trace.json and the machine-readable run report at
+/// <prefix>.report.json.
 struct Options {
   const cpu::CpuModel* cpu = &cpu::xeon_e5460();
   bool quick = false;
   bool csv = false;  // machine-readable rows for plotting
+  std::string trace_out;  // empty = observability rig off
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -59,8 +68,10 @@ struct Options {
         o.quick = true;
       } else if (arg == "--csv") {
         o.csv = true;
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        o.trace_out = arg.substr(12);
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("options: --cpu=<%s> --quick --csv\n",
+        std::printf("options: --cpu=<%s> --quick --csv --trace-out=<prefix>\n",
                     [] {
                       std::string s;
                       for (const auto& m : cpu::all_cpu_models()) {
@@ -74,6 +85,107 @@ struct Options {
       }
     }
     return o;
+  }
+};
+
+/// Observability rig for one Cluster run: invariant checker and latency
+/// recorder are always attached; a Chrome-trace writer joins when
+/// `trace_path` is non-empty. Declare it AFTER the Cluster (teardown order:
+/// endpoints emit pin-unpin events from their destructors, so the bus must
+/// outlive the hosts — `finish()` detaches everything first and benches
+/// should call it before the Cluster dies; the destructor is the backstop).
+struct ObsRig {
+  explicit ObsRig(Cluster& c, const std::string& trace_path = std::string())
+      : cluster(&c), bus(c.eng) {
+    bus.attach(&checker);
+    bus.attach(&latency);
+    if (!trace_path.empty()) {
+      chrome = std::make_unique<obs::ChromeTraceWriter>(trace_path);
+      bus.attach(chrome.get());
+    }
+    for (auto& h : c.hosts) {
+      h->driver().set_bus(&bus);
+      if (h->dma() != nullptr) {
+        h->dma()->set_bus(&bus);
+        h->dma()->set_identity(h->nic().node_id());
+      }
+    }
+    c.fabric->faults().set_bus(&bus);
+  }
+
+  ObsRig(const ObsRig&) = delete;
+  ObsRig& operator=(const ObsRig&) = delete;
+
+  ~ObsRig() {
+    if (!finished) detach();
+  }
+
+  /// Flushes every sink (writing the Chrome trace if any), prints the
+  /// invariant report to stderr on failure and detaches from the cluster.
+  /// Returns the number of invariant violations (0 = clean).
+  int finish() {
+    if (!finished) {
+      bus.finalize();
+      if (!checker.ok()) {
+        std::fprintf(stderr, "%s", checker.report().c_str());
+      }
+      detach();
+      finished = true;
+    }
+    return static_cast<int>(checker.violation_count());
+  }
+
+  /// One JSON object for the whole run: per-endpoint protocol counters plus
+  /// the latency/size histograms.
+  [[nodiscard]] std::string json_report() {
+    std::string out = "{\"endpoints\":[";
+    bool first = true;
+    for (auto& h : cluster->hosts) {
+      for (std::size_t i = 0; i < h->process_count(); ++i) {
+        if (!first) out += ',';
+        first = false;
+        out += core::format_json_report(h->process(i), *h);
+      }
+    }
+    out += "],\"histograms\":";
+    out += latency.json();
+    char tail[64];
+    std::snprintf(tail, sizeof tail, ",\"invariant_violations\":%llu}",
+                  static_cast<unsigned long long>(checker.violation_count()));
+    out += tail;
+    return out;
+  }
+
+  /// Writes `json_report()` to `path`; returns false (with a warning) on
+  /// I/O failure — a failed report dump must never fail the run.
+  bool write_report(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write run report %s\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string body = json_report();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+  Cluster* cluster;
+  obs::Bus bus;
+  obs::InvariantChecker checker;
+  obs::LatencyRecorder latency;
+  std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  bool finished = false;
+
+ private:
+  void detach() {
+    for (auto& h : cluster->hosts) {
+      h->driver().set_bus(nullptr);
+      if (h->dma() != nullptr) h->dma()->set_bus(nullptr);
+    }
+    cluster->fabric->faults().set_bus(nullptr);
   }
 };
 

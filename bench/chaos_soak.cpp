@@ -90,11 +90,18 @@ sim::Task<> pingpong_rank(PingPongCtx& ctx, int rank) {
 }
 
 /// Round-trips patterned buffers (eager- and rendezvous-sized) and verifies
-/// the echoed payload after every iteration. Returns mismatch count.
-int run_pingpong(const Stage& st, const bench::Options& opt) {
+/// the echoed payload after every iteration. Returns mismatch + invariant
+/// violation count. A non-empty `tag` attaches the observability rig and
+/// writes `<tag>.trace.json` / `<tag>.report.json`.
+int run_pingpong(const Stage& st, const bench::Options& opt,
+                 const std::string& tag) {
   bench::Cluster cluster(*opt.cpu, soak_stack(), /*nranks=*/2,
                          /*with_ioat=*/false);
   cluster.fabric->faults().set_plan(st.plan);
+  std::unique_ptr<bench::ObsRig> rig;
+  if (!tag.empty()) {
+    rig = std::make_unique<bench::ObsRig>(cluster, tag + ".trace.json");
+  }
 
   int mismatches = 0;
   const std::size_t sizes[] = {2048, 64 * 1024, 512 * 1024};
@@ -127,7 +134,15 @@ int run_pingpong(const Stage& st, const bench::Options& opt) {
       static_cast<unsigned long long>(fs.duplicates),
       static_cast<unsigned long long>(fs.reorders),
       mismatches == 0 ? "bit-exact" : "CORRUPTED");
-  return mismatches;
+  int violations = 0;
+  if (rig) {
+    violations = rig->finish();
+    rig->write_report(tag + ".report.json");
+    if (violations != 0) {
+      std::printf("  pingpong: %d INVARIANT VIOLATION(S)\n", violations);
+    }
+  }
+  return mismatches + violations;
 }
 
 // --- Alltoallv ---------------------------------------------------------------
@@ -162,11 +177,16 @@ sim::Task<> a2av_rank(A2avCtx& ctx, int rank) {
 }
 
 /// All-to-all with per-pair patterned blocks; every received block must be
-/// bit-exact. Returns mismatch count.
-int run_alltoallv(const Stage& st, const bench::Options& opt) {
+/// bit-exact. Returns mismatch + invariant violation count.
+int run_alltoallv(const Stage& st, const bench::Options& opt,
+                  const std::string& tag) {
   bench::Cluster cluster(*opt.cpu, soak_stack(), kA2avRanks,
                          /*with_ioat=*/false);
   cluster.fabric->faults().set_plan(st.plan);
+  std::unique_ptr<bench::ObsRig> rig;
+  if (!tag.empty()) {
+    rig = std::make_unique<bench::ObsRig>(cluster, tag + ".trace.json");
+  }
 
   int mismatches = 0;
   const int rounds = opt.quick ? 2 : 5;
@@ -252,7 +272,15 @@ int run_alltoallv(const Stage& st, const bench::Options& opt) {
                       .c_str());
     }
   }
-  return mismatches;
+  int violations = 0;
+  if (rig) {
+    violations = rig->finish();
+    rig->write_report(tag + ".report.json");
+    if (violations != 0) {
+      std::printf("  alltoallv: %d INVARIANT VIOLATION(S)\n", violations);
+    }
+  }
+  return mismatches + violations;
 }
 
 }  // namespace
@@ -265,13 +293,21 @@ int main(int argc, char** argv) {
       "loss, corruption, duplication and reordering");
 
   int failures = 0;
+  int sidx = 0;
   for (const Stage& st : stages()) {
     std::printf("stage: %s\n", st.label);
-    failures += run_pingpong(st, opt);
-    failures += run_alltoallv(st, opt);
+    std::string base;
+    if (!opt.trace_out.empty()) {
+      base = opt.trace_out + "-s" + std::to_string(sidx);
+    }
+    failures += run_pingpong(st, opt, base.empty() ? base : base + "-pingpong");
+    failures +=
+        run_alltoallv(st, opt, base.empty() ? base : base + "-alltoallv");
+    ++sidx;
   }
   if (failures != 0) {
-    std::printf("\nFAIL: %d corrupted payload(s)\n", failures);
+    std::printf("\nFAIL: %d corrupted payload(s) or invariant violation(s)\n",
+                failures);
     return 1;
   }
   std::printf("\nall stages bit-exact\n");

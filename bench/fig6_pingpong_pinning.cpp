@@ -71,6 +71,23 @@ int main(int argc, char** argv) {
     // The paper's headline: the relative cost of per-communication pinning.
     std::printf(" %9.1f%%\n", (vals[1] / vals[0] - 1.0) * 100.0);
   }
+  if (!opt.trace_out.empty()) {
+    // Instrumented rerun of the pin-per-communication case at 1 MB: the
+    // Chrome trace shows every pin span nested under its rendezvous.
+    bench::Cluster cluster(*opt.cpu, core::regular_pinning_config(),
+                           /*nranks=*/2, /*with_ioat=*/false);
+    bench::ObsRig rig(cluster, opt.trace_out + ".trace.json");
+    workloads::ImbSuite::Config cfg;
+    cfg.iterations = iters;
+    workloads::ImbSuite imb(*cluster.comm, cfg);
+    (void)imb.pingpong(1024 * 1024);
+    const int violations = rig.finish();
+    rig.write_report(opt.trace_out + ".report.json");
+    std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
+                opt.trace_out.c_str(), opt.trace_out.c_str(),
+                violations == 0 ? "" : "  INVARIANT VIOLATIONS");
+    if (violations != 0) return 1;
+  }
   if (opt.csv) return 0;
   std::printf(
       "\nShape check vs paper: permanent pinning above pin-per-communication\n"

@@ -88,6 +88,26 @@ int main(int argc, char** argv) {
       "   overlap hides the pinning --\n");
   sweep(*opt.cpu, opt.quick, /*rotation=*/4, opt.csv);
 
+  if (!opt.trace_out.empty()) {
+    // Instrumented rerun of Overlap+Cache at 1 MB with rotating buffers:
+    // every pull races its pin job, so the Chrome trace shows the
+    // overlap-miss retransmission chains the recipe in EXPERIMENTS.md walks.
+    bench::Cluster cluster(*opt.cpu, core::overlapped_cache_config(),
+                           /*nranks=*/2, /*with_ioat=*/false,
+                           /*memory_frames=*/65536);
+    bench::ObsRig rig(cluster, opt.trace_out + ".trace.json");
+    workloads::ImbSuite::Config cfg;
+    cfg.iterations = opt.quick ? 4 : 10;
+    cfg.buffer_rotation = 4;
+    workloads::ImbSuite imb(*cluster.comm, cfg);
+    (void)imb.pingpong(1024 * 1024);
+    const int violations = rig.finish();
+    rig.write_report(opt.trace_out + ".report.json");
+    std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
+                opt.trace_out.c_str(), opt.trace_out.c_str(),
+                violations == 0 ? "" : "  INVARIANT VIOLATIONS");
+    if (violations != 0) return 1;
+  }
   std::printf(
       "\nShape check vs paper: Cache and Overlap+Cache track permanent\n"
       "pinning; Overlapped alone recovers the same ~5%% (Xeon) that the\n"

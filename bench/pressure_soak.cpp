@@ -171,11 +171,21 @@ sim::Task<> pingpong_rank(PingPongCtx& ctx, int rank) {
 
 /// Round-trips patterned buffers (eager- and rendezvous-sized) under one
 /// pressure stage, verifying the echoed payload after every iteration.
-/// Returns mismatches + unexpectedly failed operations.
-int run_pingpong(const Stage& st, const bench::Options& opt) {
+/// Returns mismatches + unexpectedly failed operations + invariant
+/// violations. A non-empty `tag` attaches the observability rig and writes
+/// `<tag>.trace.json` / `<tag>.report.json`.
+int run_pingpong(const Stage& st, const bench::Options& opt,
+                 const std::string& tag) {
   bench::Cluster cluster(*opt.cpu, soak_stack(), /*nranks=*/2,
                          /*with_ioat=*/false);
+  std::unique_ptr<bench::ObsRig> obs;
+  if (!tag.empty()) {
+    obs = std::make_unique<bench::ObsRig>(cluster, tag + ".trace.json");
+  }
   PressureRig rig(cluster, st);
+  if (obs) {
+    for (auto& inj : rig.injectors) inj->set_bus(&obs->bus);
+  }
 
   int bad = 0;
   const std::size_t sizes[] = {2048, 64 * 1024, 512 * 1024};
@@ -252,6 +262,15 @@ int run_pingpong(const Stage& st, const bench::Options& opt) {
                                       *cluster.hosts[0])
                       .c_str());
     }
+  }
+  if (obs) {
+    for (auto& inj : rig.injectors) inj->set_bus(nullptr);
+    const int violations = obs->finish();
+    obs->write_report(tag + ".report.json");
+    if (violations != 0) {
+      std::printf("  pingpong: %d INVARIANT VIOLATION(S)\n", violations);
+    }
+    bad += violations;
   }
   return bad;
 }
@@ -356,9 +375,15 @@ int main(int argc, char** argv) {
       "denial, quotas and notifier storms");
 
   int failures = 0;
+  int sidx = 0;
   for (const Stage& st : stages()) {
     std::printf("stage: %s\n", st.label);
-    failures += run_pingpong(st, opt);
+    std::string tag;
+    if (!opt.trace_out.empty()) {
+      tag = opt.trace_out + "-s" + std::to_string(sidx) + "-pingpong";
+    }
+    failures += run_pingpong(st, opt, tag);
+    ++sidx;
   }
   failures += run_starvation_probe(opt);
 

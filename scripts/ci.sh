@@ -18,12 +18,33 @@ done
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+# On a failing tier, keep the observability artifacts the instrumented
+# soaks left behind (Chrome traces + JSON run reports, see DESIGN.md §6d) —
+# they carry the invariant-checker verdict and the event window around any
+# violation, which is usually all that is needed to diagnose the failure.
+archive_artifacts() {
+  local preset="$1" build_dir="$2"
+  local dest="ci-artifacts/${preset}"
+  mkdir -p "${dest}"
+  find "${build_dir}" -name '*.trace.json' -o -name '*.report.json' \
+    2>/dev/null | while read -r f; do cp "$f" "${dest}/"; done
+  echo "=== tier ${preset} FAILED; traces/reports archived in ${dest} ===" >&2
+}
+
 tier() {
   local preset="$1"
+  local build_dir
+  case "${preset}" in
+    default) build_dir=build ;;
+    *) build_dir="build-${preset}" ;;
+  esac
   echo "=== tier: ${preset} ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
-  ctest --preset "${preset}" -j "${jobs}"
+  if ! ctest --preset "${preset}" -j "${jobs}"; then
+    archive_artifacts "${preset}" "${build_dir}"
+    return 1
+  fi
 }
 
 tier default

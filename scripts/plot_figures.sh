@@ -1,12 +1,66 @@
 #!/bin/sh
 # Regenerates the paper's Figures 6 and 7 as PNGs from the benches' --csv
-# output. Requires gnuplot.
+# output (requires gnuplot), and latency-histogram plots from the
+# observability run report (requires python3; matplotlib for PNGs, else a
+# text rendering).
 #
 #   ./scripts/plot_figures.sh [build-dir] [out-dir]
 set -e
 BUILD="${1:-build}"
 OUT="${2:-figures}"
 mkdir -p "$OUT"
+
+# Latency histograms: instrumented quick Fig. 7 rerun writes the JSON run
+# report (histograms of pin/send/pull latency and message size, DESIGN.md
+# §6d), then python3 renders the log-scale buckets.
+if command -v python3 >/dev/null 2>&1; then
+  "$BUILD/bench/fig7_decoupled" --quick --trace-out="$OUT/fig7" \
+    >/dev/null || true
+  if [ -f "$OUT/fig7.report.json" ]; then
+    python3 - "$OUT/fig7.report.json" "$OUT" <<'PYEOF'
+import json, sys
+report_path, out_dir = sys.argv[1], sys.argv[2]
+with open(report_path) as f:
+    hists = json.load(f)["histograms"]
+try:
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    plt = None
+for name, h in hists.items():
+    if not h["count"]:
+        continue
+    buckets = h["buckets"]
+    title = (f"{name}: n={h['count']} p50={h['p50']:.0f} "
+             f"p95={h['p95']:.0f} p99={h['p99']:.0f}")
+    if plt is not None:
+        fig, ax = plt.subplots(figsize=(8, 4))
+        ax.bar([b["lo"] for b in buckets],
+               [b["count"] for b in buckets],
+               width=[max(b["hi"] - b["lo"], 1) for b in buckets],
+               align="edge", edgecolor="black")
+        ax.set_xscale("symlog")
+        ax.set_title(title)
+        ax.set_xlabel(name)
+        ax.set_ylabel("count")
+        fig.tight_layout()
+        fig.savefig(f"{out_dir}/{name}.png")
+        print(f"wrote {out_dir}/{name}.png")
+    else:
+        peak = max(b["count"] for b in buckets)
+        with open(f"{out_dir}/{name}.txt", "w") as out:
+            out.write(title + "\n")
+            for b in buckets:
+                bar = "#" * max(1, b["count"] * 50 // peak)
+                out.write(f"[{b['lo']:>12.0f},{b['hi']:>12.0f}) "
+                          f"{b['count']:>8} {bar}\n")
+        print(f"matplotlib not found; wrote {out_dir}/{name}.txt")
+PYEOF
+  fi
+else
+  echo "python3 not found; skipping latency-histogram plots" >&2
+fi
 
 command -v gnuplot >/dev/null 2>&1 || {
   echo "gnuplot not found; CSVs will still be written to $OUT" >&2

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/wire.hpp"
+#include "obs/event.hpp"
 
 namespace pinsim::core {
 
@@ -50,7 +51,13 @@ void Driver::on_frame(net::Frame&& frame) {
     // Bit-flipped in flight. The header may itself be corrupted, so the
     // dst_ep lookup for counter attribution is best-effort only — the frame
     // is dropped either way and retransmission recovers.
-    if (tracer_ != nullptr) tracer_->record("pkt.checksum", "");
+    if (relay_.active()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kPktChecksumDrop;
+      e.node = node();
+      e.peer = frame.src;
+      relay_.emit(e);
+    }
     if (frame.payload.size() >= 3) {
       const auto ep_id = static_cast<std::uint8_t>(frame.payload[2]);
       if (Endpoint* ep = endpoint(ep_id); ep != nullptr) {
@@ -60,7 +67,13 @@ void Driver::on_frame(net::Frame&& frame) {
     }
     return;
   } catch (const WireFormatError&) {
-    if (tracer_ != nullptr) tracer_->record("pkt.malformed", "");
+    if (relay_.active()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kPktMalformed;
+      e.node = node();
+      e.peer = frame.src;
+      relay_.emit(e);
+    }
     if (frame.payload.size() >= 3) {
       const auto ep_id = static_cast<std::uint8_t>(frame.payload[2]);
       if (Endpoint* ep = endpoint(ep_id); ep != nullptr) {
@@ -69,11 +82,16 @@ void Driver::on_frame(net::Frame&& frame) {
     }
     return;  // malformed frame: dropped, retransmission recovers
   }
-  if (tracer_ != nullptr) {
-    tracer_->record("pkt.rx",
-                    std::string(packet_type_name(pkt.type())) + " from node " +
-                        std::to_string(frame.src) + " ep " +
-                        std::to_string(pkt.header.src_ep));
+  if (relay_.active()) {
+    obs::Event e;
+    e.kind = obs::EventKind::kPktRx;
+    e.node = node();
+    e.ep = pkt.header.dst_ep;
+    e.peer = frame.src;
+    e.peer_ep = pkt.header.src_ep;
+    e.pkt = static_cast<std::uint8_t>(pkt.type());
+    e.label = packet_type_name(pkt.type());
+    relay_.emit(e);
   }
   Endpoint* ep = endpoint(pkt.header.dst_ep);
   if (ep == nullptr) return;  // stale traffic to a closed endpoint

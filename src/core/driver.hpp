@@ -8,6 +8,7 @@
 #include "cpu/cpu_model.hpp"
 #include "ioat/dma_engine.hpp"
 #include "net/nic.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -47,8 +48,18 @@ class Driver {
 
   /// Attaches a protocol tracer (nullptr detaches). The stack records
   /// packet, pinning and invalidation events into it; see sim/trace.hpp.
-  void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
-  [[nodiscard]] sim::Tracer* tracer() noexcept { return tracer_; }
+  /// Internally this is one sink of the typed event relay — typed emission
+  /// renders the same legacy strings (obs/legacy.hpp) so old tests hold.
+  void set_tracer(sim::Tracer* t) noexcept {
+    if (t != nullptr) t->set_capacity(config_.trace.tracer_capacity);
+    relay_.set_tracer(t);
+  }
+  [[nodiscard]] sim::Tracer* tracer() noexcept { return relay_.tracer(); }
+
+  /// Attaches a typed event bus (nullptr detaches); see obs/bus.hpp. The
+  /// stack emits obs::Events into it alongside the legacy tracer.
+  void set_bus(obs::Bus* bus) noexcept { relay_.set_bus(bus); }
+  [[nodiscard]] obs::Relay& relay() noexcept { return relay_; }
 
  private:
   void on_frame(net::Frame&& frame);
@@ -58,7 +69,7 @@ class Driver {
   const cpu::CpuModel& cpu_;
   ioat::DmaEngine* dma_;
   StackConfig config_;
-  sim::Tracer* tracer_ = nullptr;
+  obs::Relay relay_;
   std::array<std::unique_ptr<Endpoint>, kMaxEndpoints> endpoints_;
 };
 

@@ -26,6 +26,13 @@ struct EndpointNotifier final : mem::MmuNotifier {
 
 constexpr std::size_t kCompletedMemory = 8192;
 
+/// Shorthand for building a typed event at an emission site.
+obs::Event ev(obs::EventKind kind) {
+  obs::Event e;
+  e.kind = kind;
+  return e;
+}
+
 }  // namespace
 
 Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
@@ -35,8 +42,8 @@ Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
       as_(as),
       process_core_(process_core),
       pins_(driver.engine(), process_core, driver.cpu(),
-            driver.config().pinning, counters_,
-            [this] { return driver_.tracer(); }) {
+            driver.config().pinning, counters_, &driver.relay()) {
+  pins_.set_identity(driver.node(), id_);
   auto notifier = std::make_unique<EndpointNotifier>(*this);
   as_.register_notifier(notifier.get());
   notifier_ = std::move(notifier);
@@ -59,6 +66,12 @@ Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
       send_packet({ps.peer_node, ps.peer_ep}, AbortBody{ps.sender_seq},
                   cpu::Priority::kKernel);
       ps.region->drop_use();
+      obs::Event e = ev(obs::EventKind::kRecvAbort);
+      e.seq = handle;
+      e.offset = ps.sender_seq;
+      e.peer = ps.peer_node;
+      e.peer_ep = ps.peer_ep;
+      obs_emit(e);
       complete_recv(ps.recv, Status{false, false, 0});
       destroy_pull(handle);
     }
@@ -167,6 +180,14 @@ std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
   req.len = req.eager_data.size();
   const std::size_t len = req.len;
   ++counters_.eager_sent;
+  {
+    obs::Event e = ev(obs::EventKind::kEagerPost);
+    e.seq = seq;
+    e.peer = dest.node;
+    e.peer_ep = dest.ep;
+    e.len = len;
+    obs_emit(e);
+  }
   sends_.emplace(seq, std::move(req));
   // The kernel-side copy into frames costs CPU on the submitting core.
   process_core_.submit(cpu::Priority::kKernel, driver_.cpu().copy_cost(len),
@@ -218,6 +239,15 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
   req.done = std::move(done);
   region->add_use();
   ++counters_.rndv_sent;
+  {
+    obs::Event e = ev(obs::EventKind::kRndvPost);
+    e.seq = seq;
+    e.peer = dest.node;
+    e.peer_ep = dest.ep;
+    e.region = region_id;
+    e.len = len;
+    obs_emit(e);
+  }
   sends_.emplace(seq, std::move(req));
 
   // Pin per configuration: with overlapping the completion fires right away
@@ -265,7 +295,16 @@ void Endpoint::arm_send_rto(SendRequest& req) {
         if (it == sends_.end()) return;
         SendRequest& r = it->second;
         ++counters_.retransmit_timeouts;
-        if (++r.retries > driver_.config().protocol.retry_budget) {
+        ++r.retries;
+        {
+          obs::Event e = ev(obs::EventKind::kRetransmit);
+          e.seq = seq;
+          e.peer = r.dest.node;
+          e.peer_ep = r.dest.ep;
+          e.offset = static_cast<std::uint64_t>(r.retries);
+          obs_emit(e);
+        }
+        if (r.retries > driver_.config().protocol.retry_budget) {
           // Budget exhausted: give up gracefully instead of hammering a
           // peer that is clearly not answering.
           ++counters_.retry_exhausted;
@@ -289,6 +328,13 @@ void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
   sends_.erase(it);
   driver_.engine().cancel(req.rto);
   ++counters_.aborts;
+  {
+    obs::Event e = ev(obs::EventKind::kSendAbort);
+    e.seq = seq;
+    e.peer = req.dest.node;
+    e.peer_ep = req.dest.ep;
+    obs_emit(e);
+  }
   if (send_abort) {
     send_packet(req.dest, AbortBody{seq}, cpu::Priority::kKernel);
   }
@@ -569,6 +615,14 @@ void Endpoint::on_eager_ack(net::NodeId, std::uint8_t,
   SendRequest req = std::move(it->second);
   sends_.erase(it);
   driver_.engine().cancel(req.rto);
+  {
+    obs::Event e = ev(obs::EventKind::kSendDone);
+    e.seq = body.seq;
+    e.peer = req.dest.node;
+    e.peer_ep = req.dest.ep;
+    e.len = req.len;
+    obs_emit(e);
+  }
   req.done(Status{true, false, req.len});
 }
 
@@ -653,6 +707,16 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
 
   const std::uint32_t handle = ps.handle;
   pulls_.emplace(handle, std::move(state));
+  {
+    obs::Event e = ev(obs::EventKind::kPullStart);
+    e.seq = handle;
+    e.offset = ps.sender_seq;
+    e.len = wanted;
+    e.peer = ps.peer_node;
+    e.peer_ep = ps.peer_ep;
+    e.region = ps.recv.region;
+    obs_emit(e);
+  }
 
   if (wanted == 0) {
     finish_pull(*pulls_[handle]);
@@ -671,6 +735,12 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
       send_packet({p.peer_node, p.peer_ep}, AbortBody{p.sender_seq},
                   cpu::Priority::kKernel);
       p.region->drop_use();
+      obs::Event e = ev(obs::EventKind::kRecvAbort);
+      e.seq = handle;
+      e.offset = p.sender_seq;
+      e.peer = p.peer_node;
+      e.peer_ep = p.peer_ep;
+      obs_emit(e);
       complete_recv(p.recv, Status{false, false, 0});
       destroy_pull(handle);
       return;
@@ -701,6 +771,15 @@ void Endpoint::request_block(PullState& ps, std::size_t block_idx) {
   }
   blk.last_request = driver_.engine().now();
   ++counters_.pulls_sent;
+  {
+    obs::Event e = ev(obs::EventKind::kPullBlockReq);
+    e.seq = ps.handle;
+    e.offset = blk.offset;
+    e.len = blk.len;
+    e.peer = ps.peer_node;
+    e.peer_ep = ps.peer_ep;
+    obs_emit(e);
+  }
   PullBody body;
   body.region = ps.sender_region;
   body.handle = ps.handle;
@@ -747,8 +826,27 @@ void Endpoint::on_pull(net::NodeId src, std::uint8_t src_ep,
                Region::AccessResult::kOk) {
       ++counters_.overlap_misses;
       ++counters_.frames_dropped_on_miss;
+      {
+        obs::Event e = ev(obs::EventKind::kOverlapMissSend);
+        e.region = body.region;
+        e.offset = off;
+        e.len = n;
+        e.seq = body.seq;
+        e.peer = src;
+        e.peer_ep = src_ep;
+        obs_emit(e);
+      }
       arm_sender_fast_retry(src, src_ep, body);
       continue;
+    }
+    {
+      obs::Event e = ev(obs::EventKind::kCopyOut);
+      e.region = body.region;
+      e.offset = off;
+      e.len = n;
+      e.peer = src;
+      e.peer_ep = src_ep;
+      obs_emit(e);
     }
     ++counters_.pull_replies_sent;
     send_packet({src, src_ep}, std::move(reply), cpu::Priority::kBottomHalf);
@@ -803,8 +901,15 @@ void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
   if (!paged && !ps.region->range_pinned(body.offset, body.data.size())) {
     ++counters_.overlap_misses;
     ++counters_.frames_dropped_on_miss;
-    if (auto* tracer = driver_.tracer(); tracer != nullptr) {
-      tracer->record("pin.miss", "recv offset " + std::to_string(body.offset));
+    {
+      obs::Event e = ev(obs::EventKind::kOverlapMissRecv);
+      e.offset = body.offset;
+      e.len = body.data.size();
+      e.region = ps.region->id();
+      e.seq = ps.handle;
+      e.peer = ps.peer_node;
+      e.peer_ep = ps.peer_ep;
+      obs_emit(e);
     }
     arm_receiver_fast_retry(ps, block_idx);
     maybe_optimistic_rerequest(ps, block_idx);
@@ -828,6 +933,16 @@ void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
       // let the re-request machinery recover (after a repin).
       ++counters_.overlap_misses;
       ++counters_.frames_dropped_on_miss;
+      {
+        obs::Event e = ev(obs::EventKind::kOverlapMissRecv);
+        e.offset = body.offset;
+        e.len = body.data.size();
+        e.region = p.region->id();
+        e.seq = p.handle;
+        e.peer = p.peer_node;
+        e.peer_ep = p.peer_ep;
+        obs_emit(e);
+      }
       PullBlock& b = p.blocks[block_idx];
       const std::size_t fi = (body.offset - b.offset) /
                              driver_.config().protocol.frame_payload;
@@ -835,6 +950,15 @@ void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
       --b.frames_received;
       pins_.ensure_pinned(*p.region, [](bool) {});
       return;
+    }
+    {
+      obs::Event e = ev(obs::EventKind::kCopyIn);
+      e.region = p.region->id();
+      e.offset = body.offset;
+      e.len = body.data.size();
+      e.peer = p.peer_node;
+      e.peer_ep = p.peer_ep;
+      obs_emit(e);
     }
     PullBlock& b = p.blocks[block_idx];
     if (++b.frames_done == b.frame_seen.size()) {
@@ -968,6 +1092,15 @@ void Endpoint::finish_pull(PullState& ps) {
   if (ps.region != nullptr) {
     ps.region->drop_use();
   }
+  {
+    obs::Event e = ev(obs::EventKind::kRecvDone);
+    e.seq = ps.handle;
+    e.offset = ps.sender_seq;
+    e.len = ps.msg_len;
+    e.peer = ps.peer_node;
+    e.peer_ep = ps.peer_ep;
+    obs_emit(e);
+  }
   remember_completed(
       inbound_key(ps.peer_node, ps.peer_ep, ps.sender_seq, true));
   complete_recv(ps.recv, Status{true, trunc, ps.msg_len});
@@ -1019,11 +1152,26 @@ void Endpoint::arm_pull_rto(PullState& ps) {
             send_packet({p.peer_node, p.peer_ep}, AbortBody{p.sender_seq},
                         cpu::Priority::kKernel);
             if (p.region != nullptr) p.region->drop_use();
+            obs::Event e = ev(obs::EventKind::kRecvAbort);
+            e.seq = handle;
+            e.offset = p.sender_seq;
+            e.peer = p.peer_node;
+            e.peer_ep = p.peer_ep;
+            obs_emit(e);
             complete_recv(p.recv, Status{false, false, 0});
             destroy_pull(handle);
             return;
           }
           ++counters_.retransmit_timeouts;
+          {
+            obs::Event e = ev(obs::EventKind::kPullRetry);
+            e.seq = handle;
+            e.offset = p.sender_seq;
+            e.len = static_cast<std::uint64_t>(p.stall_ticks);
+            e.peer = p.peer_node;
+            e.peer_ep = p.peer_ep;
+            obs_emit(e);
+          }
           for (std::size_t i = 0; i < p.blocks.size(); ++i) {
             PullBlock& blk = p.blocks[i];
             if (blk.requested && !blk.complete) request_block(p, i);
@@ -1058,6 +1206,14 @@ void Endpoint::on_notify(net::NodeId src, std::uint8_t src_ep,
   sends_.erase(it);
   driver_.engine().cancel(req.rto);
   if (Region* r = find_region(req.region); r != nullptr) r->drop_use();
+  {
+    obs::Event e = ev(obs::EventKind::kSendDone);
+    e.seq = body.seq;
+    e.peer = src;
+    e.peer_ep = src_ep;
+    e.len = req.len;
+    obs_emit(e);
+  }
   req.done(Status{true, false, req.len});
 }
 
@@ -1077,6 +1233,12 @@ void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
         ps->sender_seq == body.seq && !ps->done) {
       ++counters_.aborts;
       if (ps->region != nullptr) ps->region->drop_use();
+      obs::Event e = ev(obs::EventKind::kRecvAbort);
+      e.seq = handle;
+      e.offset = ps->sender_seq;
+      e.peer = src;
+      e.peer_ep = src_ep;
+      obs_emit(e);
       complete_recv(ps->recv, Status{false, false, 0});
       destroy_pull(handle);
       return;
@@ -1125,14 +1287,23 @@ void Endpoint::charge_rx_copy(std::size_t bytes, sim::UniqueFunction raw) {
              std::move(after));
 }
 
+void Endpoint::obs_emit(obs::Event e) {
+  const obs::Relay& relay = driver_.relay();
+  if (!relay.active()) return;
+  e.node = driver_.node();
+  e.ep = id_;
+  relay.emit(e);
+}
+
 void Endpoint::send_packet(EndpointAddr dest, PacketBody body,
                            cpu::Priority priority, sim::Time extra_cost) {
-  if (auto* tracer = driver_.tracer(); tracer != nullptr) {
-    tracer->record(
-        "pkt.tx",
-        std::string(packet_type_name(
-            static_cast<PacketType>(body.index() + 1))) +
-            " to node " + std::to_string(dest.node));
+  {
+    obs::Event e = ev(obs::EventKind::kPktTx);
+    e.pkt = static_cast<std::uint8_t>(body.index() + 1);
+    e.label = packet_type_name(static_cast<PacketType>(body.index() + 1));
+    e.peer = dest.node;
+    e.peer_ep = dest.ep;
+    obs_emit(e);
   }
   Packet pkt;
   pkt.header.type = static_cast<PacketType>(body.index() + 1);

@@ -21,6 +21,7 @@
 #include "mem/address_space.hpp"
 #include "mem/mmu_notifier.hpp"
 #include "net/frame.hpp"
+#include "obs/event.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::core {
@@ -295,6 +296,10 @@ class Endpoint {
   // and kernel for process-context submissions.
   void send_packet(EndpointAddr dest, PacketBody body, cpu::Priority priority,
                    sim::Time extra_cost = 0);
+
+  /// Stamps (node, ep) onto `e` and hands it to the driver's observability
+  /// relay; a no-op (one pointer compare) with no tracer or bus attached.
+  void obs_emit(obs::Event e);
 
   [[nodiscard]] bool match_ok(const RecvRequest& r, std::uint64_t match) const {
     return (r.match & r.mask) == (match & r.mask);

@@ -9,21 +9,39 @@ namespace pinsim::core {
 
 PinManager::PinManager(sim::Engine& eng, cpu::Core& core,
                        const cpu::CpuModel& cpu, const PinningConfig& cfg,
-                       Counters& counters, TracerProvider tracer)
+                       Counters& counters, const obs::Relay* relay)
     : eng_(eng),
       core_(core),
       cpu_(cpu),
       cfg_(cfg),
       counters_(counters),
-      tracer_(std::move(tracer)) {}
+      relay_(relay) {}
 
-void PinManager::trace(const char* category, Region& r, const char* what) {
-  if (!tracer_) return;
-  sim::Tracer* t = tracer_();
-  if (t == nullptr) return;
-  t->record(category, "region " + std::to_string(r.id()) + " " + what +
-                          " (" + std::to_string(r.pinned_pages()) + "/" +
-                          std::to_string(r.page_count()) + " pages)");
+void PinManager::emit(obs::EventKind kind, Region& r, const char* what) {
+  if (relay_ == nullptr || !relay_->active()) return;
+  obs::Event e;
+  e.kind = kind;
+  e.node = node_;
+  e.ep = ep_;
+  e.region = r.id();
+  e.offset = r.pinned_pages();
+  e.len = r.page_count();
+  e.label = what;
+  relay_->emit(e);
+}
+
+void PinManager::emit_invalidate(Region& r, std::size_t cut) {
+  if (relay_ == nullptr || !relay_->active()) return;
+  obs::Event e;
+  e.kind = obs::EventKind::kPinInvalidate;
+  e.node = node_;
+  e.ep = ep_;
+  e.region = r.id();
+  e.seq = static_cast<std::uint32_t>(cut);
+  e.offset = r.pinned_pages();
+  e.len = r.page_count();
+  e.label = "mmu notifier";
+  relay_->emit(e);
 }
 
 void PinManager::register_region(Region& r) { lru_[&r] = eng_.now(); }
@@ -66,7 +84,7 @@ void PinManager::ensure_pinned(Region& r, bool overlapped, Completion done) {
     if (it == jobs_.end() || !it->second.active) {
       r.set_state(Region::PinState::kUnpinned);
       ++counters_.pin_fail_resets;
-      trace("pin.reset", r, "failed region retried");
+      emit(obs::EventKind::kPinReset, r, "failed region retried");
     }
   }
   start_or_join(r, /*wait_full=*/!overlapped, std::move(done));
@@ -104,7 +122,7 @@ void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
     ++counters_.pin_ops;
     if (was_pinned_.count(&r) != 0 && was_pinned_[&r]) ++counters_.repins;
     r.set_state(Region::PinState::kPinning);
-    trace("pin.start", r, "pinning");
+    emit(obs::EventKind::kPinStart, r, "pinning");
     schedule_chunk(r);
   }
 }
@@ -136,7 +154,7 @@ void PinManager::schedule_chunk(Region& r) {
   if (chunk > headroom) {
     chunk = headroom;
     ++counters_.pin_chunk_shrinks;
-    trace("pin.shrink", r, "chunk shrunk to quota headroom");
+    emit(obs::EventKind::kPinShrink, r, "chunk shrunk to quota headroom");
   }
 
   sim::Time cost = static_cast<sim::Time>(chunk) *
@@ -196,6 +214,7 @@ void PinManager::schedule_chunk(Region& r) {
     }
     r.commit_pins(frames);
     counters_.pages_pinned += frames.size();
+    if (!frames.empty()) emit(obs::EventKind::kPinPages, r, "pages pinned");
     if (hard_failed) {
       ++counters_.pin_failures;
       finish(r, false);
@@ -227,14 +246,14 @@ void PinManager::retry_or_fail(Region& r) {
   if (job.retries >= cfg_.pin_retry_budget) {
     ++counters_.pin_retry_exhausted;
     ++counters_.pin_failures;
-    trace("pin.fail", r, "retry budget exhausted");
+    emit(obs::EventKind::kPinFail, r, "retry budget exhausted");
     finish(r, false);
     return;
   }
   ++job.retries;
   ++counters_.pin_retries;
   const std::uint64_t gen = job.generation;
-  trace("pin.retry", r, "transient pin denial, backing off");
+  emit(obs::EventKind::kPinRetry, r, "transient pin denial, backing off");
   std::weak_ptr<char> alive = alive_;
   eng_.schedule_after(retry_backoff(job.retries), [this, &r, gen, alive] {
     if (alive.expired()) return;  // the manager died while we slept
@@ -263,7 +282,11 @@ void PinManager::finish(Region& r, bool ok) {
   job.active = false;
   ++job.generation;
   was_pinned_[&r] = was_pinned_[&r] || ok;
-  trace(ok ? "pin.done" : "pin.fail", r, ok ? "fully pinned" : "failed");
+  if (ok) {
+    emit(obs::EventKind::kPinDone, r, "fully pinned");
+  } else {
+    emit(obs::EventKind::kPinFail, r, "failed");
+  }
 
   if (!ok) {
     r.set_state(Region::PinState::kFailed);
@@ -290,8 +313,10 @@ void PinManager::unpin(Region& r) {
 }
 
 void PinManager::do_unpin(Region& r, std::uint64_t& op_counter) {
+  const bool had_pins = r.pinned_pages() > 0;
   do_unpin_from(r, 0, op_counter);
   r.set_state(Region::PinState::kUnpinned);
+  if (had_pins) emit(obs::EventKind::kPinUnpin, r, "unpinned");
 }
 
 void PinManager::do_unpin_from(Region& r, std::size_t first_slot,
@@ -328,7 +353,6 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     Region& r = *region;
     if (!r.overlaps(start, end)) continue;
     ++counters_.notifier_invalidations;
-    trace("pin.invalidate", r, "mmu notifier");
 
     // Range-granular response, like a real MMU-notifier driver: only pins
     // at or above the first invalidated page have stale translations.
@@ -338,12 +362,18 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     // reclaiming a page the pin job has not reached yet, the most common
     // storm event — costs no pins at all.
     const std::size_t cut = r.first_slot_overlapping(start, end);
-    if (cut >= r.pinned_pages()) continue;
+    if (cut >= r.pinned_pages()) {
+      emit_invalidate(r, cut);
+      continue;
+    }
 
     auto it = jobs_.find(&r);
     const bool mid_pin = it != jobs_.end() && it->second.active;
     if (mid_pin) ++it->second.generation;  // discard the chunk in flight
     do_unpin_from(r, cut, counters_.unpin_ops);
+    // Emitted post-truncation so sinks see the frontier the VM now relies
+    // on; the invariant checker asserts it sits at or below the cut slot.
+    emit_invalidate(r, cut);
     if (!mid_pin) continue;
 
     // An invalidation landing on an in-flight pin job restarts the job
@@ -357,14 +387,14 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     if (job.inval_restarts >= cfg_.pin_retry_budget) {
       ++counters_.pin_retry_exhausted;
       ++counters_.pin_failures;
-      trace("pin.fail", r, "invalidation restart budget exhausted");
+      emit(obs::EventKind::kPinFail, r, "invalidation restart budget exhausted");
       finish(r, false);
       continue;
     }
     ++job.inval_restarts;
     ++counters_.pin_inval_restarts;
     r.set_state(Region::PinState::kPinning);
-    trace("pin.restart", r, "invalidated mid-pin, restarting");
+    emit(obs::EventKind::kPinRestart, r, "invalidated mid-pin, restarting");
     const std::uint64_t gen = job.generation;
     std::weak_ptr<char> alive = alive_;
     eng_.schedule_after(retry_backoff(job.inval_restarts),
@@ -395,7 +425,7 @@ bool PinManager::shed_one_victim() {
   }
   if (victim == nullptr) return false;  // nothing evictable
   ++counters_.pressure_unpins;
-  trace("pin.shed", *victim, "memory pressure");
+  emit(obs::EventKind::kPinShed, *victim, "memory pressure");
   do_unpin(*victim, counters_.unpin_ops);
   return true;
 }

@@ -11,8 +11,9 @@
 #include "core/region.hpp"
 #include "cpu/core.hpp"
 #include "cpu/cpu_model.hpp"
+#include "obs/event.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
-#include "sim/trace.hpp"
 
 namespace pinsim::core {
 
@@ -34,13 +35,20 @@ class PinManager {
   /// region is PinState::kFailed; the caller aborts its request.
   using Completion = std::function<void(bool ok)>;
 
-  /// `tracer` (optional) is queried lazily so a tracer attached to the
-  /// driver after construction is still picked up.
-  using TracerProvider = std::function<sim::Tracer*()>;
-
+  /// `relay` (optional) is the typed observability emission point; it must
+  /// outlive the manager (the Endpoint passes its Driver's relay, whose
+  /// address is stable). Tracer/bus attachment happens on the relay, so a
+  /// sink attached after construction is still picked up.
   PinManager(sim::Engine& eng, cpu::Core& core, const cpu::CpuModel& cpu,
              const PinningConfig& cfg, Counters& counters,
-             TracerProvider tracer = {});
+             const obs::Relay* relay = nullptr);
+
+  void set_relay(const obs::Relay* relay) noexcept { relay_ = relay; }
+  /// (node, endpoint) stamped onto emitted events.
+  void set_identity(std::uint32_t node, std::uint8_t ep) noexcept {
+    node_ = node;
+    ep_ = ep;
+  }
 
   PinManager(const PinManager&) = delete;
   PinManager& operator=(const PinManager&) = delete;
@@ -114,12 +122,20 @@ class PinManager {
   std::unordered_map<Region*, PinJob> jobs_;
   std::unordered_map<Region*, bool> was_pinned_;   // for repin counting
   std::function<void(Region&)> failure_handler_;
-  TracerProvider tracer_;
+  const obs::Relay* relay_ = nullptr;
+  std::uint32_t node_ = 0;
+  std::uint8_t ep_ = 0;
   // Liveness token for engine timers (retry backoff): a timer may fire after
   // the endpoint (and its PinManager) is destroyed; captured weakly.
   std::shared_ptr<char> alive_ = std::make_shared<char>('p');
 
-  void trace(const char* category, Region& r, const char* what);
+  /// Emits a pin event carrying the region's current frontier/total pages.
+  /// `what` must have static storage duration.
+  void emit(obs::EventKind kind, Region& r, const char* what);
+  /// Range-invalidation event: `cut` is the first invalidated slot, the
+  /// frontier snapshot in `offset` must already be post-truncation so the
+  /// invariant `offset <= cut` is checkable.
+  void emit_invalidate(Region& r, std::size_t cut);
 };
 
 }  // namespace pinsim::core

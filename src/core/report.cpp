@@ -90,6 +90,60 @@ std::string format_report(Host::Process& p, Host& host) {
   return out;
 }
 
+std::string format_json_report(Host::Process& p, Host& host) {
+  const Counters& c = p.lib.counters();
+  const auto& cache = p.lib.cache().stats();
+
+  std::string out = "{";
+  bool first = true;
+  const auto field = [&out, &first](const char* key, unsigned long long v) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", key, v);
+    first = false;
+    out += buf;
+  };
+  field("endpoint", p.ep.id());
+  field("node", p.addr().node);
+  field("eager_sent", c.eager_sent);
+  field("rndv_sent", c.rndv_sent);
+  field("pulls_sent", c.pulls_sent);
+  field("pull_replies_sent", c.pull_replies_sent);
+  field("notifies_sent", c.notifies_sent);
+  field("pull_rerequests", c.pull_rerequests);
+  field("retransmit_timeouts", c.retransmit_timeouts);
+  field("duplicate_frames", c.duplicate_frames);
+  field("aborts", c.aborts);
+  field("frames_corrupted", c.frames_corrupted);
+  field("checksum_drops", c.checksum_drops);
+  field("duplicates_suppressed", c.duplicates_suppressed);
+  field("retry_exhausted", c.retry_exhausted);
+  field("pin_ops", c.pin_ops);
+  field("pages_pinned", c.pages_pinned);
+  field("unpin_ops", c.unpin_ops);
+  field("repins", c.repins);
+  field("pin_failures", c.pin_failures);
+  field("notifier_invalidations", c.notifier_invalidations);
+  field("pressure_unpins", c.pressure_unpins);
+  field("pins_denied", c.pins_denied);
+  field("pin_retries", c.pin_retries);
+  field("pin_retry_exhausted", c.pin_retry_exhausted);
+  field("pin_chunk_shrinks", c.pin_chunk_shrinks);
+  field("pin_fail_resets", c.pin_fail_resets);
+  field("pin_inval_restarts", c.pin_inval_restarts);
+  field("region_accesses", c.region_accesses);
+  field("overlap_misses", c.overlap_misses);
+  field("cache_hits", cache.hits);
+  field("cache_misses", cache.misses);
+  field("cache_evictions", cache.evictions);
+  field("host_pinned_pages", host.memory().pinned_pages());
+  if (host.memory().pin_quota() != std::numeric_limits<std::size_t>::max()) {
+    field("host_pin_quota", host.memory().pin_quota());
+    field("host_quota_denials", host.memory().quota_denials());
+  }
+  out += '}';
+  return out;
+}
+
 std::string format_summary_line(Host::Process& p) {
   const Counters& c = p.lib.counters();
   char buf[192];

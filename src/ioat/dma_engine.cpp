@@ -43,6 +43,13 @@ void DmaEngine::pump() {
   stats_.bytes += req.bytes;
   eng_.schedule_after(t, [this, r = std::move(req)]() mutable {
     if (r.perform) r.perform();
+    if (relay_.active()) {
+      obs::Event e;
+      e.kind = obs::EventKind::kDmaCopy;
+      e.node = node_;
+      e.len = r.bytes;
+      relay_.emit(e);
+    }
     if (r.done) r.done();
     pump();
   });

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "obs/event.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
@@ -47,6 +49,12 @@ class DmaEngine {
   bool copy(std::size_t bytes, sim::UniqueFunction perform,
             sim::UniqueFunction done);
 
+  /// Attaches a typed event bus; completed copies are emitted as kDmaCopy.
+  void set_bus(obs::Bus* bus) noexcept { relay_.set_bus(bus); }
+
+  /// Node this engine belongs to, stamped on emitted events.
+  void set_identity(std::uint32_t node) noexcept { node_ = node; }
+
   [[nodiscard]] bool idle() const noexcept { return !busy_ && queue_.empty(); }
   [[nodiscard]] bool full() const noexcept {
     return queue_.size() >= cfg_.max_queue;
@@ -68,6 +76,8 @@ class DmaEngine {
   std::deque<Request> queue_;
   bool busy_ = false;
   Stats stats_;
+  obs::Relay relay_;
+  std::uint32_t node_ = 0;
 };
 
 }  // namespace pinsim::ioat

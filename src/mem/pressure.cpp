@@ -14,8 +14,12 @@ void PressureInjector::unwatch(AddressSpace* as) {
                 spaces_.end());
 }
 
-void PressureInjector::trace(const char* category, const char* what) {
-  if (tracer_ != nullptr) tracer_->record(category, what);
+void PressureInjector::trace(obs::EventKind kind, const char* what) {
+  if (!relay_.active()) return;
+  obs::Event e;
+  e.kind = kind;
+  e.label = what;
+  relay_.emit(e);
 }
 
 bool PressureInjector::allow_pin() {
@@ -31,13 +35,13 @@ bool PressureInjector::allow_pin() {
     }
     if (burst_bad_ && rng_.bernoulli(plan_.burst_fail)) {
       ++stats_.burst_denied;
-      trace("pressure.deny", "burst pin denial");
+      trace(obs::EventKind::kPressureDeny, "burst pin denial");
       return false;
     }
   }
   if (plan_.pin_fail > 0.0 && rng_.bernoulli(plan_.pin_fail)) {
     ++stats_.pins_denied;
-    trace("pressure.deny", "pin denial");
+    trace(obs::EventKind::kPressureDeny, "pin denial");
     return false;
   }
   return true;
@@ -80,7 +84,7 @@ void PressureInjector::storm_once() {
         if (as->swap_out(va)) ++swept;
       }
       stats_.swept_pages += swept;
-      if (swept > 0) trace("pressure.sweep", "swap-daemon sweep");
+      if (swept > 0) trace(obs::EventKind::kPressureSweep, "swap-daemon sweep");
     }
     // Page migration (NUMA balancing / compaction): same virtual page, new
     // frame. A stale pinned translation would now DMA into a freed frame —
@@ -98,7 +102,7 @@ void PressureInjector::storm_once() {
         victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(i));
       }
       stats_.migrated_pages += moved;
-      if (moved > 0) trace("pressure.migrate", "page migration");
+      if (moved > 0) trace(obs::EventKind::kPressureMigrate, "page migration");
     }
     // COW churn: snapshot a few pages (fork analogue) and immediately write
     // them, breaking COW. If the page is later pinned, the break replaces
@@ -119,7 +123,7 @@ void PressureInjector::storm_once() {
         }
       }
       stats_.cow_breaks += broken;
-      if (broken > 0) trace("pressure.cow", "cow break");
+      if (broken > 0) trace(obs::EventKind::kPressureCow, "cow break");
     }
   }
 }

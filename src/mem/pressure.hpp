@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "mem/address_space.hpp"
+#include "obs/event.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -119,18 +121,21 @@ class PressureInjector {
 
   /// Attaches a tracer; decisions are recorded under `pressure.deny`,
   /// `pressure.sweep`, `pressure.migrate` and `pressure.cow`.
-  void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
+  void set_tracer(sim::Tracer* t) noexcept { relay_.set_tracer(t); }
+
+  /// Attaches a typed event bus; decisions are emitted as kPressure* events.
+  void set_bus(obs::Bus* bus) noexcept { relay_.set_bus(bus); }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   void tick();
-  void trace(const char* category, const char* what);
+  void trace(obs::EventKind kind, const char* what);
 
   PressurePlan plan_;
   std::vector<AddressSpace*> spaces_;
   sim::Rng rng_;
-  sim::Tracer* tracer_ = nullptr;
+  obs::Relay relay_;
   Stats stats_;
   bool burst_bad_ = false;  // Gilbert–Elliott channel state
   sim::Engine* eng_ = nullptr;

@@ -1,14 +1,15 @@
 #include "net/fault.hpp"
 
-#include <string>
-
 namespace pinsim::net {
 
-void FaultInjector::trace(const char* category, const Frame& frame) {
-  if (tracer_ == nullptr) return;
-  tracer_->record(category, "frame " + std::to_string(frame.src) + "->" +
-                                std::to_string(frame.dst) + " (" +
-                                std::to_string(frame.payload.size()) + "B)");
+void FaultInjector::trace(obs::EventKind kind, const Frame& frame) {
+  if (!relay_.active()) return;
+  obs::Event e;
+  e.kind = kind;
+  e.node = frame.src;
+  e.peer = frame.dst;
+  e.len = frame.payload.size();
+  relay_.emit(e);
 }
 
 FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
@@ -26,7 +27,7 @@ FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
               : rng_.bernoulli(plan.burst_enter);
     if (bad && rng_.bernoulli(plan.burst_loss)) {
       ++stats_.burst_drops;
-      trace("fault.drop", frame);
+      trace(obs::EventKind::kFaultDrop, frame);
       v.drop = true;
       return v;
     }
@@ -35,7 +36,7 @@ FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
   // Loss stage 2: independent loss.
   if (plan.loss > 0.0 && rng_.bernoulli(plan.loss)) {
     ++stats_.drops;
-    trace("fault.drop", frame);
+    trace(obs::EventKind::kFaultDrop, frame);
     v.drop = true;
     return v;
   }
@@ -49,13 +50,13 @@ FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
       frame.payload[bit / 8] ^= std::byte{1} << (bit % 8);
     }
     ++stats_.corruptions;
-    trace("fault.corrupt", frame);
+    trace(obs::EventKind::kFaultCorrupt, frame);
     v.corrupted = true;
   }
 
   if (plan.duplicate > 0.0 && rng_.bernoulli(plan.duplicate)) {
     ++stats_.duplicates;
-    trace("fault.dup", frame);
+    trace(obs::EventKind::kFaultDup, frame);
     v.duplicate = true;
   }
 
@@ -63,7 +64,7 @@ FaultInjector::Verdict FaultInjector::inspect(Frame& frame) {
       rng_.bernoulli(plan.reorder)) {
     v.extra_latency = 1 + rng_.next_below(plan.reorder_jitter);
     ++stats_.reorders;
-    trace("fault.reorder", frame);
+    trace(obs::EventKind::kFaultReorder, frame);
   }
   return v;
 }

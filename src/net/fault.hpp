@@ -4,6 +4,8 @@
 #include <map>
 
 #include "net/frame.hpp"
+#include "obs/event.hpp"
+#include "obs/relay.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -97,7 +99,10 @@ class FaultInjector {
 
   /// Attaches a tracer; fault decisions are recorded under the categories
   /// `fault.drop`, `fault.corrupt`, `fault.dup` and `fault.reorder`.
-  void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
+  void set_tracer(sim::Tracer* t) noexcept { relay_.set_tracer(t); }
+
+  /// Attaches a typed event bus; decisions are emitted as kFault* events.
+  void set_bus(obs::Bus* bus) noexcept { relay_.set_bus(bus); }
 
   [[nodiscard]] bool enabled() const noexcept {
     return global_.active() || !link_plans_.empty();
@@ -114,13 +119,13 @@ class FaultInjector {
     return (static_cast<std::uint64_t>(src) << 32) | dst;
   }
 
-  void trace(const char* category, const Frame& frame);
+  void trace(obs::EventKind kind, const Frame& frame);
 
   FaultPlan global_;
   std::map<std::uint64_t, FaultPlan> link_plans_;
   std::map<std::uint64_t, bool> burst_bad_;  // Gilbert–Elliott state per link
   sim::Rng rng_;
-  sim::Tracer* tracer_ = nullptr;
+  obs::Relay relay_;
   Stats stats_;
 };
 

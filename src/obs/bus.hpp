@@ -1,0 +1,50 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+#include "sim/engine.hpp"
+
+namespace pinsim::obs {
+
+/// The typed event bus: emitters hand it POD events, the bus stamps the
+/// simulated time and fans out to every attached sink synchronously. With no
+/// sinks attached `active()` is false and emitters skip event construction,
+/// so an uninstrumented run pays one pointer compare per site.
+class Bus {
+ public:
+  explicit Bus(sim::Engine& eng) : eng_(eng) {}
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  void attach(Sink* s) {
+    if (s != nullptr && std::find(sinks_.begin(), sinks_.end(), s) ==
+                            sinks_.end()) {
+      sinks_.push_back(s);
+    }
+  }
+  void detach(Sink* s) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), s), sinks_.end());
+  }
+
+  [[nodiscard]] bool active() const noexcept { return !sinks_.empty(); }
+
+  void emit(Event e) {
+    e.time = eng_.now();
+    for (Sink* s : sinks_) s->on_event(e);
+  }
+
+  /// Run end: flush every sink (idempotent per attach — callers run it once).
+  void finalize() {
+    for (Sink* s : sinks_) s->finalize();
+  }
+
+ private:
+  sim::Engine& eng_;
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace pinsim::obs

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace pinsim::obs {
+
+/// Every event kind the stack emits. One enum across layers so sinks can
+/// switch on it without string matching; the legacy string tracer derives
+/// its dotted categories from these (see legacy.hpp).
+enum class EventKind : std::uint8_t {
+  // Wire / driver.
+  kPktTx,            // frame handed to the NIC
+  kPktRx,            // frame decoded and dispatched to an endpoint
+  kPktChecksumDrop,  // CRC mismatch, frame dropped
+  kPktMalformed,     // undecodable frame dropped
+
+  // Send-side protocol lifecycle.
+  kEagerPost,   // eager send posted (seq, len)
+  kRndvPost,    // rendezvous send posted (seq, region, len)
+  kSendDone,    // send completed ok (eager ack or notify)
+  kSendAbort,   // send failed/aborted
+  kRetransmit,  // send retransmission timer fired (offset = retry count)
+
+  // Receive-side pull lifecycle.
+  kPullStart,     // pull transfer created (seq = handle, offset = sender seq)
+  kPullBlockReq,  // PULL for one block (offset, len)
+  kPullRetry,     // stalled pull re-requested (len = stall ticks)
+  kRecvDone,      // pull transfer completed ok
+  kRecvAbort,     // pull transfer aborted
+
+  // Overlap misses (paper §3.3) and data movement.
+  kOverlapMissSend,  // sender could not serve a pull from unpinned pages
+  kOverlapMissRecv,  // receiver dropped a reply landing on unpinned pages
+  kCopyIn,           // bytes landed in a pinned region (region, offset, len)
+  kCopyOut,          // bytes served from a pinned region
+  kDmaCopy,          // I/OAT channel finished a copy (len = bytes)
+
+  // Pin state machine (offset = pinned frontier in pages, len = total pages).
+  kPinReset,       // failed region reset for retry
+  kPinStart,       // pin job started
+  kPinPages,       // chunk committed, frontier advanced
+  kPinShrink,      // chunk shrunk to quota headroom
+  kPinRetry,       // transient denial, backing off
+  kPinRestart,     // invalidated mid-pin, restarting
+  kPinInvalidate,  // MMU notifier truncated the frontier (seq = cut slot)
+  kPinDone,        // fully pinned
+  kPinFail,        // pin job failed
+  kPinShed,        // pins shed under memory pressure
+  kPinUnpin,       // all pins released
+
+  // Memory-pressure injection.
+  kPressureDeny,
+  kPressureSweep,
+  kPressureMigrate,
+  kPressureCow,
+
+  // Network fault injection.
+  kFaultDrop,
+  kFaultCorrupt,
+  kFaultDup,
+  kFaultReorder,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
+
+/// One observed event: a small POD stamped with simulated time by the Bus.
+/// Field meaning is per-kind (documented on the enum); unused fields stay 0.
+/// `label` must point at a string with static storage duration (packet type
+/// names, literal reasons) — sinks may keep events past the emitting call.
+struct Event {
+  sim::Time time = 0;
+  EventKind kind = EventKind::kPktTx;
+  std::uint8_t ep = 0;        // emitting endpoint id
+  std::uint8_t peer_ep = 0;   // remote endpoint id (wire events)
+  std::uint8_t pkt = 0;       // PacketType as integer (wire events)
+  std::uint32_t node = 0;     // emitting node
+  std::uint32_t peer = 0;     // remote node
+  std::uint32_t region = 0;   // region id (pin/copy events)
+  std::uint32_t seq = 0;      // send seq / pull handle / invalidation cut
+  std::uint64_t offset = 0;   // byte offset / pinned frontier / retry count
+  std::uint64_t len = 0;      // byte length / total pages
+  const char* label = nullptr;
+};
+
+}  // namespace pinsim::obs

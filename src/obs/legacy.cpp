@@ -1,0 +1,189 @@
+#include "obs/legacy.hpp"
+
+#include "obs/relay.hpp"
+
+namespace pinsim::obs {
+
+namespace {
+
+std::string pin_detail(const Event& e) {
+  return "region " + std::to_string(e.region) + " " +
+         (e.label != nullptr ? e.label : "") + " (" +
+         std::to_string(e.offset) + "/" + std::to_string(e.len) + " pages)";
+}
+
+std::string frame_detail(const Event& e) {
+  return "frame " + std::to_string(e.node) + "->" + std::to_string(e.peer) +
+         " (" + std::to_string(e.len) + "B)";
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kPktTx: return "pkt_tx";
+    case EventKind::kPktRx: return "pkt_rx";
+    case EventKind::kPktChecksumDrop: return "pkt_checksum_drop";
+    case EventKind::kPktMalformed: return "pkt_malformed";
+    case EventKind::kEagerPost: return "eager_post";
+    case EventKind::kRndvPost: return "rndv_post";
+    case EventKind::kSendDone: return "send_done";
+    case EventKind::kSendAbort: return "send_abort";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kPullStart: return "pull_start";
+    case EventKind::kPullBlockReq: return "pull_block_req";
+    case EventKind::kPullRetry: return "pull_retry";
+    case EventKind::kRecvDone: return "recv_done";
+    case EventKind::kRecvAbort: return "recv_abort";
+    case EventKind::kOverlapMissSend: return "overlap_miss_send";
+    case EventKind::kOverlapMissRecv: return "overlap_miss_recv";
+    case EventKind::kCopyIn: return "copy_in";
+    case EventKind::kCopyOut: return "copy_out";
+    case EventKind::kDmaCopy: return "dma_copy";
+    case EventKind::kPinReset: return "pin_reset";
+    case EventKind::kPinStart: return "pin_start";
+    case EventKind::kPinPages: return "pin_pages";
+    case EventKind::kPinShrink: return "pin_shrink";
+    case EventKind::kPinRetry: return "pin_retry";
+    case EventKind::kPinRestart: return "pin_restart";
+    case EventKind::kPinInvalidate: return "pin_invalidate";
+    case EventKind::kPinDone: return "pin_done";
+    case EventKind::kPinFail: return "pin_fail";
+    case EventKind::kPinShed: return "pin_shed";
+    case EventKind::kPinUnpin: return "pin_unpin";
+    case EventKind::kPressureDeny: return "pressure_deny";
+    case EventKind::kPressureSweep: return "pressure_sweep";
+    case EventKind::kPressureMigrate: return "pressure_migrate";
+    case EventKind::kPressureCow: return "pressure_cow";
+    case EventKind::kFaultDrop: return "fault_drop";
+    case EventKind::kFaultCorrupt: return "fault_corrupt";
+    case EventKind::kFaultDup: return "fault_dup";
+    case EventKind::kFaultReorder: return "fault_reorder";
+  }
+  return "unknown";
+}
+
+LegacyStrings legacy_strings(const Event& e) {
+  const char* label = e.label != nullptr ? e.label : "";
+  switch (e.kind) {
+    case EventKind::kPktTx:
+      return {"pkt.tx",
+              std::string(label) + " to node " + std::to_string(e.peer)};
+    case EventKind::kPktRx:
+      return {"pkt.rx", std::string(label) + " from node " +
+                            std::to_string(e.peer) + " ep " +
+                            std::to_string(e.peer_ep)};
+    case EventKind::kPktChecksumDrop:
+      return {"pkt.checksum", ""};
+    case EventKind::kPktMalformed:
+      return {"pkt.malformed", ""};
+    case EventKind::kEagerPost:
+      return {"req.eager", "seq " + std::to_string(e.seq) + " len " +
+                               std::to_string(e.len) + " to node " +
+                               std::to_string(e.peer)};
+    case EventKind::kRndvPost:
+      return {"req.rndv", "seq " + std::to_string(e.seq) + " len " +
+                              std::to_string(e.len) + " to node " +
+                              std::to_string(e.peer)};
+    case EventKind::kSendDone:
+      return {"req.done", "seq " + std::to_string(e.seq)};
+    case EventKind::kSendAbort:
+      return {"req.abort", "seq " + std::to_string(e.seq)};
+    case EventKind::kRetransmit:
+      return {"req.retransmit", "seq " + std::to_string(e.seq) + " retry " +
+                                    std::to_string(e.offset)};
+    case EventKind::kPullStart:
+      return {"pull.start", "handle " + std::to_string(e.seq) +
+                                " from node " + std::to_string(e.peer) +
+                                " len " + std::to_string(e.len)};
+    case EventKind::kPullBlockReq:
+      return {"pull.block", "handle " + std::to_string(e.seq) + " offset " +
+                                std::to_string(e.offset)};
+    case EventKind::kPullRetry:
+      return {"pull.retry", "handle " + std::to_string(e.seq) + " stall " +
+                                std::to_string(e.len)};
+    case EventKind::kRecvDone:
+      return {"pull.done", "handle " + std::to_string(e.seq)};
+    case EventKind::kRecvAbort:
+      return {"pull.abort", "handle " + std::to_string(e.seq)};
+    case EventKind::kOverlapMissSend:
+      return {"pin.miss", "send offset " + std::to_string(e.offset)};
+    case EventKind::kOverlapMissRecv:
+      return {"pin.miss", "recv offset " + std::to_string(e.offset)};
+    case EventKind::kCopyIn:
+      return {"copy.in", "region " + std::to_string(e.region) + " offset " +
+                             std::to_string(e.offset) + " len " +
+                             std::to_string(e.len)};
+    case EventKind::kCopyOut:
+      return {"copy.out", "region " + std::to_string(e.region) + " offset " +
+                              std::to_string(e.offset) + " len " +
+                              std::to_string(e.len)};
+    case EventKind::kDmaCopy:
+      return {"dma.copy", std::to_string(e.len) + "B"};
+    case EventKind::kPinReset:
+      return {"pin.reset", pin_detail(e)};
+    case EventKind::kPinStart:
+      return {"pin.start", pin_detail(e)};
+    case EventKind::kPinPages:
+      return {"pin.pages", pin_detail(e)};
+    case EventKind::kPinShrink:
+      return {"pin.shrink", pin_detail(e)};
+    case EventKind::kPinRetry:
+      return {"pin.retry", pin_detail(e)};
+    case EventKind::kPinRestart:
+      return {"pin.restart", pin_detail(e)};
+    case EventKind::kPinInvalidate:
+      return {"pin.invalidate", pin_detail(e)};
+    case EventKind::kPinDone:
+      return {"pin.done", pin_detail(e)};
+    case EventKind::kPinFail:
+      return {"pin.fail", pin_detail(e)};
+    case EventKind::kPinShed:
+      return {"pin.shed", pin_detail(e)};
+    case EventKind::kPinUnpin:
+      return {"pin.unpin", pin_detail(e)};
+    case EventKind::kPressureDeny:
+      return {"pressure.deny", label};
+    case EventKind::kPressureSweep:
+      return {"pressure.sweep", label};
+    case EventKind::kPressureMigrate:
+      return {"pressure.migrate", label};
+    case EventKind::kPressureCow:
+      return {"pressure.cow", label};
+    case EventKind::kFaultDrop:
+      return {"fault.drop", frame_detail(e)};
+    case EventKind::kFaultCorrupt:
+      return {"fault.corrupt", frame_detail(e)};
+    case EventKind::kFaultDup:
+      return {"fault.dup", frame_detail(e)};
+    case EventKind::kFaultReorder:
+      return {"fault.reorder", frame_detail(e)};
+  }
+  return {"unknown", ""};
+}
+
+std::string describe(const Event& e) {
+  std::string out = "[" + std::to_string(sim::to_usec(e.time)) + "us] " +
+                    event_kind_name(e.kind) + " node=" +
+                    std::to_string(e.node) + " ep=" + std::to_string(e.ep);
+  if (e.peer != 0 || e.peer_ep != 0) {
+    out += " peer=" + std::to_string(e.peer) + "." +
+           std::to_string(e.peer_ep);
+  }
+  if (e.region != 0) out += " region=" + std::to_string(e.region);
+  if (e.seq != 0) out += " seq=" + std::to_string(e.seq);
+  if (e.offset != 0) out += " offset=" + std::to_string(e.offset);
+  if (e.len != 0) out += " len=" + std::to_string(e.len);
+  if (e.label != nullptr) out += std::string(" \"") + e.label + "\"";
+  return out;
+}
+
+void Relay::emit(const Event& e) const {
+  if (tracer_ != nullptr) {
+    LegacyStrings s = legacy_strings(e);
+    tracer_->record(std::move(s.category), std::move(s.detail));
+  }
+  if (bus_ != nullptr && bus_->active()) bus_->emit(e);
+}
+
+}  // namespace pinsim::obs

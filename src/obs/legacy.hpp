@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+#include "sim/trace.hpp"
+
+namespace pinsim::obs {
+
+/// Renders a typed event into the legacy (category, detail) string pair the
+/// pre-obs stack used to format at every call site. The categories and
+/// details for kinds that existed before the typed bus are byte-identical to
+/// the old output (tests assert on them); new kinds get new dotted
+/// categories that do not collide with any asserted prefix.
+struct LegacyStrings {
+  std::string category;
+  std::string detail;
+};
+
+[[nodiscard]] LegacyStrings legacy_strings(const Event& e);
+
+/// One-line human rendering (violation windows, debug dumps).
+[[nodiscard]] std::string describe(const Event& e);
+
+/// The old string API kept as one sink: adapts a Bus to a sim::Tracer.
+class TracerSink final : public Sink {
+ public:
+  explicit TracerSink(sim::Tracer& tracer) : tracer_(tracer) {}
+
+  void on_event(const Event& e) override {
+    LegacyStrings s = legacy_strings(e);
+    tracer_.record(std::move(s.category), std::move(s.detail));
+  }
+
+ private:
+  sim::Tracer& tracer_;
+};
+
+}  // namespace pinsim::obs

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "obs/bus.hpp"
+#include "obs/event.hpp"
+#include "sim/trace.hpp"
+
+namespace pinsim::obs {
+
+/// The per-component emission point: a Bus pointer for typed sinks plus the
+/// legacy sim::Tracer pointer, either of which may be null. Components own a
+/// Relay (or hold a pointer to one with a stable address) and emit typed
+/// events through it; the relay renders the legacy string form for the
+/// tracer so every pre-existing `Tracer`-based test and tool keeps working.
+class Relay {
+ public:
+  void set_bus(Bus* b) noexcept { bus_ = b; }
+  void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
+  [[nodiscard]] Bus* bus() const noexcept { return bus_; }
+  [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }
+
+  [[nodiscard]] bool active() const noexcept {
+    return tracer_ != nullptr || (bus_ != nullptr && bus_->active());
+  }
+
+  void emit(const Event& e) const;
+
+ private:
+  Bus* bus_ = nullptr;
+  sim::Tracer* tracer_ = nullptr;
+};
+
+}  // namespace pinsim::obs

@@ -4,6 +4,39 @@
 
 namespace pinsim::sim {
 
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double within =
+          counts_[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(cum)) /
+                    static_cast<double>(counts_[i]);
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      const double v = lo + within * (hi - lo);
+      return std::min(max_, std::max(min_, v));
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+std::vector<LogHistogram::Bucket> LogHistogram::nonempty_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back(Bucket{bucket_lo(i), bucket_hi(i), counts_[i]});
+  }
+  return out;
+}
+
 LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
   assert(x.size() == y.size());
   const auto n = static_cast<double>(x.size());

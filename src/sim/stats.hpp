@@ -77,6 +77,76 @@ class Samples {
   std::vector<double> xs_;
 };
 
+/// Log-bucketed histogram with percentile queries; O(buckets) memory no
+/// matter how many samples stream in, so soaks and the obs latency sinks can
+/// run it over millions of events. Bucket i (i >= 1) covers
+/// [min_value * growth^(i-1), min_value * growth^i); bucket 0 catches
+/// everything below min_value. Percentiles interpolate linearly inside the
+/// bucket and clamp to the exact observed min/max, so p100 == max() always.
+class LogHistogram {
+ public:
+  struct Bucket {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  explicit LogHistogram(double min_value = 1.0, double growth = 2.0,
+                        std::size_t max_buckets = 64)
+      : min_value_(min_value > 0.0 ? min_value : 1.0),
+        growth_(growth > 1.0 ? growth : 2.0),
+        counts_(max_buckets < 2 ? 2 : max_buckets, 0) {}
+
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    ++counts_[bucket_index(x)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// q in [0,1]. Walks the cumulative counts and interpolates within the
+  /// landing bucket; exact at the extremes.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+
+  /// Occupied buckets, in value order (for exporters and plotting).
+  [[nodiscard]] std::vector<Bucket> nonempty_buckets() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double x) const noexcept {
+    if (x < min_value_) return 0;
+    const auto i = static_cast<std::size_t>(
+        std::log(x / min_value_) / std::log(growth_)) + 1;
+    return std::min(i, counts_.size() - 1);
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept {
+    return i == 0 ? 0.0 : min_value_ * std::pow(growth_, static_cast<double>(i - 1));
+  }
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept {
+    return min_value_ * std::pow(growth_, static_cast<double>(i));
+  }
+
+  double min_value_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 /// Converts (bytes, duration) into the MiB/s figures the paper plots.
 [[nodiscard]] inline double mib_per_sec(std::uint64_t bytes, Time elapsed) {
   if (elapsed == 0) return 0.0;

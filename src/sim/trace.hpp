@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
 #include <deque>
 #include <ostream>
 #include <string>
@@ -47,10 +48,23 @@ class Tracer {
     return records_;
   }
   [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool warned_dropped() const noexcept { return warned_dropped_; }
+
+  /// Resize the ring (see core::TraceConfig). Shrinking trims the oldest
+  /// records, which counts them as dropped like any other ring overflow.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
 
   /// Records whose category starts with `prefix`, in time order.
   [[nodiscard]] std::vector<const TraceRecord*> filter(
       std::string_view prefix) const {
+    warn_if_dropped("filter");
     std::vector<const TraceRecord*> out;
     for (const auto& r : records_) {
       if (r.category.size() >= prefix.size() &&
@@ -65,6 +79,7 @@ class Tracer {
   /// or npos. Lets tests assert event ordering.
   [[nodiscard]] std::size_t find_first(std::string_view category_prefix,
                                        std::string_view detail_part = "") const {
+    warn_if_dropped("find_first");
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const auto& r = records_[i];
       if (r.category.size() >= category_prefix.size() &&
@@ -87,13 +102,27 @@ class Tracer {
   void clear() {
     records_.clear();
     dropped_ = 0;
+    warned_dropped_ = false;
   }
 
  private:
+  // Queries on a ring that has wrapped can silently miss the events a test
+  // is looking for; surface that once per overflow instead of returning a
+  // quietly incomplete answer.
+  void warn_if_dropped(const char* what) const {
+    if (dropped_ == 0 || warned_dropped_) return;
+    warned_dropped_ = true;
+    std::fprintf(stderr,
+                 "sim::Tracer::%s: ring overflowed, %zu oldest records "
+                 "dropped; results may be incomplete (capacity %zu)\n",
+                 what, dropped_, capacity_);
+  }
+
   Engine& eng_;
   std::size_t capacity_;
   std::deque<TraceRecord> records_;
   std::size_t dropped_ = 0;
+  mutable bool warned_dropped_ = false;
 };
 
 }  // namespace pinsim::sim

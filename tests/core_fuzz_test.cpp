@@ -19,6 +19,9 @@
 #include "cpu/cpu_model.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/pressure.hpp"
+#include "obs/bus.hpp"
+#include "obs/invariants.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 
@@ -111,6 +114,15 @@ TEST_P(PressureScheduleFuzz, AlwaysConvergesBitExactWhenPressureLifts) {
   cfg.pin_retry_budget = 8;
   PinManager mgr(eng, core, cpu::xeon_e5460(), cfg, counters);
 
+  // Every random schedule streams through the invariant checker too: no
+  // seed may produce a pin-state sequence a correct stack could not.
+  obs::Bus bus(eng);
+  obs::InvariantChecker checker(mem::kPageSize);
+  obs::Relay relay;
+  bus.attach(&checker);
+  relay.set_bus(&bus);
+  mgr.set_relay(&relay);
+
   mem::PressureInjector inj(GetParam() * 2654435761u + 1);
   pm.set_pressure(&inj);
   inj.watch(&as);
@@ -201,6 +213,10 @@ TEST_P(PressureScheduleFuzz, AlwaysConvergesBitExactWhenPressureLifts) {
   mgr.unregister_region(r);
   EXPECT_EQ(pm.pinned_pages(), 0u);  // no leaked pins anywhere in the schedule
   pm.set_pressure(nullptr);
+
+  checker.finalize();
+  EXPECT_TRUE(checker.ok()) << "seed " << GetParam() << "\n"
+                            << checker.report();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PressureScheduleFuzz,

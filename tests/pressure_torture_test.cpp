@@ -22,6 +22,9 @@
 #include "mem/mmu_notifier.hpp"
 #include "mem/physical_memory.hpp"
 #include "mem/pressure.hpp"
+#include "obs/bus.hpp"
+#include "obs/invariants.hpp"
+#include "obs/relay.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::core {
@@ -53,6 +56,12 @@ struct Torture {
         expect(kBytes) {
     as.register_notifier(&notifier);
     mgr.register_region(region);
+    // Every enumerated schedule also streams through the online invariant
+    // checker: no interleaving may make pins survive an invalidation or the
+    // frontier retreat without cause.
+    bus.attach(&checker);
+    relay.set_bus(&bus);
+    mgr.set_relay(&relay);
     for (std::size_t i = 0; i < kBytes; ++i) {
       expect[i] = static_cast<std::byte>((i * 37) % 239);
     }
@@ -95,6 +104,8 @@ struct Torture {
     ASSERT_EQ(pm.pinned_pages(), region.pinned_pages());
     mgr.unregister_region(region);
     ASSERT_EQ(pm.pinned_pages(), 0u);
+    checker.finalize();
+    ASSERT_TRUE(checker.ok()) << checker.report();
   }
 
   sim::Engine eng;
@@ -107,6 +118,9 @@ struct Torture {
   mem::VirtAddr addr;
   Region region;
   std::vector<std::byte> expect;
+  obs::Bus bus{eng};
+  obs::InvariantChecker checker{mem::kPageSize};
+  obs::Relay relay;
 };
 
 std::vector<std::byte> payload(std::size_t n, int salt) {

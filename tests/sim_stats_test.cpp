@@ -49,6 +49,65 @@ TEST(Samples, MeanAndExtremes) {
   EXPECT_DOUBLE_EQ(s.max(), 20.0);
 }
 
+TEST(LogHistogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_TRUE(h.nonempty_buckets().empty());
+}
+
+TEST(LogHistogram, PercentilesClampToExactExtremes) {
+  LogHistogram h(1.0, 2.0);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  // Log buckets grow by 2x, so interpolated quantiles land within one
+  // bucket (a factor of 2) of the exact answer.
+  EXPECT_GT(h.p50(), 250.0);
+  EXPECT_LT(h.p50(), 1000.0);
+  EXPECT_GE(h.p95(), h.p50());
+  EXPECT_GE(h.p99(), h.p95());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(LogHistogram, SingleSampleIsExactEverywhere) {
+  LogHistogram h(100.0);
+  h.add(12345.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 12345.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 12345.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+}
+
+TEST(LogHistogram, UnderflowLandsInBucketZero) {
+  LogHistogram h(100.0, 2.0);
+  h.add(5.0);  // below min_value
+  h.add(150.0);
+  const auto buckets = h.nonempty_buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(buckets[0].hi, 100.0);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].lo, 100.0);
+  EXPECT_DOUBLE_EQ(buckets[1].hi, 200.0);
+}
+
+TEST(LogHistogram, TopBucketCatchesOverflow) {
+  // 4 buckets: 0 = underflow, 3 = everything past min*growth^2.
+  LogHistogram h(1.0, 10.0, 4);
+  h.add(1e12);
+  const auto buckets = h.nonempty_buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_DOUBLE_EQ(h.p99(), 1e12);  // clamped to observed max, not bucket hi
+}
+
 TEST(Throughput, MibPerSec) {
   // 1 MiB in 1 ms = 1000 MiB/s.
   EXPECT_NEAR(mib_per_sec(1024 * 1024, kMillisecond), 1000.0, 1e-9);

@@ -45,6 +45,63 @@ TEST(Tracer, RingDropsOldestBeyondCapacity) {
   EXPECT_EQ(tracer.dropped(), 0u);
 }
 
+TEST(Tracer, SetCapacityTrimsOldestAndCountsThemDropped) {
+  sim::Engine eng;
+  sim::Tracer tracer(eng, /*capacity=*/8);
+  for (int i = 0; i < 6; ++i) tracer.record("x", std::to_string(i));
+  EXPECT_EQ(tracer.capacity(), 8u);
+
+  tracer.set_capacity(3);
+  EXPECT_EQ(tracer.capacity(), 3u);
+  EXPECT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(tracer.records().front().detail, "3");
+
+  // Zero clamps to one rather than becoming an unusable ring.
+  tracer.set_capacity(0);
+  EXPECT_EQ(tracer.capacity(), 1u);
+  EXPECT_EQ(tracer.records().size(), 1u);
+
+  // Growing never drops.
+  tracer.set_capacity(64);
+  const std::size_t dropped = tracer.dropped();
+  tracer.record("x", "new");
+  EXPECT_EQ(tracer.dropped(), dropped);
+}
+
+TEST(Tracer, QueriesWarnOnceAfterOverflow) {
+  sim::Engine eng;
+  sim::Tracer tracer(eng, /*capacity=*/2);
+  tracer.record("a", "1");
+  EXPECT_FALSE(tracer.warned_dropped());
+  (void)tracer.filter("a");
+  EXPECT_FALSE(tracer.warned_dropped());  // nothing dropped, no warning
+
+  tracer.record("a", "2");
+  tracer.record("a", "3");  // overflows the ring
+  EXPECT_EQ(tracer.dropped(), 1u);
+  (void)tracer.find_first("a");
+  EXPECT_TRUE(tracer.warned_dropped());  // warned exactly once
+  (void)tracer.filter("a");
+  EXPECT_TRUE(tracer.warned_dropped());
+
+  tracer.clear();
+  EXPECT_FALSE(tracer.warned_dropped());  // fresh ring warns again if needed
+}
+
+TEST(Tracer, CapacityComesFromStackConfig) {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  core::StackConfig stack = core::overlapped_cache_config();
+  stack.trace.tracer_capacity = 7;
+  core::Host::Config hc;
+  hc.memory_frames = 8192;
+  core::Host host(eng, fabric, hc, stack);
+  sim::Tracer tracer(eng);  // default 65536
+  host.driver().set_tracer(&tracer);
+  EXPECT_EQ(tracer.capacity(), 7u);
+}
+
 TEST(Tracer, DumpIsHumanReadable) {
   sim::Engine eng;
   sim::Tracer tracer(eng);
