@@ -40,8 +40,14 @@ sim::Time chunked_transfer(const cpu::CpuModel& cpu, std::size_t len,
   return c.eng.now();
 }
 
-sim::Time overlapped_transfer(const cpu::CpuModel& cpu, std::size_t len) {
+sim::Time overlapped_transfer(const cpu::CpuModel& cpu, std::size_t len,
+                              const std::string& trace_prefix =
+                                  std::string()) {
   bench::Cluster c(cpu, core::overlapped_pinning_config(), 2, false);
+  std::unique_ptr<bench::ObsRig> rig;
+  if (!trace_prefix.empty()) {
+    rig = std::make_unique<bench::ObsRig>(c, trace_prefix + ".trace.json");
+  }
   auto& sender = c.comm->process(0);
   auto& receiver = c.comm->process(1);
   const auto src = sender.heap.malloc(len);
@@ -56,13 +62,21 @@ sim::Time overlapped_transfer(const cpu::CpuModel& cpu, std::size_t len) {
   }(receiver.lib, dst, len));
   c.eng.run();
   c.eng.rethrow_task_failures();
+  if (rig != nullptr) {
+    const int violations = rig->finish();
+    rig->write_report(trace_prefix + ".report.json");
+    std::printf("   trace: %s.trace.json report: %s.report.json%s\n",
+                trace_prefix.c_str(), trace_prefix.c_str(),
+                violations == 0 ? "" : "  INVARIANT VIOLATIONS");
+    std::printf("%s", rig->digest().c_str());
+  }
   return c.eng.now();
 }
 
 void pipeline_ablation(const bench::Options& opt) {
   std::printf("-- (1) chunked registration pipeline vs driver overlap --\n");
   const std::size_t len = opt.quick ? 2 * 1024 * 1024 : 8 * 1024 * 1024;
-  const sim::Time ours = overlapped_transfer(*opt.cpu, len);
+  const sim::Time ours = overlapped_transfer(*opt.cpu, len, opt.trace_out);
   std::printf("   %zu MB transfer, driver-level overlap: %.1f us\n",
               len / (1024 * 1024), sim::to_usec(ours));
   std::printf("   %-14s %12s %12s\n", "chunk", "time us", "vs overlap");

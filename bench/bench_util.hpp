@@ -12,8 +12,10 @@
 #include "net/fabric.hpp"
 #include "obs/bus.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/invariants.hpp"
 #include "obs/latency.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::bench {
@@ -88,8 +90,9 @@ struct Options {
   }
 };
 
-/// Observability rig for one Cluster run: invariant checker and latency
-/// recorder are always attached; a Chrome-trace writer joins when
+/// Observability rig for one Cluster run: invariant checker, latency
+/// recorder, critical-path analyzer and metrics sampler are always
+/// attached; a Chrome-trace writer joins when
 /// `trace_path` is non-empty. Declare it AFTER the Cluster (teardown order:
 /// endpoints emit pin-unpin events from their destructors, so the bus must
 /// outlive the hosts — `finish()` detaches everything first and benches
@@ -99,6 +102,8 @@ struct ObsRig {
       : cluster(&c), bus(c.eng) {
     bus.attach(&checker);
     bus.attach(&latency);
+    bus.attach(&critical_path);
+    bus.attach(&metrics);
     if (!trace_path.empty()) {
       chrome = std::make_unique<obs::ChromeTraceWriter>(trace_path);
       bus.attach(chrome.get());
@@ -149,12 +154,20 @@ struct ObsRig {
     }
     out += "],\"histograms\":";
     out += latency.json();
+    out += ",\"critical_path\":";
+    out += critical_path.json();
+    out += ",\"metrics\":";
+    out += metrics.json();
     char tail[64];
     std::snprintf(tail, sizeof tail, ",\"invariant_violations\":%llu}",
                   static_cast<unsigned long long>(checker.violation_count()));
     out += tail;
     return out;
   }
+
+  /// Human-readable top-K slowest-message digest ("why was this slow").
+  /// Meaningful after `finish()`; safe to print any time.
+  [[nodiscard]] std::string digest() const { return critical_path.digest(); }
 
   /// Writes `json_report()` to `path`; returns false (with a warning) on
   /// I/O failure — a failed report dump must never fail the run.
@@ -176,6 +189,8 @@ struct ObsRig {
   obs::Bus bus;
   obs::InvariantChecker checker;
   obs::LatencyRecorder latency;
+  obs::CriticalPathAnalyzer critical_path;
+  obs::MetricsSampler metrics;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
   bool finished = false;
 

@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
     std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
                 opt.trace_out.c_str(), opt.trace_out.c_str(),
                 violations == 0 ? "" : "  INVARIANT VIOLATIONS");
+    std::printf("%s", rig.digest().c_str());
     if (violations != 0) return 1;
   }
   std::printf(

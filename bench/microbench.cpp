@@ -4,6 +4,10 @@
 // memory paths are fast enough to run thousands of them).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/region.hpp"
 #include "core/wire.hpp"
 #include "mem/address_space.hpp"
@@ -111,6 +115,59 @@ void BM_WireEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_WireEncodeDecode);
 
+/// With --trace-out=PREFIX, one instrumented simulated 1 MB rendezvous runs
+/// after the wall-clock benchmarks so even this bench can emit a Chrome
+/// trace and run report (exercising the same rig as the paper figures).
+int instrumented_rendezvous(const std::string& prefix) {
+  bench::Cluster c(cpu::xeon_e5460(), core::overlapped_pinning_config(), 2,
+                   /*with_ioat=*/false);
+  bench::ObsRig rig(c, prefix + ".trace.json");
+  auto& sender = c.comm->process(0);
+  auto& receiver = c.comm->process(1);
+  const std::size_t len = 1024 * 1024;
+  const auto src = sender.heap.malloc(len);
+  const auto dst = receiver.heap.malloc(len);
+  sim::spawn(c.eng, [](core::Library& lib, core::EndpointAddr to,
+                       mem::VirtAddr buf, std::size_t n) -> sim::Task<> {
+    (void)co_await lib.send(to, 500, buf, n);
+  }(sender.lib, receiver.addr(), src, len));
+  sim::spawn(c.eng, [](core::Library& lib, mem::VirtAddr buf,
+                       std::size_t n) -> sim::Task<> {
+    (void)co_await lib.recv(500, ~std::uint64_t{0}, buf, n);
+  }(receiver.lib, dst, len));
+  c.eng.run();
+  c.eng.rethrow_task_failures();
+  const int violations = rig.finish();
+  rig.write_report(prefix + ".report.json");
+  std::printf("trace: %s.trace.json report: %s.report.json%s\n",
+              prefix.c_str(), prefix.c_str(),
+              violations == 0 ? "" : "  INVARIANT VIOLATIONS");
+  std::printf("%s", rig.digest().c_str());
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --trace-out= before google-benchmark sees it (it rejects flags it
+  // does not know).
+  std::string trace_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_out.empty()) return instrumented_rendezvous(trace_out);
+  return 0;
+}

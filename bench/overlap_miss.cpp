@@ -55,15 +55,24 @@ struct RunResult {
 
 /// Streams `count` one-way messages of `bytes` through the overlapped
 /// (non-cached) path while a flood of the given duty cycle occupies the
-/// receiver's core — which is also the NIC interrupt core.
+/// receiver's core — which is also the NIC interrupt core. A non-empty
+/// `trace_prefix` attaches the observability rig (traces + report + slow-
+/// message digest; `*violations` receives the invariant verdict).
 RunResult stream(const cpu::CpuModel& cpu, double duty, std::size_t bytes,
-                 int count, std::size_t prepin_pages) {
+                 int count, std::size_t prepin_pages,
+                 const std::string& trace_prefix = std::string(),
+                 int* violations = nullptr) {
   core::StackConfig stack = core::overlapped_pinning_config();
   stack.pinning.sync_prepin_pages = prepin_pages;
   // The §4.3 pathology needs "interrupts bound to a single core": disable
   // flow steering so every bottom half lands on core 0.
   stack.protocol.distribute_interrupts = false;
   bench::Cluster cluster(cpu, stack, /*nranks=*/0, /*ioat=*/false);
+  std::unique_ptr<bench::ObsRig> rig;
+  if (!trace_prefix.empty()) {
+    rig = std::make_unique<bench::ObsRig>(cluster,
+                                          trace_prefix + ".trace.json");
+  }
   auto& sender = cluster.hosts[0]->spawn_process();  // core 1 of host A
   // The receiver shares core 0 with the interrupt handling (the §4.3 setup).
   auto& receiver = cluster.hosts[1]->spawn_process_on(0);
@@ -103,6 +112,16 @@ RunResult stream(const cpu::CpuModel& cpu, double duty, std::size_t bytes,
   }
   eng.rethrow_task_failures();
   flood.stop();
+
+  if (rig != nullptr) {
+    const int v = rig->finish();
+    if (violations != nullptr) *violations = v;
+    rig->write_report(trace_prefix + ".report.json");
+    std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
+                trace_prefix.c_str(), trace_prefix.c_str(),
+                v == 0 ? "" : "  INVARIANT VIOLATIONS");
+    std::printf("%s", rig->digest().c_str());
+  }
 
   RunResult r;
   const auto& cs = sender.lib.counters();
@@ -165,6 +184,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.accesses),
                 static_cast<unsigned long long>(r.rerequests),
                 static_cast<unsigned long long>(r.timeouts));
+  }
+  if (!opt.trace_out.empty()) {
+    // Instrumented rerun of the 90%-duty row: pulls outrun pin frontiers,
+    // so the critical-path digest attributes real pin_stall/retransmit time
+    // and the Chrome trace shows the overlap-miss chains.
+    int violations = 0;
+    (void)stream(*opt.cpu, 0.90, bytes, count, 0, opt.trace_out,
+                 &violations);
+    if (violations != 0) return 1;
   }
   std::printf(
       "\nShape check vs paper: essentially no misses on an idle core, and a\n"

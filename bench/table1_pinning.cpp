@@ -5,6 +5,7 @@
 // pin+unpin passes over regions of increasing page counts on an otherwise
 // idle core, then least-squares fit cost(pages) = base + per_page * pages.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -12,6 +13,7 @@
 #include "cpu/core.hpp"
 #include "cpu/cpu_model.hpp"
 #include "mem/physical_memory.hpp"
+#include "obs/relay.hpp"
 #include "sim/stats.hpp"
 
 namespace {
@@ -24,14 +26,34 @@ struct Measured {
   double gbps = 0.0;
 };
 
-Measured measure(const cpu::CpuModel& model) {
+/// A non-empty `trace_prefix` wires a hand-rolled obs rig (there is no
+/// Cluster here — the bench drives a bare PinManager): Chrome trace of the
+/// pin spans, metrics time series and invariant checking over the pin state
+/// machine.
+Measured measure(const cpu::CpuModel& model,
+                 const std::string& trace_prefix = std::string()) {
   sim::Engine eng;
   mem::PhysicalMemory pm(40000);
   mem::AddressSpace as(pm);
   cpu::Core core(eng, "bench");
   core::Counters counters;
   core::PinningConfig cfg;  // on-demand, synchronous
-  core::PinManager mgr(eng, core, model, cfg, counters);
+
+  obs::Bus bus(eng);
+  obs::InvariantChecker checker;
+  obs::MetricsSampler metrics;
+  std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  obs::Relay relay;
+  if (!trace_prefix.empty()) {
+    chrome = std::make_unique<obs::ChromeTraceWriter>(trace_prefix +
+                                                      ".trace.json");
+    bus.attach(&checker);
+    bus.attach(&metrics);
+    bus.attach(chrome.get());
+    relay.set_bus(&bus);
+  }
+
+  core::PinManager mgr(eng, core, model, cfg, counters, &relay);
 
   std::vector<double> pages;
   std::vector<double> cost_ns;
@@ -56,6 +78,24 @@ Measured measure(const cpu::CpuModel& model) {
     as.munmap(addr, npages * mem::kPageSize);
   }
 
+  if (!trace_prefix.empty()) {
+    bus.finalize();
+    if (!checker.ok()) std::fprintf(stderr, "%s", checker.report().c_str());
+    std::string report = "{\"metrics\":" + metrics.json();
+    char tail[64];
+    std::snprintf(tail, sizeof tail, ",\"invariant_violations\":%llu}\n",
+                  static_cast<unsigned long long>(checker.violation_count()));
+    report += tail;
+    const std::string path = trace_prefix + ".report.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+      std::fwrite(report.data(), 1, report.size(), f);
+      std::fclose(f);
+    }
+    std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
+                trace_prefix.c_str(), trace_prefix.c_str(),
+                checker.ok() ? "" : "  INVARIANT VIOLATIONS");
+  }
+
   const auto fit = sim::fit_line(pages, cost_ns);
   Measured m;
   m.base_us = fit.intercept / 1000.0;
@@ -67,7 +107,7 @@ Measured measure(const cpu::CpuModel& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)bench::Options::parse(argc, argv);
+  const auto opt = bench::Options::parse(argc, argv);
   bench::print_header(
       "Table 1: Open-MX pin+unpin overhead per processor",
       "Goglin, CAC/IPDPS'09, Table 1 (base us, ns/page, pinning GB/s)");
@@ -94,6 +134,12 @@ int main(int argc, char** argv) {
     std::printf("%-12s %5.2f | %10.1f %12.0f %9.1f | %10.1f %12.0f %9.1f\n",
                 row.name, row.ghz, row.base_us, row.per_page_ns, row.gbps,
                 m.base_us, m.per_page_ns, m.gbps);
+  }
+  if (!opt.trace_out.empty()) {
+    // Instrumented rerun on the configured CPU model: every pin/unpin pass
+    // shows up as an async span in the Chrome trace, the pinned-page gauge
+    // as a sawtooth in the metrics series.
+    (void)measure(*opt.cpu, opt.trace_out);
   }
   std::printf(
       "\nNote: the GB/s column is the asymptotic per-page pinning rate\n"

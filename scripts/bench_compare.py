@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Collect bench run reports into a BENCH_<label>.json trajectory point and
+compare two points for performance regressions.
+
+The simulator is deterministic, so the sim-time latency percentiles and
+phase breakdowns in the run reports are bit-stable: any metric drift is a
+real behaviour change, and the compare gate can be tight without flaking.
+
+  collect  --label pr4 --out BENCH_pr4.json fig7=build/perf_fig7.report.json ...
+  compare  --baseline BENCH_seed.json --current BENCH_pr4.json \
+           [--threshold 0.05] [--delta-out delta.json]
+
+Collected metrics per bench:
+  * send/pull latency p50/p95/p99 and mean (ns, sim time) from the
+    LatencyRecorder histograms;
+  * critical-path phase totals (ns) and completed/aborted/orphaned counts;
+  * invariant violations (any non-zero fails the gate outright).
+
+compare exits 0 when every latency metric of every bench present in both
+points is within `threshold` (relative) of the baseline — growth only;
+getting faster never fails — and no bench reports invariant violations or
+newly aborted/orphaned chains. Exits 1 on regression, 2 on usage errors.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# Phase totals shift between runs as config tuning moves time between
+# buckets legitimately; they are reported in the delta for the human but
+# only the end-to-end latency metrics gate.
+GATED_HISTOGRAMS = ("send_latency_ns", "pull_latency_ns")
+GATED_STATS = ("mean", "p50", "p95", "p99")
+
+# Below this many sim-nanoseconds of growth a relative threshold is noise
+# (one DMA chunk of jitter on a microsecond-scale metric).
+ABSOLUTE_FLOOR_NS = 500
+
+
+def collect(args):
+    point = {"label": args.label, "benches": {}}
+    for spec in args.reports:
+        if "=" not in spec:
+            print(f"collect: expected name=report.json, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        name, path = spec.split("=", 1)
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"collect: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        bench = {"invariant_violations": report.get("invariant_violations", 0)}
+        for hname, hist in report.get("histograms", {}).items():
+            bench[hname] = {k: hist[k] for k in
+                            ("count", "mean", "p50", "p95", "p99")
+                            if k in hist}
+        cp = report.get("critical_path")
+        if cp is not None:
+            bench["critical_path"] = {
+                "completed": cp.get("completed", 0),
+                "aborted": cp.get("aborted", 0),
+                "orphaned": cp.get("orphaned", 0),
+                "phase_totals_ns": cp.get("phase_totals_ns", {}),
+            }
+        point["benches"][name] = bench
+    with open(args.out, "w") as f:
+        json.dump(point, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"collect: wrote {args.out} "
+          f"({len(point['benches'])} benches: "
+          f"{', '.join(sorted(point['benches']))})")
+    return 0
+
+
+def load_point(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def compare(args):
+    base = load_point(args.baseline)
+    cur = load_point(args.current)
+    if base is None or cur is None:
+        return 2
+
+    failures = []
+    delta = {"baseline": base.get("label"), "current": cur.get("label"),
+             "threshold": args.threshold, "benches": {}}
+
+    common = sorted(set(base.get("benches", {})) & set(cur.get("benches", {})))
+    if not common:
+        print("compare: no common benches between the two points",
+              file=sys.stderr)
+        return 2
+
+    for name in common:
+        b, c = base["benches"][name], cur["benches"][name]
+        d = delta["benches"].setdefault(name, {})
+
+        viol = c.get("invariant_violations", 0)
+        if viol:
+            failures.append(f"{name}: {viol} invariant violations")
+        d["invariant_violations"] = viol
+
+        bcp = b.get("critical_path", {})
+        ccp = c.get("critical_path", {})
+        for key in ("aborted", "orphaned"):
+            if ccp.get(key, 0) > bcp.get(key, 0):
+                failures.append(
+                    f"{name}: {key} chains {bcp.get(key, 0)} -> "
+                    f"{ccp.get(key, 0)}")
+        if bcp or ccp:
+            d["critical_path"] = {
+                "completed": [bcp.get("completed"), ccp.get("completed")],
+                "phase_totals_ns": {
+                    ph: [bcp.get("phase_totals_ns", {}).get(ph),
+                         ccp.get("phase_totals_ns", {}).get(ph)]
+                    for ph in sorted(set(bcp.get("phase_totals_ns", {}))
+                                     | set(ccp.get("phase_totals_ns", {})))
+                },
+            }
+
+        for hname in GATED_HISTOGRAMS:
+            if hname not in b or hname not in c:
+                continue
+            for stat in GATED_STATS:
+                old, new = b[hname].get(stat), c[hname].get(stat)
+                if old is None or new is None:
+                    continue
+                d.setdefault(hname, {})[stat] = [old, new]
+                growth = new - old
+                if growth <= ABSOLUTE_FLOOR_NS:
+                    continue
+                if old > 0 and growth / old > args.threshold:
+                    failures.append(
+                        f"{name}: {hname}.{stat} regressed "
+                        f"{old} -> {new} ns "
+                        f"({100.0 * growth / old:+.1f}%, "
+                        f"threshold {100.0 * args.threshold:.1f}%)")
+
+    delta["verdict"] = "FAIL" if failures else "PASS"
+    delta["failures"] = failures
+    if args.delta_out:
+        with open(args.delta_out, "w") as f:
+            json.dump(delta, f, indent=1, sort_keys=True)
+            f.write("\n")
+
+    if failures:
+        print(f"compare: FAIL vs {args.baseline} "
+              f"({len(failures)} regressions):")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print(f"compare: PASS — {len(common)} benches within "
+          f"{100.0 * args.threshold:.1f}% of {args.baseline}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("collect", help="fold run reports into a point")
+    p.add_argument("--label", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("reports", nargs="+", metavar="name=report.json")
+    p.set_defaults(func=collect)
+
+    p = sub.add_parser("compare", help="gate a point against a baseline")
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--current", required=True)
+    p.add_argument("--threshold", type=float, default=0.05)
+    p.add_argument("--delta-out", default=None)
+    p.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # CI entry point: builds and tests the default preset, then the ASan+UBSan
 # preset (the memory-chaos acceptance bar is "bit-exact with zero sanitizer
-# findings"). Pass --soak to also run the full-length soak tier.
+# findings"). Pass --soak to also run the full-length soak tier, --perf (or
+# PINSIM_PERF_TIER=1) to run the perf-regression gate against the committed
+# BENCH_seed.json baseline.
 #
 #   scripts/ci.sh           # default + asan tiers
 #   scripts/ci.sh --soak    # ... plus the full chaos/pressure soaks
+#   scripts/ci.sh --perf    # ... plus the perf gate (needs python3)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_soak=0
+run_perf="${PINSIM_PERF_TIER:-0}"
 for arg in "$@"; do
   case "$arg" in
     --soak) run_soak=1 ;;
-    *) echo "usage: $0 [--soak]" >&2; exit 2 ;;
+    --perf) run_perf=1 ;;
+    *) echo "usage: $0 [--soak] [--perf]" >&2; exit 2 ;;
   esac
 done
 
@@ -52,6 +57,44 @@ tier asan
 
 if [[ "${run_soak}" -eq 1 ]]; then
   tier soak
+fi
+
+# Perf tier: instrumented quick runs of the paper benches, folded into a
+# BENCH point and gated against the committed baseline. The simulator is
+# deterministic (sim-time metrics are bit-stable), so the gate is tight and
+# cannot flake; the comparison delta is archived when it fails.
+perf_tier() {
+  echo "=== tier: perf ==="
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "perf tier skipped: python3 not available" >&2
+    return 0
+  fi
+  local out=build/perf
+  ./build/bench/fig6_pingpong_pinning --quick --trace-out="${out}_fig6" \
+    > /dev/null
+  ./build/bench/fig7_decoupled --quick --trace-out="${out}_fig7" > /dev/null
+  ./build/bench/overlap_miss --quick --trace-out="${out}_overlap_miss" \
+    > /dev/null
+  python3 scripts/bench_compare.py collect --label ci --out build/BENCH_ci.json \
+    fig6="${out}_fig6.report.json" \
+    fig7="${out}_fig7.report.json" \
+    overlap_miss="${out}_overlap_miss.report.json"
+  if ! python3 scripts/bench_compare.py compare \
+      --baseline BENCH_seed.json --current build/BENCH_ci.json \
+      --delta-out build/BENCH_delta.json; then
+    mkdir -p ci-artifacts/perf
+    cp build/BENCH_ci.json build/BENCH_delta.json ci-artifacts/perf/ \
+      2>/dev/null || true
+    cp "${out}"_*.report.json "${out}"_*.trace.json ci-artifacts/perf/ \
+      2>/dev/null || true
+    echo "=== tier perf FAILED; comparison delta archived in" \
+         "ci-artifacts/perf ===" >&2
+    return 1
+  fi
+}
+
+if [[ "${run_perf}" -eq 1 ]]; then
+  perf_tier
 fi
 
 echo "=== ci: all tiers passed ==="

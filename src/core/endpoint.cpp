@@ -844,6 +844,7 @@ void Endpoint::on_pull(net::NodeId src, std::uint8_t src_ep,
       e.region = body.region;
       e.offset = off;
       e.len = n;
+      e.seq = body.seq;  // binds the copy to its send chain for attribution
       e.peer = src;
       e.peer_ep = src_ep;
       obs_emit(e);
@@ -956,6 +957,7 @@ void Endpoint::on_pull_reply(net::NodeId, std::uint8_t,
       e.region = p.region->id();
       e.offset = body.offset;
       e.len = body.data.size();
+      e.seq = p.handle;  // binds the copy to its pull chain for attribution
       e.peer = p.peer_node;
       e.peer_ep = p.peer_ep;
       obs_emit(e);

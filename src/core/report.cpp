@@ -3,6 +3,9 @@
 #include <cstdarg>
 #include <cstdio>
 #include <limits>
+#include <string_view>
+
+#include "obs/json.hpp"
 
 namespace pinsim::core {
 
@@ -94,16 +97,30 @@ std::string format_json_report(Host::Process& p, Host& host) {
   const Counters& c = p.lib.counters();
   const auto& cache = p.lib.cache().stats();
 
+  // All emission goes through the obs/json.hpp helpers — the one escaping
+  // and number-formatting authority — so a host or core name containing
+  // `"` or `\` cannot produce invalid JSON.
   std::string out = "{";
   bool first = true;
-  const auto field = [&out, &first](const char* key, unsigned long long v) {
-    char buf[96];
-    std::snprintf(buf, sizeof buf, "%s\"%s\":%llu", first ? "" : ",", key, v);
+  const auto field = [&out, &first](const char* key, std::uint64_t v) {
+    if (!first) out += ',';
     first = false;
-    out += buf;
+    out += obs::json_str(key);
+    out += ':';
+    out += obs::json_num(v);
+  };
+  const auto str_field = [&out, &first](const char* key,
+                                        std::string_view v) {
+    if (!first) out += ',';
+    first = false;
+    out += obs::json_str(key);
+    out += ':';
+    out += obs::json_str(v);
   };
   field("endpoint", p.ep.id());
   field("node", p.addr().node);
+  str_field("host", host.config().name);
+  str_field("core", p.core.name());
   field("eager_sent", c.eager_sent);
   field("rndv_sent", c.rndv_sent);
   field("pulls_sent", c.pulls_sent);

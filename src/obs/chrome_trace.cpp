@@ -11,11 +11,11 @@ namespace pinsim::obs {
 namespace {
 
 // Sender-side identity of a rendezvous chain, used as the flow/async id so
-// every hop of one transfer shares an arc.
+// every hop of one transfer shares an arc (same key the critical-path
+// analyzer stitches chains with).
 std::uint64_t send_flow_id(std::uint32_t node, std::uint8_t ep,
                            std::uint32_t seq) {
-  return (static_cast<std::uint64_t>(node) << 40) |
-         (static_cast<std::uint64_t>(ep) << 32) | seq;
+  return chain_key(node, ep, seq);
 }
 
 void append_common(std::string& out, const Event& e, const char* name,

@@ -65,6 +65,19 @@ enum class EventKind : std::uint8_t {
 
 [[nodiscard]] const char* event_kind_name(EventKind k) noexcept;
 
+/// Sender-side identity of one message chain: every hop of a rendezvous or
+/// eager transfer — post, pulls, retransmissions, completion — shares the
+/// (origin node, origin endpoint, send seq) triple. The Chrome-trace writer
+/// uses it as the flow/async id; the critical-path analyzer as the chain
+/// key. Receiver-side events name the same chain through (peer, peer_ep,
+/// sender seq).
+[[nodiscard]] inline std::uint64_t chain_key(std::uint32_t node,
+                                             std::uint8_t ep,
+                                             std::uint32_t seq) noexcept {
+  return (static_cast<std::uint64_t>(node) << 40) |
+         (static_cast<std::uint64_t>(ep) << 32) | seq;
+}
+
 /// One observed event: a small POD stamped with simulated time by the Bus.
 /// Field meaning is per-kind (documented on the enum); unused fields stay 0.
 /// `label` must point at a string with static storage duration (packet type

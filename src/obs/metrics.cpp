@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace pinsim::obs {
+
+void MetricsSampler::push_sample(sim::Time boundary) {
+  Sample s;
+  s.t = boundary;
+  s.pinned_pages = pinned_pages_;
+  s.inflight_pin_jobs = static_cast<std::uint32_t>(pin_jobs_.size());
+  s.open_sends = static_cast<std::uint32_t>(sends_.size());
+  s.open_pulls = static_cast<std::uint32_t>(pulls_.size());
+  s.overlap_misses = overlap_misses_;
+  s.retransmits = retransmits_;
+  s.copied_bytes = copied_bytes_;
+  s.pressure_denials = pressure_denials_;
+  overlap_misses_ = 0;
+  retransmits_ = 0;
+  copied_bytes_ = 0;
+  pressure_denials_ = 0;
+  dirty_ = false;
+  samples_.push_back(s);
+  if (samples_.size() >= max_samples_) compact();
+}
+
+void MetricsSampler::compact() {
+  // Merge adjacent pairs: counters sum over the doubled interval, gauges
+  // are step functions so the later edge's value stands.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); i += 2) {
+    Sample m = samples_[i + 1];
+    m.overlap_misses += samples_[i].overlap_misses;
+    m.retransmits += samples_[i].retransmits;
+    m.copied_bytes += samples_[i].copied_bytes;
+    m.pressure_denials += samples_[i].pressure_denials;
+    samples_[w++] = m;
+  }
+  if (samples_.size() % 2 != 0) samples_[w++] = samples_.back();
+  samples_.resize(w);
+  interval_ *= 2;
+  ++compactions_;
+}
+
+void MetricsSampler::roll_to(sim::Time t) {
+  if (!started_) {
+    started_ = true;
+    // Align the first boundary past the first event so time 0 streams do
+    // not emit an empty leading sample.
+    next_ = (t / interval_ + 1) * interval_;
+    return;
+  }
+  if (t < next_) return;
+  push_sample(next_);
+  next_ += interval_;
+  if (t >= next_) {
+    // Idle gap: every skipped interval is identical (zero counters, carried
+    // gauges), so one flat sample at the last boundary before t says it all.
+    next_ += ((t - next_) / interval_) * interval_;
+    push_sample(next_);
+    next_ += interval_;
+  }
+}
+
+void MetricsSampler::on_event(const Event& e) {
+  roll_to(e.time);
+  dirty_ = true;
+  switch (e.kind) {
+    // Pin frontier gauge: every pin event carries the region's pinned page
+    // count in `offset` at emission time, so the gauge just mirrors it.
+    case EventKind::kPinStart:
+      pin_jobs_.insert(chain_key(e.node, e.ep, e.region));
+      [[fallthrough]];
+    case EventKind::kPinPages:
+    case EventKind::kPinShrink:
+    case EventKind::kPinInvalidate:
+    case EventKind::kPinShed:
+    case EventKind::kPinReset:
+    case EventKind::kPinUnpin: {
+      const std::uint64_t key = chain_key(e.node, e.ep, e.region);
+      std::uint64_t& f = frontiers_[key];
+      pinned_pages_ += e.offset - f;  // unsigned wrap cancels on shrink
+      f = e.offset;
+      break;
+    }
+    case EventKind::kPinDone:
+    case EventKind::kPinFail: {
+      const std::uint64_t key = chain_key(e.node, e.ep, e.region);
+      pin_jobs_.erase(key);
+      std::uint64_t& f = frontiers_[key];
+      pinned_pages_ += e.offset - f;
+      f = e.offset;
+      break;
+    }
+
+    case EventKind::kRndvPost:
+    case EventKind::kEagerPost:
+      sends_.insert(chain_key(e.node, e.ep, e.seq));
+      break;
+    case EventKind::kSendDone:
+    case EventKind::kSendAbort:
+      sends_.erase(chain_key(e.node, e.ep, e.seq));
+      break;
+
+    case EventKind::kPullStart:
+      pulls_.insert(chain_key(e.node, e.ep, e.seq));
+      break;
+    case EventKind::kRecvDone:
+    case EventKind::kRecvAbort:
+      pulls_.erase(chain_key(e.node, e.ep, e.seq));
+      break;
+
+    case EventKind::kOverlapMissSend:
+    case EventKind::kOverlapMissRecv:
+      ++overlap_misses_;
+      break;
+    case EventKind::kRetransmit:
+    case EventKind::kPullRetry:
+      ++retransmits_;
+      break;
+    case EventKind::kCopyIn:
+      copied_bytes_ += e.len;
+      break;
+    case EventKind::kPressureDeny:
+      ++pressure_denials_;
+      break;
+
+    default:
+      break;
+  }
+}
+
+void MetricsSampler::finalize() {
+  if (dirty_) {
+    push_sample(next_);
+    next_ += interval_;
+  }
+}
+
+std::string MetricsSampler::json() const {
+  std::string out = "{";
+  out += "\"interval_ns\":" + json_num(interval_);
+  out += ",\"compactions\":" +
+         json_num(static_cast<std::uint64_t>(compactions_));
+  out += ",\"count\":" + json_num(static_cast<std::uint64_t>(samples_.size()));
+  const auto column = [&](const char* name, auto get) {
+    out += ",\"";
+    out += name;
+    out += "\":[";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      if (i != 0) out += ",";
+      out += json_num(static_cast<std::uint64_t>(get(samples_[i])));
+    }
+    out += "]";
+  };
+  column("t_ns", [](const Sample& s) { return s.t; });
+  column("pinned_pages", [](const Sample& s) { return s.pinned_pages; });
+  column("inflight_pin_jobs",
+         [](const Sample& s) { return s.inflight_pin_jobs; });
+  column("open_sends", [](const Sample& s) { return s.open_sends; });
+  column("open_pulls", [](const Sample& s) { return s.open_pulls; });
+  column("overlap_misses", [](const Sample& s) { return s.overlap_misses; });
+  column("retransmits", [](const Sample& s) { return s.retransmits; });
+  column("copied_bytes", [](const Sample& s) { return s.copied_bytes; });
+  column("pressure_denials",
+         [](const Sample& s) { return s.pressure_denials; });
+  out += "}";
+  return out;
+}
+
+}  // namespace pinsim::obs

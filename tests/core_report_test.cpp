@@ -57,5 +57,32 @@ TEST(Report, FreshProcessReportsZeroes) {
   EXPECT_NE(report.find("misses=0"), std::string::npos);
 }
 
+TEST(Report, JsonCarriesHostAndCoreNames) {
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  Host::Config hc;
+  hc.name = "hostA";
+  Host a(eng, fabric, hc, pinning_cache_config());
+  auto& pa = a.spawn_process();
+  const std::string json = format_json_report(pa, a);
+  EXPECT_NE(json.find("\"host\":\"hostA\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"core\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"endpoint\":0"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesHostileHostName) {
+  // A host name with a quote and a backslash must not break the JSON —
+  // emission goes through the obs/json.hpp escaping authority.
+  sim::Engine eng;
+  net::Fabric fabric(eng);
+  Host::Config hc;
+  hc.name = "evil\"host\\name";
+  Host a(eng, fabric, hc, pinning_cache_config());
+  auto& pa = a.spawn_process();
+  const std::string json = format_json_report(pa, a);
+  EXPECT_NE(json.find("\"host\":\"evil\\\"host\\\\name\""), std::string::npos)
+      << json;
+}
+
 }  // namespace
 }  // namespace pinsim::core

@@ -1,0 +1,336 @@
+// Hand-crafted event streams against the critical-path analyzer: each
+// scenario encodes one way a message spends its time — a clean rendezvous,
+// an overlap-miss stall, a retransmit storm, a restarted pin job — and the
+// phase decomposition must sum exactly to the end-to-end latency while
+// blaming the right phase.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/critical_path.hpp"
+#include "obs/event.hpp"
+
+namespace pinsim::obs {
+namespace {
+
+constexpr std::uint32_t kSender = 1;
+constexpr std::uint32_t kReceiver = 2;
+constexpr std::uint8_t kEp = 0;
+constexpr std::uint32_t kSeq = 42;
+constexpr std::uint32_t kHandle = 7;
+constexpr std::uint32_t kRegion = 5;
+
+Event at(sim::Time t, EventKind kind) {
+  Event e;
+  e.time = t;
+  e.kind = kind;
+  return e;
+}
+
+// Sender-side events: emitted by (kSender, kEp), naming the chain via seq.
+Event sender_ev(sim::Time t, EventKind kind, std::uint32_t seq = kSeq) {
+  Event e = at(t, kind);
+  e.node = kSender;
+  e.ep = kEp;
+  e.seq = seq;
+  e.peer = kReceiver;
+  e.peer_ep = kEp;
+  return e;
+}
+
+// Receiver-side events: local handle in seq, sender chain in (peer,
+// peer_ep, offset) — exactly how endpoint.cpp emits them.
+Event recv_ev(sim::Time t, EventKind kind) {
+  Event e = at(t, kind);
+  e.node = kReceiver;
+  e.ep = kEp;
+  e.seq = kHandle;
+  e.offset = kSeq;
+  e.peer = kSender;
+  e.peer_ep = kEp;
+  return e;
+}
+
+Event pin_ev(sim::Time t, EventKind kind, std::uint32_t node = kSender) {
+  Event e = at(t, kind);
+  e.node = node;
+  e.ep = kEp;
+  e.region = kRegion;
+  return e;
+}
+
+sim::Time phase_sum(const CriticalPathAnalyzer::Breakdown& b) {
+  sim::Time sum = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) sum += b.phase_ns[i];
+  return sum;
+}
+
+TEST(CriticalPath, CleanRendezvousDecomposesAndSums) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(1000, EventKind::kRndvPost);
+  post.region = kRegion;
+  post.len = 1 << 20;
+  a.on_event(post);
+  // Sender pin job covers [1000, 3000] of the handshake.
+  a.on_event(pin_ev(1000, EventKind::kPinStart));
+  a.on_event(pin_ev(3000, EventKind::kPinDone));
+  a.on_event(recv_ev(5000, EventKind::kPullStart));
+  Event copy = recv_ev(6000, EventKind::kCopyIn);
+  copy.len = 4096;
+  a.on_event(copy);
+  a.on_event(recv_ev(9000, EventKind::kRecvDone));
+  a.on_event(sender_ev(10000, EventKind::kSendDone));
+  a.finalize();
+
+  ASSERT_EQ(a.completed_count(), 1u);
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(b.node, kSender);
+  EXPECT_EQ(b.seq, kSeq);
+  EXPECT_TRUE(b.rndv);
+  EXPECT_EQ(b.total(), 9000u);
+  EXPECT_EQ(phase_sum(b), b.total());
+  // Handshake [1000,5000] splits: 2000 ns pin-blocked, 2000 ns round trip.
+  EXPECT_EQ(b.phase(Phase::kSenderPin), 2000u);
+  EXPECT_EQ(b.phase(Phase::kHandshake), 2000u);
+  EXPECT_EQ(b.phase(Phase::kTransfer), 4000u);   // [5000,9000]
+  EXPECT_EQ(b.phase(Phase::kCompletion), 1000u);  // [9000,10000]
+  EXPECT_EQ(b.phase(Phase::kPinStall), 0u);
+  EXPECT_EQ(a.orphaned_count(), 0u);
+}
+
+TEST(CriticalPath, OverlapMissStallIsBlamedOnPinning) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(recv_ev(1000, EventKind::kPullStart));
+  // The pull outruns the receiver's pin frontier: stalled [2000, 7000],
+  // then a landed copy says bytes flow again.
+  a.on_event(recv_ev(2000, EventKind::kOverlapMissRecv));
+  Event copy = recv_ev(7000, EventKind::kCopyIn);
+  copy.len = 4096;
+  a.on_event(copy);
+  a.on_event(recv_ev(8000, EventKind::kRecvDone));
+  a.on_event(sender_ev(9000, EventKind::kSendDone));
+  a.finalize();
+
+  ASSERT_EQ(a.completed_count(), 1u);
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(phase_sum(b), b.total());
+  EXPECT_EQ(b.phase(Phase::kPinStall), 5000u);
+  EXPECT_EQ(b.overlap_misses, 1u);
+  EXPECT_EQ(b.dominant(), Phase::kPinStall);
+  EXPECT_NE(a.digest().find("pin_stall"), std::string::npos);
+}
+
+TEST(CriticalPath, SenderSideMissAlsoStalls) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(recv_ev(500, EventKind::kPullStart));
+  // Sender could not serve the pull from unpinned pages [1000, 4000];
+  // a served copy-out ends the stall.
+  a.on_event(sender_ev(1000, EventKind::kOverlapMissSend));
+  a.on_event(sender_ev(4000, EventKind::kCopyOut));
+  a.on_event(recv_ev(6000, EventKind::kRecvDone));
+  a.on_event(sender_ev(7000, EventKind::kSendDone));
+  a.finalize();
+
+  ASSERT_EQ(a.completed_count(), 1u);
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(phase_sum(b), b.total());
+  EXPECT_EQ(b.phase(Phase::kPinStall), 3000u);
+}
+
+TEST(CriticalPath, RetransmitStormSumsAndCounts) {
+  CriticalPathAnalyzer a;
+  a.on_event(sender_ev(0, EventKind::kEagerPost));
+  // Eager chain: opens directly in transfer, three timer fires.
+  for (int i = 1; i <= 3; ++i) {
+    Event r = sender_ev(static_cast<sim::Time>(i) * 1000,
+                        EventKind::kRetransmit);
+    r.offset = static_cast<std::uint64_t>(i);  // retry count
+    a.on_event(r);
+  }
+  a.on_event(sender_ev(10000, EventKind::kSendDone));
+  a.finalize();
+
+  ASSERT_EQ(a.completed_count(), 1u);
+  const auto& b = a.completed()[0];
+  EXPECT_FALSE(b.rndv);
+  EXPECT_EQ(b.retransmits, 3u);
+  EXPECT_EQ(phase_sum(b), b.total());
+  // Transfer [0,1000], then blamed on retransmission until completion.
+  EXPECT_EQ(b.phase(Phase::kTransfer), 1000u);
+  EXPECT_EQ(b.phase(Phase::kRetransmit), 9000u);
+  EXPECT_EQ(b.dominant(), Phase::kRetransmit);
+}
+
+TEST(CriticalPath, PullRetryBlamesRetransmitUntilProgress) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(recv_ev(1000, EventKind::kPullStart));
+  a.on_event(recv_ev(2000, EventKind::kPullRetry));
+  Event copy = recv_ev(5000, EventKind::kCopyIn);
+  copy.len = 4096;
+  a.on_event(copy);
+  a.on_event(recv_ev(6000, EventKind::kRecvDone));
+  a.on_event(sender_ev(7000, EventKind::kSendDone));
+  a.finalize();
+
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(b.pull_retries, 1u);
+  EXPECT_EQ(b.phase(Phase::kRetransmit), 3000u);
+  EXPECT_EQ(phase_sum(b), b.total());
+}
+
+TEST(CriticalPath, PinStallKeepsBlameOverRetransmit) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(recv_ev(1000, EventKind::kPullStart));
+  a.on_event(recv_ev(2000, EventKind::kOverlapMissRecv));
+  // A retry timer fires mid-stall: the unpinned page is the cause, the
+  // retransmission only the mechanism — blame stays on pin_stall.
+  a.on_event(recv_ev(3000, EventKind::kPullRetry));
+  Event copy = recv_ev(6000, EventKind::kCopyIn);
+  copy.len = 4096;
+  a.on_event(copy);
+  a.on_event(recv_ev(7000, EventKind::kRecvDone));
+  a.on_event(sender_ev(8000, EventKind::kSendDone));
+  a.finalize();
+
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(b.phase(Phase::kPinStall), 4000u);  // [2000,6000]
+  EXPECT_EQ(b.phase(Phase::kRetransmit), 0u);
+  EXPECT_EQ(phase_sum(b), b.total());
+}
+
+TEST(CriticalPath, RestartedPinJobIsCountedAndStillSums) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(pin_ev(0, EventKind::kPinStart));
+  // An MMU notifier restarts the job mid-pin; the span keeps running.
+  a.on_event(pin_ev(1000, EventKind::kPinRestart));
+  a.on_event(pin_ev(4000, EventKind::kPinDone));
+  a.on_event(recv_ev(5000, EventKind::kPullStart));
+  a.on_event(recv_ev(8000, EventKind::kRecvDone));
+  a.on_event(sender_ev(9000, EventKind::kSendDone));
+  a.finalize();
+
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(b.pin_restarts, 1u);
+  EXPECT_EQ(b.phase(Phase::kSenderPin), 4000u);
+  EXPECT_EQ(b.phase(Phase::kHandshake), 1000u);
+  EXPECT_EQ(phase_sum(b), b.total());
+}
+
+TEST(CriticalPath, PrePinnedRegionBlocksHandshakeFromStart) {
+  CriticalPathAnalyzer a;
+  // Pin job opened before the post (region reuse): the chain is pin-blocked
+  // from its very first nanosecond.
+  a.on_event(pin_ev(0, EventKind::kPinStart));
+  Event post = sender_ev(1000, EventKind::kRndvPost);
+  post.region = kRegion;
+  a.on_event(post);
+  a.on_event(pin_ev(2000, EventKind::kPinDone));
+  a.on_event(recv_ev(3000, EventKind::kPullStart));
+  a.on_event(recv_ev(4000, EventKind::kRecvDone));
+  a.on_event(sender_ev(5000, EventKind::kSendDone));
+  a.finalize();
+
+  const auto& b = a.completed()[0];
+  EXPECT_EQ(b.phase(Phase::kSenderPin), 1000u);  // [1000,2000]
+  EXPECT_EQ(b.phase(Phase::kHandshake), 1000u);  // [2000,3000]
+  EXPECT_EQ(phase_sum(b), b.total());
+}
+
+TEST(CriticalPath, AbortedChainExcludedFromAggregates) {
+  CriticalPathAnalyzer a;
+  a.on_event(sender_ev(0, EventKind::kEagerPost));
+  a.on_event(sender_ev(5000, EventKind::kSendAbort));
+  a.finalize();
+
+  EXPECT_EQ(a.completed_count(), 0u);
+  EXPECT_EQ(a.aborted_count(), 1u);
+  EXPECT_EQ(a.latency_total(), 0u);
+  EXPECT_TRUE(a.completed().empty());
+}
+
+TEST(CriticalPath, OrphanedChainsCountedAtFinalize) {
+  CriticalPathAnalyzer a;
+  a.on_event(sender_ev(0, EventKind::kEagerPost));
+  a.finalize();
+  EXPECT_EQ(a.orphaned_count(), 1u);
+  EXPECT_EQ(a.completed_count(), 0u);
+}
+
+TEST(CriticalPath, TopKKeepsSlowestSorted) {
+  CriticalPathAnalyzer a(/*max_records=*/2, /*top_k=*/2);
+  for (std::uint32_t s = 1; s <= 4; ++s) {
+    Event post = sender_ev(0, EventKind::kEagerPost, s);
+    a.on_event(post);
+    // Message s takes s*1000 ns.
+    a.on_event(sender_ev(s * 1000, EventKind::kSendDone, s));
+  }
+  a.finalize();
+
+  EXPECT_EQ(a.completed_count(), 4u);
+  EXPECT_EQ(a.completed().size(), 2u);   // record cap
+  EXPECT_EQ(a.dropped_records(), 2u);
+  ASSERT_EQ(a.slowest().size(), 2u);     // top-K stays exact past the cap
+  EXPECT_EQ(a.slowest()[0].seq, 4u);
+  EXPECT_EQ(a.slowest()[1].seq, 3u);
+  EXPECT_GE(a.slowest()[0].total(), a.slowest()[1].total());
+}
+
+TEST(CriticalPath, AggregateTotalsMatchPerMessage) {
+  CriticalPathAnalyzer a;
+  for (std::uint32_t s = 1; s <= 3; ++s) {
+    a.on_event(sender_ev(0, EventKind::kEagerPost, s));
+    a.on_event(sender_ev(s * 500, EventKind::kSendDone, s));
+  }
+  a.finalize();
+
+  sim::Time sum = 0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    sum += a.phase_total(static_cast<Phase>(i));
+  }
+  EXPECT_EQ(sum, a.latency_total());
+  EXPECT_EQ(a.latency_total(), 500u + 1000u + 1500u);
+}
+
+TEST(CriticalPath, JsonAndDigestAreWellFormedOnEmptyStream) {
+  CriticalPathAnalyzer a;
+  a.finalize();
+  const std::string j = a.json();
+  EXPECT_NE(j.find("\"completed\":0"), std::string::npos);
+  EXPECT_NE(j.find("\"messages\":[]"), std::string::npos);
+  EXPECT_NE(a.digest().find("0 completed"), std::string::npos);
+}
+
+TEST(CriticalPath, JsonCarriesPhaseBreakdown) {
+  CriticalPathAnalyzer a;
+  Event post = sender_ev(0, EventKind::kRndvPost);
+  post.region = kRegion;
+  post.len = 4096;
+  a.on_event(post);
+  a.on_event(recv_ev(1000, EventKind::kPullStart));
+  a.on_event(recv_ev(2000, EventKind::kRecvDone));
+  a.on_event(sender_ev(3000, EventKind::kSendDone));
+  a.finalize();
+
+  const std::string j = a.json();
+  EXPECT_NE(j.find("\"rndv_handshake\":1000"), std::string::npos);
+  EXPECT_NE(j.find("\"total_ns\":3000"), std::string::npos);
+  EXPECT_NE(j.find("\"dominant\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pinsim::obs
