@@ -3,21 +3,26 @@
 # preset (the memory-chaos acceptance bar is "bit-exact with zero sanitizer
 # findings"). Pass --soak to also run the full-length soak tier, --perf (or
 # PINSIM_PERF_TIER=1) to run the perf-regression gate against the committed
-# BENCH_seed.json baseline.
+# BENCH_seed.json baseline, --lint (or PINSIM_LINT_TIER=1) to run the
+# static-analysis tier (pinlint, plus clang-format/clang-tidy on changed
+# files when those tools exist).
 #
 #   scripts/ci.sh           # default + asan tiers
 #   scripts/ci.sh --soak    # ... plus the full chaos/pressure soaks
 #   scripts/ci.sh --perf    # ... plus the perf gate (needs python3)
+#   scripts/ci.sh --lint    # ... plus the static-analysis tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_soak=0
 run_perf="${PINSIM_PERF_TIER:-0}"
+run_lint="${PINSIM_LINT_TIER:-0}"
 for arg in "$@"; do
   case "$arg" in
     --soak) run_soak=1 ;;
     --perf) run_perf=1 ;;
-    *) echo "usage: $0 [--soak] [--perf]" >&2; exit 2 ;;
+    --lint) run_lint=1 ;;
+    *) echo "usage: $0 [--soak] [--perf] [--lint]" >&2; exit 2 ;;
   esac
 done
 
@@ -51,6 +56,63 @@ tier() {
     return 1
   fi
 }
+
+# Lint tier: the repo-native pinlint pass (determinism/protocol/counter
+# contracts, see tools/pinlint) over everything, then clang-format and
+# clang-tidy restricted to files changed since PINSIM_LINT_BASE (default:
+# the previous commit) — a full-tree clang pass would mass-touch code this
+# change never went near. Both clang tools degrade to a warning when the
+# toolchain does not ship them; pinlint is built from source and always runs.
+lint_tier() {
+  echo "=== tier: lint ==="
+  if [[ ! -d build ]]; then
+    cmake --preset default
+  fi
+  cmake --build --preset default -j "${jobs}" --target pinlint
+  if ! ./build/tools/pinlint/pinlint --root=. \
+      --baseline=tools/pinlint/baseline.txt \
+      --json=build/pinlint_report.json src bench tests; then
+    mkdir -p ci-artifacts/lint
+    cp build/pinlint_report.json ci-artifacts/lint/ 2>/dev/null || true
+    echo "=== tier lint FAILED; pinlint report archived in" \
+         "ci-artifacts/lint ===" >&2
+    return 1
+  fi
+
+  local base="${PINSIM_LINT_BASE:-HEAD~1}"
+  local changed=()
+  while IFS= read -r f; do
+    [[ "$f" == tools/pinlint/testdata/* ]] && continue  # fixtures are lint bait
+    [[ -f "$f" ]] && changed+=("$f")
+  done < <(git diff --name-only --diff-filter=ACMR "${base}" -- \
+             '*.cpp' '*.hpp' 2>/dev/null || true)
+
+  if command -v clang-format >/dev/null 2>&1; then
+    if [[ "${#changed[@]}" -gt 0 ]]; then
+      echo "lint tier: clang-format --dry-run on ${#changed[@]} changed file(s)"
+      clang-format --dry-run -Werror "${changed[@]}"
+    fi
+  else
+    echo "lint tier: clang-format not available, format check skipped" >&2
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    local tidy_files=()
+    for f in "${changed[@]}"; do
+      [[ "$f" == *.cpp ]] && tidy_files+=("$f")  # headers lack compile entries
+    done
+    if [[ -f build/compile_commands.json && "${#tidy_files[@]}" -gt 0 ]]; then
+      echo "lint tier: clang-tidy on ${#tidy_files[@]} changed file(s)"
+      clang-tidy -p build --quiet "${tidy_files[@]}"
+    fi
+  else
+    echo "lint tier: clang-tidy not available, tidy check skipped" >&2
+  fi
+}
+
+if [[ "${run_lint}" -eq 1 ]]; then
+  lint_tier
+fi
 
 tier default
 tier asan

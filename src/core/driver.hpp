@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 
 #include "core/config.hpp"
@@ -48,6 +49,8 @@ class Driver {
 
   /// Attaches a protocol tracer (nullptr detaches). The stack records
   /// packet, pinning and invalidation events into it; see sim/trace.hpp.
+  /// The tracer must outlive the driver (teardown still emits — cached
+  /// regions unpin during endpoint destruction) or be detached first.
   /// Internally this is one sink of the typed event relay — typed emission
   /// renders the same legacy strings (obs/legacy.hpp) so old tests hold.
   void set_tracer(sim::Tracer* t) noexcept {

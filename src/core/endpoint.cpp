@@ -49,17 +49,24 @@ Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
   notifier_ = std::move(notifier);
 
   pins_.set_failure_handler([this](Region& r) {
-    // Abort every in-flight request still using this region.
+    // Abort every in-flight request still using this region. The scans walk
+    // unordered maps, so sort the collected keys before acting: the abort
+    // packets (and their event emissions) must leave in seq order, not
+    // bucket order, for replays to be bit-exact.
     std::vector<std::uint32_t> dead_sends;
+    // pinlint: unordered-ok(keys collected then sorted below)
     for (auto& [seq, req] : sends_) {
       if (!req.eager && req.region == r.id()) dead_sends.push_back(seq);
     }
+    std::sort(dead_sends.begin(), dead_sends.end());
     for (std::uint32_t seq : dead_sends) fail_send(seq, /*send_abort=*/true);
 
     std::vector<std::uint32_t> dead_pulls;
+    // pinlint: unordered-ok(keys collected then sorted below)
     for (auto& [handle, ps] : pulls_) {
       if (ps->region == &r && !ps->done) dead_pulls.push_back(handle);
     }
+    std::sort(dead_pulls.begin(), dead_pulls.end());
     for (std::uint32_t handle : dead_pulls) {
       PullState& ps = *pulls_[handle];
       ++counters_.aborts;
@@ -84,13 +91,22 @@ Endpoint::~Endpoint() {
   // endpoint closed mid-transfer otherwise leaves retransmit timers and
   // queued bottom halves pointing at freed memory.
   alive_.reset();
+  // pinlint: unordered-ok(timer cancellation is commutative, no emission)
   for (auto& [seq, req] : sends_) driver_.engine().cancel(req.rto);
+  // pinlint: unordered-ok(timer cancellation is commutative, no emission)
   for (auto& [handle, ps] : pulls_) driver_.engine().cancel(ps->rto);
 
   // Regions still declared (an endpoint closed mid-transfer, or one driven
   // without a Library): cancel in-flight pin jobs and release their pins so
   // the pin manager never holds a pointer into the freed region table.
-  for (auto& [id, region] : regions_) pins_.unregister_region(*region);
+  // Unregistering emits unpin events, so process in ascending-id order
+  // rather than bucket order.
+  std::vector<RegionId> declared;
+  declared.reserve(regions_.size());
+  // pinlint: unordered-ok(keys collected then sorted below)
+  for (auto& [id, region] : regions_) declared.push_back(id);
+  std::sort(declared.begin(), declared.end());
+  for (RegionId id : declared) pins_.unregister_region(*regions_[id]);
   regions_.clear();
 
   // If the address space died first, its destructor already fired the
@@ -636,6 +652,7 @@ void Endpoint::on_rndv(net::NodeId src, std::uint8_t src_ep,
     ++counters_.duplicates_suppressed;  // stale duplicate
     return;
   }
+  // pinlint: unordered-ok(existence check; at most one pull matches a seq)
   for (const auto& [handle, ps] : pulls_) {
     if (ps->peer_node == src && ps->peer_ep == src_ep &&
         ps->sender_seq == body.seq) {
@@ -1229,7 +1246,9 @@ void Endpoint::on_notify_ack(const NotifyAckBody& body) {
 
 void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
                         const AbortBody& body) {
-  // Receiver side: the sender gave up on (src, seq).
+  // Receiver side: the sender gave up on (src, seq). At most one in-progress
+  // pull matches (on_rndv suppresses duplicates), so scan order cannot leak.
+  // pinlint: unordered-ok(at most one pull matches; acts on it and returns)
   for (auto& [handle, ps] : pulls_) {
     if (ps->peer_node == src && ps->peer_ep == src_ep &&
         ps->sender_seq == body.seq && !ps->done) {

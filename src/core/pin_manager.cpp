@@ -44,22 +44,37 @@ void PinManager::emit_invalidate(Region& r, std::size_t cut) {
   relay_->emit(e);
 }
 
-void PinManager::register_region(Region& r) { lru_[&r] = eng_.now(); }
+PinManager::Tracked& PinManager::track(Region& r) {
+  Tracked& t = tracked_[r.id()];
+  t.region = &r;
+  return t;
+}
+
+PinManager::Tracked* PinManager::find_alive(RegionId rid,
+                                            const Region* expected) {
+  auto it = tracked_.find(rid);
+  if (it == tracked_.end() || it->second.region != expected) return nullptr;
+  return &it->second;
+}
+
+void PinManager::register_region(Region& r) {
+  Tracked& t = track(r);
+  t.registered = true;
+  t.last_use = eng_.now();
+}
 
 void PinManager::unregister_region(Region& r) {
   // Cancel any in-flight pinning and release pins before forgetting it.
-  if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
-    ++it->second.generation;
-    it->second.active = false;
+  if (Tracked* t = find_alive(r.id(), &r); t != nullptr && t->job.active) {
+    ++t->job.generation;
+    t->job.active = false;
   }
   unpin(r);
-  jobs_.erase(&r);
-  lru_.erase(&r);
-  was_pinned_.erase(&r);
+  tracked_.erase(r.id());
 }
 
 void PinManager::touch(Region& r) {
-  if (auto it = lru_.find(&r); it != lru_.end()) it->second = eng_.now();
+  if (Tracked* t = find_alive(r.id(), &r)) t->last_use = eng_.now();
 }
 
 void PinManager::ensure_pinned(Region& r, Completion done) {
@@ -80,8 +95,8 @@ void PinManager::ensure_pinned(Region& r, bool overlapped, Completion done) {
   // repinned at next communication"): a past pin failure — memory pressure,
   // a then-invalid segment since remapped — must not poison the declaration.
   if (r.state() == Region::PinState::kFailed) {
-    auto it = jobs_.find(&r);
-    if (it == jobs_.end() || !it->second.active) {
+    Tracked* t = find_alive(r.id(), &r);
+    if (t == nullptr || !t->job.active) {
       r.set_state(Region::PinState::kUnpinned);
       ++counters_.pin_fail_resets;
       emit(obs::EventKind::kPinReset, r, "failed region retried");
@@ -91,7 +106,8 @@ void PinManager::ensure_pinned(Region& r, bool overlapped, Completion done) {
 }
 
 void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
-  PinJob& job = jobs_[&r];
+  Tracked& t = track(r);
+  PinJob& job = t.job;
 
   if (!wait_full) {
     // Overlapped: the communication proceeds once the synchronous pre-pin
@@ -120,7 +136,7 @@ void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
     job.retries = 0;
     job.inval_restarts = 0;
     ++counters_.pin_ops;
-    if (was_pinned_.count(&r) != 0 && was_pinned_[&r]) ++counters_.repins;
+    if (t.was_pinned) ++counters_.repins;
     r.set_state(Region::PinState::kPinning);
     emit(obs::EventKind::kPinStart, r, "pinning");
     schedule_chunk(r);
@@ -128,7 +144,7 @@ void PinManager::start_or_join(Region& r, bool wait_full, Completion done) {
 }
 
 void PinManager::schedule_chunk(Region& r) {
-  PinJob& job = jobs_[&r];
+  PinJob& job = track(r).job;
   assert(job.active);
   if (r.fully_pinned()) {
     finish(r, true);
@@ -165,12 +181,14 @@ void PinManager::schedule_chunk(Region& r) {
   }
 
   const std::uint64_t gen = job.generation;
-  core_.submit(cpu::Priority::kKernel, cost, [this, &r, gen, chunk] {
-    auto it = jobs_.find(&r);
-    if (it == jobs_.end() || !it->second.active ||
-        it->second.generation != gen) {
+  const RegionId rid = r.id();
+  core_.submit(cpu::Priority::kKernel, cost, [this, rid, rp = &r, gen,
+                                              chunk] {
+    Tracked* t = find_alive(rid, rp);
+    if (t == nullptr || !t->job.active || t->job.generation != gen) {
       return;  // invalidated or undeclared while the cost was accruing
     }
+    Region& r = *t->region;
     // The work time has been paid; take the page references now.
     std::vector<mem::FrameId> frames;
     frames.reserve(chunk);
@@ -223,7 +241,7 @@ void PinManager::schedule_chunk(Region& r) {
     // Any forward progress resets the budget: only a *stalled* frontier
     // counts against it, so sustained-but-survivable pressure cannot
     // starve a big region that pins a few pages per round.
-    if (!frames.empty()) it->second.retries = 0;
+    if (!frames.empty()) t->job.retries = 0;
     release_early_waiters(r, true);
     if (denied && frames.empty()) {
       retry_or_fail(r);
@@ -242,7 +260,7 @@ sim::Time PinManager::retry_backoff(int retries) const {
 }
 
 void PinManager::retry_or_fail(Region& r) {
-  PinJob& job = jobs_[&r];
+  PinJob& job = track(r).job;
   if (job.retries >= cfg_.pin_retry_budget) {
     ++counters_.pin_retry_exhausted;
     ++counters_.pin_failures;
@@ -255,19 +273,20 @@ void PinManager::retry_or_fail(Region& r) {
   const std::uint64_t gen = job.generation;
   emit(obs::EventKind::kPinRetry, r, "transient pin denial, backing off");
   std::weak_ptr<char> alive = alive_;
-  eng_.schedule_after(retry_backoff(job.retries), [this, &r, gen, alive] {
+  const RegionId rid = r.id();
+  eng_.schedule_after(retry_backoff(job.retries),
+                      [this, rid, rp = &r, gen, alive] {
     if (alive.expired()) return;  // the manager died while we slept
-    auto it = jobs_.find(&r);
-    if (it == jobs_.end() || !it->second.active ||
-        it->second.generation != gen) {
+    Tracked* t = find_alive(rid, rp);
+    if (t == nullptr || !t->job.active || t->job.generation != gen) {
       return;  // invalidated or undeclared during the backoff
     }
-    schedule_chunk(r);
+    schedule_chunk(*t->region);
   });
 }
 
 void PinManager::release_early_waiters(Region& r, bool ok) {
-  PinJob& job = jobs_[&r];
+  PinJob& job = track(r).job;
   if (job.early_waiters.empty()) return;
   if (ok && r.pinned_pages() < job.early_threshold && !r.fully_pinned()) {
     return;
@@ -278,10 +297,11 @@ void PinManager::release_early_waiters(Region& r, bool ok) {
 }
 
 void PinManager::finish(Region& r, bool ok) {
-  PinJob& job = jobs_[&r];
+  Tracked& t = track(r);
+  PinJob& job = t.job;
   job.active = false;
   ++job.generation;
-  was_pinned_[&r] = was_pinned_[&r] || ok;
+  t.was_pinned = t.was_pinned || ok;
   if (ok) {
     emit(obs::EventKind::kPinDone, r, "fully pinned");
   } else {
@@ -305,9 +325,9 @@ void PinManager::finish(Region& r, bool ok) {
 }
 
 void PinManager::unpin(Region& r) {
-  if (auto it = jobs_.find(&r); it != jobs_.end() && it->second.active) {
-    ++it->second.generation;
-    it->second.active = false;
+  if (Tracked* t = find_alive(r.id(), &r); t != nullptr && t->job.active) {
+    ++t->job.generation;
+    t->job.active = false;
   }
   do_unpin(r, counters_.unpin_ops);
 }
@@ -348,10 +368,20 @@ void PinManager::do_unpin_from(Region& r, std::size_t first_slot,
 }
 
 void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
-  for (auto& [region, last_use] : lru_) {
-    (void)last_use;
-    Region& r = *region;
-    if (!r.overlaps(start, end)) continue;
+  // Collect overlapping regions first, then process: a job that fails its
+  // restart budget runs the failure handler, which may unregister regions
+  // (erasing from tracked_) mid-walk. Processing in ascending-id order is
+  // part of the deterministic contract.
+  std::vector<std::pair<RegionId, Region*>> hits;
+  for (const auto& [rid, t] : tracked_) {
+    if (t.registered && t.region->overlaps(start, end)) {
+      hits.emplace_back(rid, t.region);
+    }
+  }
+  for (const auto& [rid, rp] : hits) {
+    Tracked* t = find_alive(rid, rp);
+    if (t == nullptr) continue;  // unregistered by an earlier iteration
+    Region& r = *t->region;
     ++counters_.notifier_invalidations;
 
     // Range-granular response, like a real MMU-notifier driver: only pins
@@ -367,9 +397,8 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
       continue;
     }
 
-    auto it = jobs_.find(&r);
-    const bool mid_pin = it != jobs_.end() && it->second.active;
-    if (mid_pin) ++it->second.generation;  // discard the chunk in flight
+    const bool mid_pin = t->job.active;
+    if (mid_pin) ++t->job.generation;  // discard the chunk in flight
     do_unpin_from(r, cut, counters_.unpin_ops);
     // Emitted post-truncation so sinks see the frontier the VM now relies
     // on; the invariant checker asserts it sits at or below the cut slot.
@@ -383,7 +412,7 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     // The restart budget bounds pathological storms — a job invalidated
     // over and over with no completion in between eventually fails cleanly
     // (the endpoint aborts) rather than live-locking the pin/unpin loop.
-    PinJob& job = it->second;
+    PinJob& job = t->job;
     if (job.inval_restarts >= cfg_.pin_retry_budget) {
       ++counters_.pin_retry_exhausted;
       ++counters_.pin_failures;
@@ -398,29 +427,31 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     const std::uint64_t gen = job.generation;
     std::weak_ptr<char> alive = alive_;
     eng_.schedule_after(retry_backoff(job.inval_restarts),
-                        [this, &r, gen, alive] {
+                        [this, rid, rp, gen, alive] {
       if (alive.expired()) return;  // the manager died during the backoff
-      auto jit = jobs_.find(&r);
-      if (jit == jobs_.end() || !jit->second.active ||
-          jit->second.generation != gen) {
+      Tracked* t2 = find_alive(rid, rp);
+      if (t2 == nullptr || !t2->job.active || t2->job.generation != gen) {
         return;  // invalidated again or undeclared during the backoff
       }
-      schedule_chunk(r);
+      schedule_chunk(*t2->region);
     });
   }
 }
 
 bool PinManager::shed_one_victim() {
+  // Ascending-id walk of the ordered map: a last_use tie deterministically
+  // picks the lowest region id (strict < keeps the first candidate).
   Region* victim = nullptr;
   sim::Time oldest = 0;
-  for (auto& [region, last_use] : lru_) {
+  for (const auto& [rid, t] : tracked_) {
+    (void)rid;
+    if (!t.registered) continue;
+    Region* region = t.region;
     if (region->use_count() != 0 || region->pinned_pages() == 0) continue;
-    if (auto it = jobs_.find(region); it != jobs_.end() && it->second.active) {
-      continue;
-    }
-    if (victim == nullptr || last_use < oldest) {
+    if (t.job.active) continue;
+    if (victim == nullptr || t.last_use < oldest) {
       victim = region;
-      oldest = last_use;
+      oldest = t.last_use;
     }
   }
   if (victim == nullptr) return false;  // nothing evictable

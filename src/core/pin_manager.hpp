@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -100,6 +101,29 @@ class PinManager {
     int inval_restarts = 0; // notifier invalidations absorbed by this job
   };
 
+  /// Everything the manager knows about one region, keyed by the region's
+  /// stable id in an *ordered* map: iteration order (notifier invalidation,
+  /// LRU shedding ties) is then part of the deterministic contract instead
+  /// of hash-of-pointer happenstance (pinlint D1/D2). The Region pointer is
+  /// re-validated against the tracked entry before any deref from a timer
+  /// callback, so a region destroyed during a backoff cannot be touched.
+  struct Tracked {
+    Region* region = nullptr;
+    sim::Time last_use = 0;
+    bool registered = false;  // register_region() called: visible to the
+                              // LRU shedder and the MMU-notifier path
+    bool was_pinned = false;  // pinned at least once (repin counting)
+    PinJob job;
+  };
+
+  /// The tracked entry for `r`, created on first use (a region pinned
+  /// without register_region() still needs job state, but stays invisible
+  /// to the LRU/notifier paths until registered).
+  Tracked& track(Region& r);
+  /// The entry for `rid` iff it still tracks the exact object `expected` —
+  /// the timer-callback guard (undeclare + id reuse cannot alias).
+  Tracked* find_alive(RegionId rid, const Region* expected);
+
   void start_or_join(Region& r, bool wait_full, Completion done);
   void schedule_chunk(Region& r);
   void retry_or_fail(Region& r);
@@ -118,9 +142,7 @@ class PinManager {
   const cpu::CpuModel& cpu_;
   PinningConfig cfg_;
   Counters& counters_;
-  std::unordered_map<Region*, sim::Time> lru_;     // tracked regions
-  std::unordered_map<Region*, PinJob> jobs_;
-  std::unordered_map<Region*, bool> was_pinned_;   // for repin counting
+  std::map<RegionId, Tracked> tracked_;
   std::function<void(Region&)> failure_handler_;
   const obs::Relay* relay_ = nullptr;
   std::uint32_t node_ = 0;

@@ -38,6 +38,9 @@ std::string format_report(Host::Process& p, Host& host) {
        static_cast<unsigned long long>(c.pulls_sent),
        static_cast<unsigned long long>(c.pull_replies_sent),
        static_cast<unsigned long long>(c.notifies_sent));
+  line(out, "  receive side: eager_done=%llu rndv_rx=%llu",
+       static_cast<unsigned long long>(c.eager_completed),
+       static_cast<unsigned long long>(c.rndv_received));
   line(out, "  reliability: rerequests=%llu timeouts=%llu dups=%llu "
             "aborts=%llu",
        static_cast<unsigned long long>(c.pull_rerequests),
@@ -45,16 +48,18 @@ std::string format_report(Host::Process& p, Host& host) {
        static_cast<unsigned long long>(c.duplicate_frames),
        static_cast<unsigned long long>(c.aborts));
   line(out, "  faults: corrupted=%llu checksum_drops=%llu dup_suppressed=%llu "
-            "retry_exhausted=%llu",
+            "retry_exhausted=%llu miss_drops=%llu",
        static_cast<unsigned long long>(c.frames_corrupted),
        static_cast<unsigned long long>(c.checksum_drops),
        static_cast<unsigned long long>(c.duplicates_suppressed),
-       static_cast<unsigned long long>(c.retry_exhausted));
-  line(out, "  pinning: ops=%llu pages=%llu unpins=%llu repins=%llu "
-            "failures=%llu",
+       static_cast<unsigned long long>(c.retry_exhausted),
+       static_cast<unsigned long long>(c.frames_dropped_on_miss));
+  line(out, "  pinning: ops=%llu pages=%llu unpins=%llu pages_unpinned=%llu "
+            "repins=%llu failures=%llu",
        static_cast<unsigned long long>(c.pin_ops),
        static_cast<unsigned long long>(c.pages_pinned),
        static_cast<unsigned long long>(c.unpin_ops),
+       static_cast<unsigned long long>(c.pages_unpinned),
        static_cast<unsigned long long>(c.repins),
        static_cast<unsigned long long>(c.pin_failures));
   line(out, "  invalidations: notifier=%llu pressure=%llu",
@@ -122,7 +127,9 @@ std::string format_json_report(Host::Process& p, Host& host) {
   str_field("host", host.config().name);
   str_field("core", p.core.name());
   field("eager_sent", c.eager_sent);
+  field("eager_completed", c.eager_completed);
   field("rndv_sent", c.rndv_sent);
+  field("rndv_received", c.rndv_received);
   field("pulls_sent", c.pulls_sent);
   field("pull_replies_sent", c.pull_replies_sent);
   field("notifies_sent", c.notifies_sent);
@@ -134,9 +141,11 @@ std::string format_json_report(Host::Process& p, Host& host) {
   field("checksum_drops", c.checksum_drops);
   field("duplicates_suppressed", c.duplicates_suppressed);
   field("retry_exhausted", c.retry_exhausted);
+  field("frames_dropped_on_miss", c.frames_dropped_on_miss);
   field("pin_ops", c.pin_ops);
   field("pages_pinned", c.pages_pinned);
   field("unpin_ops", c.unpin_ops);
+  field("pages_unpinned", c.pages_unpinned);
   field("repins", c.repins);
   field("pin_failures", c.pin_failures);
   field("notifier_invalidations", c.notifier_invalidations);

@@ -16,6 +16,7 @@ AddressSpace::AddressSpace(PhysicalMemory& pm, VirtAddr base, VirtAddr limit)
 
 AddressSpace::~AddressSpace() {
   for (MmuNotifier* n : notifiers_) n->release();
+  // pinlint: unordered-ok(frame unref is commutative, no emission)
   for (auto& [pidx, entry] : pages_) pm_.unref(entry.frame);
   pages_.clear();
 }
@@ -119,6 +120,7 @@ std::vector<std::pair<VirtAddr, std::size_t>> AddressSpace::vma_list() const {
 std::vector<VirtAddr> AddressSpace::resident_unpinned_pages() const {
   std::vector<VirtAddr> out;
   out.reserve(pages_.size());
+  // pinlint: unordered-ok(result sorted before returning)
   for (const auto& [pidx, entry] : pages_) {
     if (entry.pin_count == 0) out.push_back(page_addr(pidx));
   }

@@ -95,6 +95,7 @@ void CriticalPathAnalyzer::on_pin_event(const Event& e) {
   switch (e.kind) {
     case EventKind::kPinStart: {
       pins_open_.insert(pk);
+      // pinlint: unordered-ok(independent per-chain field updates, no emission)
       for (auto& [k, c] : open_) {
         if (c.in_handshake && !c.pin_open && c.rec.rndv &&
             c.rec.node == e.node && c.rec.ep == e.ep && c.region == e.region) {
@@ -107,6 +108,7 @@ void CriticalPathAnalyzer::on_pin_event(const Event& e) {
     case EventKind::kPinDone:
     case EventKind::kPinFail: {
       pins_open_.erase(pk);
+      // pinlint: unordered-ok(independent per-chain field updates, no emission)
       for (auto& [k, c] : open_) {
         if (c.pin_open && c.rec.node == e.node && c.rec.ep == e.ep &&
             c.region == e.region) {
@@ -117,6 +119,7 @@ void CriticalPathAnalyzer::on_pin_event(const Event& e) {
       break;
     }
     case EventKind::kPinRestart: {
+      // pinlint: unordered-ok(independent per-chain counter bumps, no emission)
       for (auto& [k, c] : open_) {
         if (c.rec.node == e.node && c.rec.ep == e.ep && c.region == e.region) {
           ++c.rec.pin_restarts;

@@ -1,5 +1,10 @@
 #include "obs/invariants.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "obs/legacy.hpp"
 
 namespace pinsim::obs {
@@ -157,14 +162,27 @@ void InvariantChecker::on_event(const Event& e) {
 }
 
 void InvariantChecker::finalize() {
-  for (const auto& [k, e] : open_sends_) {
-    (void)k;
+  // Violations land in report() text, so emit them in key order — bucket
+  // order would make the report differ between bit-identical runs.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(open_sends_.size());
+  // pinlint: unordered-ok(keys collected then sorted below)
+  for (const auto& [k, e] : open_sends_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t k : keys) {
+    const Event& e = open_sends_.at(k);
     violate(e, "orphaned rendezvous: send seq " + std::to_string(e.seq) +
                    " never completed or aborted");
   }
   open_sends_.clear();
-  for (const auto& [k, e] : open_pulls_) {
-    (void)k;
+
+  keys.clear();
+  keys.reserve(open_pulls_.size());
+  // pinlint: unordered-ok(keys collected then sorted below)
+  for (const auto& [k, e] : open_pulls_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t k : keys) {
+    const Event& e = open_pulls_.at(k);
     violate(e, "orphaned pull: handle " + std::to_string(e.seq) +
                    " never completed or aborted");
   }

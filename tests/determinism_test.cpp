@@ -1,0 +1,127 @@
+// Determinism regression: the simulator's whole observable surface — the
+// machine-readable run report benches write via bench::ObsRig (protocol
+// counters, latency histograms, critical-path attribution, sim-time metric
+// samples, invariant count) — must be byte-identical across two in-process
+// runs of the same seeded scenario. This is the executable form of the
+// determinism contract pinlint's D1/D2 rules enforce statically: any
+// hash-of-pointer iteration order or hidden wall-clock input that leaks
+// into scheduling or serialization shows up here as a diff.
+//
+// The scenario is deliberately hostile: a Figure-6-style PingPong under
+// memory pressure (injected pin failures, a tight pinned-page quota forcing
+// LRU shedding, and a notifier storm invalidating in-flight pins), because
+// the pressure paths — victim selection, range invalidation, retry backoff —
+// are exactly where unordered-container iteration used to leak.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mem/pressure.hpp"
+#include "sim/time.hpp"
+#include "workloads/imb.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+core::StackConfig hostile_stack() {
+  core::StackConfig stack = core::overlapped_cache_config();
+  // Short timers: the storm injects many faults and the paper's pessimistic
+  // 1 s timeouts would stretch the run for no extra coverage.
+  stack.protocol.retransmit_timeout = 300 * sim::kMicrosecond;
+  stack.protocol.retransmit_backoff_max = 10 * sim::kMillisecond;
+  stack.protocol.pull_retry_timeout = 300 * sim::kMicrosecond;
+  stack.pinning.pin_retry_backoff = 30 * sim::kMicrosecond;
+  stack.pinning.pin_retry_backoff_max = 2 * sim::kMillisecond;
+  stack.pinning.pin_retry_budget = 32;
+  return stack;
+}
+
+mem::PressurePlan storm_plan() {
+  mem::PressurePlan plan;
+  plan.pin_fail = 0.05;
+  plan.sweep = 0.5;
+  plan.sweep_pages = 8;
+  plan.migrate = 0.3;
+  plan.migrate_pages = 4;
+  plan.cow = 0.2;
+  plan.cow_pages = 2;
+  plan.storm_period = 50 * sim::kMicrosecond;
+  return plan;
+}
+
+/// One full instrumented run; returns the ObsRig's .report.json body.
+std::string run_once(std::uint64_t seed) {
+  bench::Cluster cluster(cpu::xeon_e5460(), hostile_stack(), /*nranks=*/2,
+                         /*with_ioat=*/false);
+  bench::ObsRig rig(cluster);
+
+  // Pressure rig: per-host injectors seeded from `seed`, a quota tight
+  // enough that the cached send region and the active receive region cannot
+  // both stay pinned (forcing shed_one_victim), and a notifier storm.
+  std::vector<std::unique_ptr<mem::PressureInjector>> injectors;
+  for (std::size_t h = 0; h < cluster.hosts.size(); ++h) {
+    auto inj = std::make_unique<mem::PressureInjector>(seed + h);
+    inj->set_plan(storm_plan());
+    cluster.hosts[h]->memory().set_pressure(inj.get());
+    cluster.hosts[h]->memory().set_pin_quota(160);
+    injectors.push_back(std::move(inj));
+  }
+  for (int r = 0; r < cluster.comm->size(); ++r) {
+    auto& p = cluster.comm->process(r);
+    injectors[static_cast<std::size_t>(r % 2)]->watch(&p.as);
+  }
+  for (auto& inj : injectors) inj->start_storm(cluster.eng);
+
+  workloads::ImbSuite::Config cfg;
+  cfg.iterations = 4;
+  workloads::ImbSuite imb(*cluster.comm, cfg);
+  (void)imb.pingpong(64 * 1024);
+  (void)imb.pingpong(512 * 1024);
+
+  for (std::size_t h = 0; h < injectors.size(); ++h) {
+    injectors[h]->stop_storm();
+    cluster.hosts[h]->memory().set_pressure(nullptr);
+    cluster.hosts[h]->memory().set_pin_quota(
+        std::numeric_limits<std::size_t>::max());
+  }
+  EXPECT_EQ(rig.finish(), 0) << "invariant violations in scenario run";
+  return rig.json_report();
+}
+
+TEST(Determinism, ReportIsByteIdenticalAcrossRuns) {
+  const std::string first = run_once(0xd5eed);
+  const std::string second = run_once(0xd5eed);
+  // EXPECT_EQ on the whole strings would dump two ~10 kB blobs on failure;
+  // locate the first diverging byte instead so the culprit field is legible.
+  if (first != second) {
+    std::size_t i = 0;
+    while (i < first.size() && i < second.size() && first[i] == second[i]) {
+      ++i;
+    }
+    const std::size_t from = i < 60 ? 0 : i - 60;
+    FAIL() << "reports diverge at byte " << i << ":\n  run 1: ..."
+           << first.substr(from, 120) << "\n  run 2: ..."
+           << second.substr(from, 120);
+  }
+  // A report that exercised nothing would pass vacuously; pin down that the
+  // hostile scenario actually hit the pressure machinery.
+  EXPECT_NE(first.find("\"notifier_invalidations\""), std::string::npos);
+  EXPECT_NE(first.find("\"rndv_sent\""), std::string::npos);
+}
+
+TEST(Determinism, DifferentSeedsStillSettleCleanly) {
+  // Not a bit-exactness claim — different storms take different paths — but
+  // every seed must finish with zero invariant violations and produce a
+  // well-formed report (run_once asserts both).
+  const std::string a = run_once(1);
+  const std::string b = run_once(2);
+  EXPECT_FALSE(a.empty());
+  EXPECT_FALSE(b.empty());
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Drives the pinlint binary (built by tools/pinlint) over the fixture
+// snippets in tools/pinlint/testdata: each rule D1-D6 must fire on its
+// violation fixture with the exact rule id, the annotated fixtures must
+// scan clean, and the baseline must suppress listed diagnostics while
+// rejecting stale entries. PINLINT_BIN and PINLINT_TESTDATA come from the
+// build (tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run_pinlint(const std::string& args) {
+  const std::string cmd = std::string(PINLINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return r;
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    r.output.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(PINLINT_TESTDATA) + "/" + name;
+}
+
+int count_hits(const std::string& output, const std::string& needle) {
+  int count = 0;
+  for (std::size_t at = output.find(needle); at != std::string::npos;
+       at = output.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Pinlint, D1FlagsEveryNondeterminismSource) {
+  const auto r = run_pinlint("--root=" + fixture("d1") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D1: "), 7) << r.output;
+  EXPECT_NE(r.output.find("'random_device'"), std::string::npos);
+  // rand() appears twice: assignment context and `return rand();`.
+  EXPECT_EQ(count_hits(r.output, "'rand()'"), 2) << r.output;
+  EXPECT_NE(r.output.find("'time()'"), std::string::npos);
+  EXPECT_NE(r.output.find("std::hash over a pointer type"), std::string::npos);
+  EXPECT_NE(r.output.find("pointer-keyed unordered_map"), std::string::npos);
+  // pinlint: allow(D1: assertion quotes the rule's own pattern)
+  EXPECT_NE(r.output.find("\"%p\""), std::string::npos);
+  // Diagnostics carry file:line: rule: message, in file/line order.
+  EXPECT_NE(r.output.find("src/bad_random.cpp:10: D1: "), std::string::npos);
+}
+
+TEST(Pinlint, D2FlagsUnorderedIterationThroughThePairedHeader) {
+  const auto r = run_pinlint("--root=" + fixture("d2") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D2: "), 2) << r.output;
+  // Both sites name the container declared in table.hpp, proving the
+  // paired-header lookup works.
+  EXPECT_EQ(count_hits(r.output, "unordered container 'cells'"), 2)
+      << r.output;
+}
+
+TEST(Pinlint, D2AnnotatedLoopsScanClean) {
+  const auto r = run_pinlint("--root=" + fixture("d2_clean") + " src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos);
+}
+
+TEST(Pinlint, D3FlagsRawAllocationButNotTheSimulatorIdioms) {
+  const auto r = run_pinlint("--root=" + fixture("d3") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D3: "), 4) << r.output;
+  EXPECT_NE(r.output.find("raw 'new'"), std::string::npos);
+  EXPECT_NE(r.output.find("raw 'delete'"), std::string::npos);
+  EXPECT_NE(r.output.find("raw 'malloc()'"), std::string::npos);
+  EXPECT_NE(r.output.find("raw 'free()'"), std::string::npos);
+  // The `// pinlint: allow(D3: ...)` call, the member call heap.malloc(),
+  // the declaration `void* malloc(...)` and `= delete` must not fire:
+  // exactly the 4 raw sites above and nothing else.
+}
+
+TEST(Pinlint, D4CrossChecksCountersAgainstIncrementsAndReport) {
+  const auto r = run_pinlint("--root=" + fixture("d4") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D4: "), 3) << r.output;
+  EXPECT_NE(r.output.find("'never_incremented' is declared but never "
+                          "incremented"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("'never_serialized' is declared but not "
+                          "serialized"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("reads 'c.bogus_counter' which is not a Counters "
+                          "member"),
+            std::string::npos);
+  // pin_ops is incremented and serialized: must not appear at all.
+  EXPECT_EQ(r.output.find("'pin_ops'"), std::string::npos) << r.output;
+}
+
+TEST(Pinlint, D5FlagsUnrenderedKindsAndNonExhaustiveSwitches) {
+  const auto r = run_pinlint("--root=" + fixture("d5") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D5: "), 2) << r.output;
+  EXPECT_NE(r.output.find("EventKind::kC is never rendered"),
+            std::string::npos);
+  EXPECT_NE(
+      r.output.find("no default and does not handle EventKind::kC"),
+      std::string::npos);
+  // kA/kB are rendered and handled: no diagnostic may mention them.
+  EXPECT_EQ(r.output.find("kA"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("kB"), std::string::npos) << r.output;
+}
+
+TEST(Pinlint, D6FlagsHeaderHygiene) {
+  const auto r = run_pinlint("--root=" + fixture("d6") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D6: "), 3) << r.output;
+  EXPECT_NE(r.output.find("missing '#pragma once'"), std::string::npos);
+  EXPECT_NE(r.output.find("'using namespace' in a header"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("uses std::vector but does not include <vector>"),
+            std::string::npos);
+}
+
+TEST(Pinlint, CleanFixtureExitsZero) {
+  const auto r = run_pinlint("--root=" + fixture("clean") + " src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean (2 files)"), std::string::npos) << r.output;
+}
+
+TEST(Pinlint, BaselineSuppressesListedDiagnostics) {
+  const auto r = run_pinlint("--root=" + fixture("d1") + " --baseline=" +
+                             fixture("baselines/suppress_d1.txt") + " src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D1: "), 0) << r.output;
+}
+
+TEST(Pinlint, StaleBaselineEntriesAreErrors) {
+  // A clean tree with a baseline entry matching nothing: the entry must be
+  // reported and fail the run — this is what makes the file shrink-only.
+  const auto r = run_pinlint("--root=" + fixture("clean") + " --baseline=" +
+                             fixture("baselines/stale.txt") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("stale-baseline"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("src/nothing_here.cpp:D1"), std::string::npos);
+}
+
+TEST(Pinlint, JsonReportCarriesEveryDiagnostic) {
+  const std::string json = testing::TempDir() + "pinlint_d1.json";
+  const auto r = run_pinlint("--root=" + fixture("d1") + " --json=" + json +
+                             " --quiet src");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.output.empty()) << "--quiet must silence stdout: "
+                                << r.output;
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good()) << "missing JSON report " << json;
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::string j = body.str();
+  EXPECT_NE(j.find("\"count\":7"), std::string::npos) << j;
+  EXPECT_EQ(count_hits(j, "\"rule\":\"D1\""), 7) << j;
+  EXPECT_NE(j.find("\"file\":\"src/bad_random.cpp\""), std::string::npos);
+  EXPECT_NE(j.find("\"stale_baseline\":[]"), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(Pinlint, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_pinlint("").exit_code, 2);  // no paths
+  EXPECT_EQ(run_pinlint("--bogus-flag src").exit_code, 2);
+  EXPECT_EQ(run_pinlint("--root=" + fixture("d1") + " no/such/dir").exit_code,
+            2);
+}
+
+}  // namespace

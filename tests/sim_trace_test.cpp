@@ -118,13 +118,15 @@ TEST(Tracer, TracedTransferShowsTheFigure5Order) {
   net::Fabric fabric(eng);
   core::Host::Config hc;
   hc.memory_frames = 16384;
+  // Tracers before the hosts: they must outlive the drivers, whose teardown
+  // (region-cache eviction unpinning cached regions) still emits into them.
+  sim::Tracer sender_trace(eng);
+  sim::Tracer receiver_trace(eng);
   core::Host a(eng, fabric, hc, core::overlapped_cache_config());
   core::Host b(eng, fabric, hc, core::overlapped_cache_config());
   auto& pa = a.spawn_process();
   auto& pb = b.spawn_process();
 
-  sim::Tracer sender_trace(eng);
-  sim::Tracer receiver_trace(eng);
   a.driver().set_tracer(&sender_trace);
   b.driver().set_tracer(&receiver_trace);
 
@@ -179,11 +181,11 @@ TEST(Tracer, OverlapBlockingOnlyRestrictsOverlapToBlockingRequests) {
   net::Fabric fabric(eng);
   core::Host::Config hc;
   hc.memory_frames = 16384;
+  sim::Tracer tracer(eng);  // outlives the hosts (teardown emits)
   core::Host a(eng, fabric, hc, stack);
   core::Host b(eng, fabric, hc, stack);
   auto& pa = a.spawn_process();
   auto& pb = b.spawn_process();
-  sim::Tracer tracer(eng);
   a.driver().set_tracer(&tracer);
 
   const std::size_t len = 1024 * 1024;

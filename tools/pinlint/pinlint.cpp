@@ -1,0 +1,1110 @@
+// pinlint — repo-native static analysis for the pinsim simulator.
+//
+// Every number this reproduction publishes (Goglin Tables 1/2, the fig6/fig7
+// curves, the perf gate against BENCH_seed.json) assumes the simulator is
+// bit-exact under a fixed seed. The compiler cannot enforce that contract,
+// so this tool does. It is deliberately token/AST-lite — no libclang, no
+// external dependencies, C++17 only — because it must build everywhere the
+// simulator builds and run in the default CI loop.
+//
+// Rule pack (see DESIGN.md "Determinism contract & static checks"):
+//   D1  no nondeterminism sources outside sim/random: std::random_device,
+//       rand()/srand(), wall clocks (system_clock/steady_clock/time()),
+//       pointer-value hashing (std::hash<T*>, pointer-keyed unordered
+//       containers) and pointer printing ("%p").
+//   D2  no iteration (range-for or .begin()) over unordered_map /
+//       unordered_set: bucket order is hash- and pointer-dependent and leaks
+//       into event scheduling and report text. Annotate provably commutative
+//       loops with `// pinlint: unordered-ok(<reason>)`.
+//   D3  no raw new/delete/malloc/free outside mem/malloc_sim — simulated
+//       process heaps go through MallocSim, host-side ownership through
+//       standard containers and smart pointers.
+//   D4  counter consistency: every Counters member in core/counters.hpp must
+//       be incremented somewhere under src/ and serialized by
+//       core/report.cpp (and only declared counters may be serialized).
+//   D5  obs::Event kind exhaustiveness: every EventKind enumerator must be
+//       rendered by obs/legacy.cpp (the single formatting authority), and
+//       every switch over EventKind anywhere must be exhaustive or carry a
+//       default label.
+//   D6  header hygiene: #pragma once, no `using namespace` in headers, and
+//       include-self-sufficiency spot checks for common std:: types.
+//
+// Suppressions:
+//   inline   `// pinlint: unordered-ok(<reason>)`  (D2, same or previous line)
+//            `// pinlint: allow(D3: <reason>)`     (any rule)
+//   baseline tools/pinlint/baseline.txt — `path:rule` entries; every entry
+//            must still match something (stale entries are an error), so the
+//            baseline can only shrink.
+//
+// Output: `file:line: rule: message` on stdout, optional JSON report
+// (--json=FILE). Exit 0 clean, 1 violations/stale baseline, 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- diagnostics -----------------------------------------------------------
+
+struct Diag {
+  std::string file;  // path relative to the scan root
+  int line = 0;
+  std::string rule;  // "D1".."D6"
+  std::string msg;
+};
+
+// --- tokenizer -------------------------------------------------------------
+
+enum class Tok : std::uint8_t { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+struct SourceFile {
+  fs::path path;        // as opened
+  std::string rel;      // relative to root, '/'-separated
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;     // line -> comment text on it
+  std::set<std::string> includes;          // <...> and "..." include targets
+  std::vector<std::pair<int, std::string>> strings;  // line, literal body
+  bool pragma_once = false;
+  bool is_header = false;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Tokenizes `text`. Comments land in `comments` (for annotation lookup),
+// string literal bodies in `strings` (for "%p" detection), preprocessor
+// lines are parsed just enough to harvest includes and #pragma once.
+void tokenize(const std::string& text, SourceFile& out) {
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto record_comment = [&](int ln, const std::string& body) {
+    auto& slot = out.comments[ln];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: harvest includes / pragma once, skip the rest
+    // (honoring backslash continuations).
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && ident_char(text[k])) ++k;
+      const std::string directive = text.substr(j, k - j);
+      std::size_t end = i;
+      while (end < n && text[end] != '\n') {
+        if (text[end] == '\\' && end + 1 < n && text[end + 1] == '\n') {
+          ++line;
+          end += 2;
+          continue;
+        }
+        ++end;
+      }
+      const std::string rest = text.substr(k, end - k);
+      if (directive == "include") {
+        const auto lt = rest.find_first_of("<\"");
+        if (lt != std::string::npos) {
+          const char close = rest[lt] == '<' ? '>' : '"';
+          const auto gt = rest.find(close, lt + 1);
+          if (gt != std::string::npos) {
+            out.includes.insert(rest.substr(lt + 1, gt - lt - 1));
+          }
+        }
+      } else if (directive == "pragma" &&
+                 rest.find("once") != std::string::npos) {
+        out.pragma_once = true;
+      }
+      i = end;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = i + 2;
+      while (end < n && text[end] != '\n') ++end;
+      record_comment(line, text.substr(i + 2, end - i - 2));
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t end = i + 2;
+      int start_line = line;
+      while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/')) {
+        if (text[end] == '\n') ++line;
+        ++end;
+      }
+      record_comment(start_line, text.substr(i + 2, end - i - 2));
+      i = end + 2 > n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      const auto end = text.find(close, j);
+      const std::size_t stop = end == std::string::npos ? n : end + close.size();
+      const std::string body =
+          text.substr(j + 1, (end == std::string::npos ? n : end) - j - 1);
+      out.strings.emplace_back(line, body);
+      out.tokens.push_back({Tok::kString, body, line});
+      for (std::size_t p = i; p < stop; ++p) {
+        if (text[p] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') ++line;  // unterminated; be permissive
+        body += text[j++];
+      }
+      out.strings.emplace_back(line, body);
+      out.tokens.push_back(
+          {quote == '"' ? Tok::kString : Tok::kChar, body, line});
+      i = j + 1 > n ? n : j + 1;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Numbers (good enough: digits + ident chars + '.' + quote separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       text[j] == '\'')) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: greedily join the few multi-char operators we care about.
+    static const char* kTwo[] = {"::", "++", "--", "+=", "-=", "->", "<<",
+                                 ">>", "==", "!=", "<=", ">=", "&&", "||"};
+    std::string p(1, c);
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      for (const char* t : kTwo) {
+        if (two == t) {
+          p = two;
+          break;
+        }
+      }
+    }
+    out.tokens.push_back({Tok::kPunct, p, line});
+    i += p.size();
+  }
+}
+
+// --- suppression helpers ---------------------------------------------------
+
+// True if `line` (or the line above) carries a pinlint annotation that
+// suppresses `rule`. D2 additionally honors the dedicated
+// `unordered-ok(<reason>)` spelling; every rule honors
+// `allow(Dk: <reason>)`. A reason is mandatory — an empty `()` is ignored.
+bool inline_suppressed(const SourceFile& f, const std::string& rule,
+                       int line) {
+  for (int ln : {line, line - 1}) {
+    const auto it = f.comments.find(ln);
+    if (it == f.comments.end()) continue;
+    const std::string& c = it->second;
+    const auto tag = c.find("pinlint:");
+    if (tag == std::string::npos) continue;
+    const std::string body = c.substr(tag + 8);
+    if (rule == "D2") {
+      const auto ok = body.find("unordered-ok(");
+      if (ok != std::string::npos) {
+        const auto close = body.find(')', ok + 13);
+        if (close != std::string::npos && close > ok + 13) return true;
+      }
+    }
+    const auto allow = body.find("allow(");
+    if (allow != std::string::npos && body.find(rule, allow) != std::string::npos) {
+      const auto close = body.find(')', allow);
+      if (close != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+// --- linter ----------------------------------------------------------------
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  bool load_paths(const std::vector<std::string>& paths);
+  void run();
+
+  std::vector<Diag>& diags() { return diags_; }
+  std::size_t files_scanned() const { return files_.size(); }
+
+ private:
+  SourceFile* find_rel(const std::string& rel);
+  void add(const SourceFile& f, int line, const char* rule, std::string msg);
+  bool load_file(const fs::path& p);
+
+  void check_d1(const SourceFile& f);
+  void check_d2(const SourceFile& f);
+  void check_d3(const SourceFile& f);
+  void check_d4();
+  void check_d5();
+  void check_d6(const SourceFile& f);
+
+  std::set<std::string> unordered_names(const SourceFile& f) const;
+
+  fs::path root_;
+  std::vector<SourceFile> files_;
+  std::vector<Diag> diags_;
+};
+
+bool is_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".cpp" || e == ".cc" || e == ".cxx" || e == ".hpp" ||
+         e == ".h" || e == ".hh";
+}
+
+bool Linter::load_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "pinlint: cannot read %s\n", p.string().c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  SourceFile f;
+  f.path = p;
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root_, ec);
+  f.rel = (ec ? p : rel).generic_string();
+  const std::string ext = p.extension().string();
+  f.is_header = ext == ".hpp" || ext == ".h" || ext == ".hh";
+  tokenize(ss.str(), f);
+  files_.push_back(std::move(f));
+  return true;
+}
+
+bool Linter::load_paths(const std::vector<std::string>& paths) {
+  std::set<std::string> seen;
+  bool ok = true;
+  for (const std::string& raw : paths) {
+    fs::path p = fs::path(raw).is_absolute() ? fs::path(raw) : root_ / raw;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> found;
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && is_source_ext(it->path())) {
+          found.push_back(it->path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      for (const auto& q : found) {
+        if (seen.insert(q.generic_string()).second && !load_file(q)) ok = false;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      if (seen.insert(p.generic_string()).second && !load_file(p)) ok = false;
+    } else {
+      std::fprintf(stderr, "pinlint: no such file or directory: %s\n",
+                   raw.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+SourceFile* Linter::find_rel(const std::string& rel) {
+  for (auto& f : files_) {
+    if (f.rel == rel) return &f;
+  }
+  // Not among the scan paths: load it on demand so the cross-file rules
+  // (D4/D5) work even when the caller scans a subset.
+  const fs::path p = root_ / rel;
+  std::error_code ec;
+  if (!fs::is_regular_file(p, ec)) return nullptr;
+  if (!load_file(p)) return nullptr;
+  return &files_.back();
+}
+
+void Linter::add(const SourceFile& f, int line, const char* rule,
+                 std::string msg) {
+  if (inline_suppressed(f, rule, line)) return;
+  diags_.push_back({f.rel, line, rule, std::move(msg)});
+}
+
+// --- D1: nondeterminism sources --------------------------------------------
+
+void Linter::check_d1(const SourceFile& f) {
+  if (f.rel.find("sim/random") != std::string::npos) return;
+  const auto& t = f.tokens;
+
+  auto prev_is = [&](std::size_t i, const char* s) {
+    return i > 0 && t[i - 1].text == s;
+  };
+  auto member_access = [&](std::size_t i) {
+    return prev_is(i, ".") || prev_is(i, "->");
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+
+    // Banned identifiers wherever they appear (std:: or not).
+    if (s == "random_device" || s == "system_clock" || s == "steady_clock" ||
+        s == "high_resolution_clock" || s == "gettimeofday" ||
+        s == "clock_gettime" || s == "timespec_get" || s == "getrandom") {
+      add(f, t[i].line, "D1",
+          "nondeterminism source '" + s +
+              "' — all randomness/time must come from sim::Rng / sim::Time");
+      continue;
+    }
+
+    // Banned only as a free-function call: rand(), srand(), time(),
+    // clock(), drand48(). Member access (e.time, h.clock()) and
+    // declarations (`VirtAddr time(...)`) stay legal. An identifier before
+    // the name usually means a declaration's return type — but `return` /
+    // `co_return` / `case` are call contexts, not types.
+    if ((s == "rand" || s == "srand" || s == "time" || s == "clock" ||
+         s == "drand48" || s == "random") &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      if (!member_access(i) &&
+          (i == 0 || t[i - 1].kind == Tok::kPunct || prev_is(i, "return") ||
+           prev_is(i, "co_return") || prev_is(i, "case")) &&
+          !prev_is(i, "::")) {
+        add(f, t[i].line, "D1",
+            "call to '" + s +
+                "()' — wall-clock/libc randomness breaks seeded replay; use "
+                "sim::Rng or the engine's virtual time");
+      }
+      continue;
+    }
+
+    // Pointer-value hashing: std::hash<T*> and pointer-keyed unordered
+    // containers. Pointer values differ across runs (ASLR, allocation
+    // order), so any ordering derived from them is nondeterministic.
+    if (s == "hash" && i + 1 < t.size() && t[i + 1].text == "<") {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size() && j < i + 32; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") {
+          if (--depth == 0) break;
+        }
+        if (t[j].text == "*" && depth == 1) {
+          add(f, t[i].line, "D1",
+              "std::hash over a pointer type — pointer values are not stable "
+              "across runs");
+          break;
+        }
+      }
+      continue;
+    }
+    if ((s == "unordered_map" || s == "unordered_set") && i + 1 < t.size() &&
+        t[i + 1].text == "<") {
+      // Flag a pointer first template argument (the key type).
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "<" || t[j].text == "(") ++depth;
+        if (t[j].text == ">" || t[j].text == ")") {
+          if (--depth == 0) break;
+        }
+        if (depth == 1 && t[j].text == ",") break;  // end of key type
+        if (depth == 1 && t[j].text == "*") {
+          add(f, t[i].line, "D1",
+              "pointer-keyed " + s +
+                  " — bucket placement depends on the pointer value; key by "
+                  "a stable id instead");
+          break;
+        }
+      }
+      continue;
+    }
+  }
+
+  // Pointer printing: "%p" in a format string renders an address.
+  for (const auto& [line, body] : f.strings) {
+    if (body.find("%p") != std::string::npos) {
+      // Re-check suppression against the literal's line.
+      add(f, line, "D1",
+          "format string prints a pointer value (\"%p\") — addresses differ "
+          "across runs");
+    }
+  }
+}
+
+// --- D2: unordered iteration -----------------------------------------------
+
+// Names declared (in this file) as unordered containers: direct
+// declarations, references/pointers, and declarations through a local
+// `using Alias = std::unordered_map<...>`.
+std::set<std::string> Linter::unordered_names(const SourceFile& f) const {
+  std::set<std::string> names;
+  std::set<std::string> aliases;
+  const auto& t = f.tokens;
+
+  auto harvest_after_template = [&](std::size_t i) -> std::size_t {
+    // t[i] is `unordered_map`/`unordered_set` (or an alias, with no template
+    // args). Skip <...> if present, then any of `& * const`, then take the
+    // identifier if one follows.
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">>") {  // e.g. map<K, set<V>>
+          depth -= 2;
+          if (depth <= 0) { ++j; break; }
+        } else if (t[j].text == ">") {
+          if (--depth == 0) { ++j; break; }
+        }
+      }
+    }
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Tok::kIdent) names.insert(t[j].text);
+    return j;
+  };
+
+  // Pass 1: aliases (`using X = std::unordered_map<...>;`).
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].kind == Tok::kIdent &&
+        t[i + 2].text == "=") {
+      for (std::size_t j = i + 3; j < t.size() && j < i + 8; ++j) {
+        if (t[j].text == ";") break;
+        if (t[j].text == "unordered_map" || t[j].text == "unordered_set") {
+          aliases.insert(t[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+  // Pass 2: declarations.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    if (t[i].text == "unordered_map" || t[i].text == "unordered_set" ||
+        aliases.count(t[i].text) != 0) {
+      harvest_after_template(i);
+    }
+  }
+  return names;
+}
+
+void Linter::check_d2(const SourceFile& f) {
+  std::set<std::string> names = unordered_names(f);
+  // A .cpp also sees the unordered members of its paired header (the
+  // overwhelmingly common pattern: declared in x.hpp, iterated in x.cpp).
+  if (!f.is_header) {
+    for (const char* ext : {".hpp", ".h"}) {
+      fs::path header = f.path;
+      header.replace_extension(ext);
+      std::error_code ec;
+      if (!fs::is_regular_file(header, ec)) continue;
+      const fs::path relp = fs::relative(header, root_, ec);
+      SourceFile* hf = find_rel((ec ? header : relp).generic_string());
+      if (hf != nullptr) {
+        const auto hn = unordered_names(*hf);
+        names.insert(hn.begin(), hn.end());
+      }
+    }
+  }
+  if (names.empty()) return;
+
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for: `for ( decl : expr )` — find the ':' at paren depth 1,
+    // then the iterated expression's trailing identifier.
+    if (t[i].text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++depth;
+        else if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") {
+          if (--depth == 0) { close = j; break; }
+        } else if (t[j].text == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon == 0 || close == 0) continue;
+      // Trailing identifier of the range expression, ignoring a trailing
+      // `()` call and member chains: the name actually being iterated.
+      std::size_t j = close - 1;
+      while (j > colon && (t[j].text == ")" || t[j].text == "(")) --j;
+      if (t[j].kind == Tok::kIdent && names.count(t[j].text) != 0) {
+        add(f, t[i].line, "D2",
+            "iteration over unordered container '" + t[j].text +
+                "' — bucket order can leak into sim state or output; sort "
+                "the keys (or use an ordered map), or annotate the loop "
+                "`// pinlint: unordered-ok(<why order cannot matter>)`");
+      }
+      continue;
+    }
+    // Iterator walk: `name.begin()` for an unordered name. find()/erase()
+    // by key are fine; begin() means traversal.
+    if (t[i].text == "begin" && i >= 2 && t[i - 1].text == "." &&
+        t[i - 2].kind == Tok::kIdent && names.count(t[i - 2].text) != 0 &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      add(f, t[i].line, "D2",
+          "iterator traversal of unordered container '" + t[i - 2].text +
+              "' — bucket order can leak into sim state or output; sort the "
+              "keys first or annotate "
+              "`// pinlint: unordered-ok(<why order cannot matter>)`");
+    }
+  }
+}
+
+// --- D3: raw allocation ----------------------------------------------------
+
+void Linter::check_d3(const SourceFile& f) {
+  if (f.rel.find("mem/malloc_sim") != std::string::npos) return;
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (s == "new" || s == "delete") {
+      // `= delete`, `delete[]` of... any use of the keywords is raw memory
+      // management except deleted functions (`= delete`) and
+      // `operator new/delete` declarations.
+      if (i > 0 && t[i - 1].text == "=") continue;        // = delete / = new?
+      if (i > 0 && t[i - 1].text == "operator") continue; // operator new decl
+      add(f, t[i].line, "D3",
+          "raw '" + s +
+              "' — simulated heaps go through mem::MallocSim; host-side "
+              "ownership through std containers/smart pointers");
+      continue;
+    }
+    if ((s == "malloc" || s == "calloc" || s == "realloc" || s == "free") &&
+        i + 1 < t.size() && t[i + 1].text == "(") {
+      // Method calls (heap.malloc, p.heap.free) and declarations
+      // (`VirtAddr malloc(std::size_t)`) are the simulator's own API.
+      const bool member = i > 0 && (t[i - 1].text == "." ||
+                                    t[i - 1].text == "->" ||
+                                    t[i - 1].text == "::");
+      // Return type directly before the name: `VirtAddr malloc(...)`,
+      // `void* malloc(...)`, `VirtAddr& malloc(...)`.
+      const bool declaration =
+          i > 0 && (t[i - 1].kind == Tok::kIdent || t[i - 1].text == "*" ||
+                    t[i - 1].text == "&");
+      if (!member && !declaration) {
+        add(f, t[i].line, "D3",
+            "raw '" + s + "()' — use mem::MallocSim for simulated memory");
+      }
+    }
+  }
+}
+
+// --- D4: counter consistency -----------------------------------------------
+
+void Linter::check_d4() {
+  SourceFile* counters = find_rel("src/core/counters.hpp");
+  SourceFile* report = find_rel("src/core/report.cpp");
+  if (counters == nullptr || report == nullptr) return;  // not this repo shape
+
+  // Harvest `std::uint64_t NAME = 0;` members of struct Counters.
+  std::vector<std::pair<std::string, int>> members;  // name, line
+  const auto& t = counters->tokens;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "struct" && t[i + 1].text == "Counters") {
+      begin = i;
+      break;
+    }
+  }
+  int depth = 0;
+  for (std::size_t i = begin; i < t.size(); ++i) {
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}") {
+      if (--depth == 0) break;
+    }
+    if (depth == 1 && t[i].text == "uint64_t" && i + 1 < t.size() &&
+        t[i + 1].kind == Tok::kIdent && i + 2 < t.size() &&
+        (t[i + 2].text == "=" || t[i + 2].text == ";")) {
+      members.emplace_back(t[i + 1].text, t[i + 1].line);
+    }
+  }
+
+  auto mentions = [](const SourceFile& f, const std::string& name) {
+    for (const auto& tok : f.tokens) {
+      if (tok.kind == Tok::kIdent && tok.text == name) return true;
+    }
+    return false;
+  };
+  auto incremented_in = [](const SourceFile& f, const std::string& name) {
+    const auto& tk = f.tokens;
+    for (std::size_t i = 0; i < tk.size(); ++i) {
+      if (tk[i].kind != Tok::kIdent || tk[i].text != name) continue;
+      if (i + 1 < tk.size() &&
+          (tk[i + 1].text == "+=" || tk[i + 1].text == "++" ||
+           tk[i + 1].text == "=")) {
+        return true;
+      }
+      // Passed as an argument (`do_unpin(r, counters_.unpin_ops)`): counts
+      // as a write — by-reference counter plumbing is an idiom here.
+      if (i + 1 < tk.size() && i > 1 && tk[i - 1].text == "." &&
+          (tk[i + 1].text == ")" || tk[i + 1].text == ",")) {
+        return true;
+      }
+      // `++counters_.name` / `++ep->counters().frames_corrupted`: walk back
+      // over the object chain (identifiers, member/scope punctuation and
+      // call parens) to the prefix operator.
+      std::size_t j = i;
+      while (j > 0 && (tk[j - 1].kind == Tok::kIdent ||
+                       tk[j - 1].text == "." || tk[j - 1].text == "->" ||
+                       tk[j - 1].text == "::" || tk[j - 1].text == "(" ||
+                       tk[j - 1].text == ")")) {
+        --j;
+      }
+      if (j > 0 && tk[j - 1].text == "++") return true;
+    }
+    return false;
+  };
+
+  for (const auto& [name, line] : members) {
+    bool inc = false;
+    for (const auto& f : files_) {
+      if (f.rel == "src/core/counters.hpp") continue;
+      if (f.rel.rfind("src/", 0) == 0 && incremented_in(f, name)) {
+        inc = true;
+        break;
+      }
+    }
+    if (!inc) {
+      diags_.push_back({counters->rel, line, "D4",
+                        "counter '" + name +
+                            "' is declared but never incremented under src/"});
+    }
+    if (!mentions(*report, name)) {
+      diags_.push_back({counters->rel, line, "D4",
+                        "counter '" + name +
+                            "' is declared but not serialized by "
+                            "core/report.cpp — it can silently rot"});
+    }
+  }
+
+  // Vice versa: every `c.NAME` the report reads must be a declared counter.
+  std::set<std::string> declared;
+  for (const auto& [name, line] : members) declared.insert(name);
+  const auto& rt = report->tokens;
+  for (std::size_t i = 2; i < rt.size(); ++i) {
+    if (rt[i].kind == Tok::kIdent && rt[i - 1].text == "." &&
+        rt[i - 2].text == "c" && declared.count(rt[i].text) == 0 &&
+        rt[i].text != "overlap_miss_rate") {
+      diags_.push_back({report->rel, rt[i].line, "D4",
+                        "report reads 'c." + rt[i].text +
+                            "' which is not a Counters member"});
+    }
+  }
+}
+
+// --- D5: EventKind exhaustiveness ------------------------------------------
+
+void Linter::check_d5() {
+  SourceFile* event = find_rel("src/obs/event.hpp");
+  if (event == nullptr) return;
+
+  // Harvest the EventKind enumerators.
+  std::vector<std::string> kinds;
+  const auto& t = event->tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text == "enum" && t[i + 1].text == "class" &&
+        t[i + 2].text == "EventKind") {
+      std::size_t j = i + 3;
+      while (j < t.size() && t[j].text != "{") ++j;
+      int depth = 0;
+      bool expect_name = true;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "{") {
+          ++depth;
+          expect_name = true;
+          continue;
+        }
+        if (t[j].text == "}") {
+          if (--depth == 0) break;
+          continue;
+        }
+        if (depth == 1 && expect_name && t[j].kind == Tok::kIdent) {
+          kinds.push_back(t[j].text);
+          expect_name = false;
+        }
+        if (t[j].text == ",") expect_name = true;
+      }
+      break;
+    }
+  }
+  if (kinds.empty()) return;
+  const std::set<std::string> kind_set(kinds.begin(), kinds.end());
+
+  // (a) The single formatting authority must render every kind.
+  if (SourceFile* legacy = find_rel("src/obs/legacy.cpp")) {
+    std::set<std::string> seen;
+    for (const auto& tok : legacy->tokens) {
+      if (tok.kind == Tok::kIdent && kind_set.count(tok.text) != 0) {
+        seen.insert(tok.text);
+      }
+    }
+    for (const auto& k : kinds) {
+      if (seen.count(k) == 0) {
+        diags_.push_back({legacy->rel, 1, "D5",
+                          "EventKind::" + k +
+                              " is never rendered by obs/legacy.cpp — every "
+                              "kind needs a legacy string form"});
+      }
+    }
+  }
+
+  // (b) Any switch carrying EventKind case labels must be exhaustive or
+  // have a default. Checked across every scanned file.
+  for (auto& f : files_) {
+    const auto& tk = f.tokens;
+    for (std::size_t i = 0; i < tk.size(); ++i) {
+      if (tk[i].text != "switch") continue;
+      // Find the switch body.
+      std::size_t j = i + 1;
+      int depth = 0;
+      while (j < tk.size() && tk[j].text != "{") ++j;
+      std::set<std::string> cases;
+      bool has_default = false;
+      bool on_eventkind = false;
+      for (; j < tk.size(); ++j) {
+        if (tk[j].text == "{") ++depth;
+        if (tk[j].text == "}") {
+          if (--depth == 0) break;
+        }
+        if (tk[j].text == "default") has_default = true;
+        if (tk[j].text == "case" && j + 1 < tk.size()) {
+          // case [obs::]EventKind::kX — the label must literally be
+          // qualified with EventKind:: (another enum may reuse an
+          // enumerator name, e.g. Phase::kRetransmit).
+          std::size_t k = j + 1;
+          while (k < tk.size() &&
+                 (tk[k].kind == Tok::kIdent || tk[k].text == "::") &&
+                 tk[k].text != ":") {
+            if (tk[k].kind == Tok::kIdent && kind_set.count(tk[k].text) != 0 &&
+                k >= 2 && tk[k - 1].text == "::" &&
+                tk[k - 2].text == "EventKind") {
+              on_eventkind = true;
+              cases.insert(tk[k].text);
+            }
+            ++k;
+          }
+        }
+      }
+      if (on_eventkind && !has_default) {
+        for (const auto& k : kinds) {
+          if (cases.count(k) == 0) {
+            diags_.push_back(
+                {f.rel, tk[i].line, "D5",
+                 "switch over obs::EventKind has no default and does not "
+                 "handle EventKind::" + k});
+          }
+        }
+      }
+      i = j;
+    }
+  }
+}
+
+// --- D6: header hygiene ----------------------------------------------------
+
+void Linter::check_d6(const SourceFile& f) {
+  if (!f.is_header) return;
+  if (!f.pragma_once) {
+    diags_.push_back(
+        {f.rel, 1, "D6", "header is missing '#pragma once'"});
+  }
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "using" && t[i + 1].text == "namespace") {
+      add(f, t[i].line, "D6",
+          "'using namespace' in a header leaks into every includer");
+    }
+  }
+  // Include-self-sufficiency spot checks: a few unambiguous std:: names
+  // whose home header is unique. Transitive includes do not count — the
+  // header must stand alone.
+  static const std::pair<const char*, const char*> kNeeds[] = {
+      {"vector", "vector"},         {"string", "string"},
+      {"unordered_map", "unordered_map"},
+      {"unordered_set", "unordered_set"},
+      {"function", "functional"},   {"unique_ptr", "memory"},
+      {"shared_ptr", "memory"},     {"weak_ptr", "memory"},
+      {"make_unique", "memory"},    {"make_shared", "memory"},
+      {"optional", "optional"},     {"variant", "variant"},
+      {"uint8_t", "cstdint"},       {"uint16_t", "cstdint"},
+      {"uint32_t", "cstdint"},      {"uint64_t", "cstdint"},
+      {"int64_t", "cstdint"},       {"map", "map"},
+      {"deque", "deque"},           {"list", "list"},
+  };
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || t[i - 1].text != "::" ||
+        t[i - 2].text != "std") {
+      continue;
+    }
+    for (const auto& [name, header] : kNeeds) {
+      if (t[i].text == name && f.includes.count(header) == 0) {
+        add(f, t[i].line, "D6",
+            "uses std::" + std::string(name) + " but does not include <" +
+                header + "> itself (include-what-you-use)");
+        break;
+      }
+    }
+  }
+}
+
+void Linter::run() {
+  // Per-file passes run over a stable snapshot (D2 may lazily load paired
+  // headers; D4/D5 may lazily load their cross-file anchors).
+  const std::size_t n = files_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    check_d1(files_[i]);
+    check_d3(files_[i]);
+    check_d6(files_[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) check_d2(files_[i]);
+  check_d4();
+  check_d5();
+
+  std::sort(diags_.begin(), diags_.end(), [](const Diag& a, const Diag& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.msg < b.msg;
+  });
+  diags_.erase(std::unique(diags_.begin(), diags_.end(),
+                           [](const Diag& a, const Diag& b) {
+                             return a.file == b.file && a.line == b.line &&
+                                    a.rule == b.rule && a.msg == b.msg;
+                           }),
+               diags_.end());
+}
+
+// --- baseline --------------------------------------------------------------
+
+// Baseline format: one `path:rule` per line ('#' comments). A diagnostic
+// matching an entry is suppressed; an entry matching nothing is itself an
+// error, so the file can only shrink.
+struct Baseline {
+  std::vector<std::pair<std::string, std::string>> entries;  // path, rule
+  std::vector<bool> used;
+};
+
+bool load_baseline(const std::string& path, Baseline& b) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back())) != 0) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start])) != 0) {
+      ++start;
+    }
+    line.erase(0, start);
+    if (line.empty()) continue;
+    const auto colon = line.rfind(':');
+    if (colon == std::string::npos) continue;
+    b.entries.emplace_back(line.substr(0, colon), line.substr(colon + 1));
+  }
+  b.used.assign(b.entries.size(), false);
+  return true;
+}
+
+// --- output ----------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pinlint [--root=DIR] [--baseline=FILE] [--json=FILE] "
+      "[--quiet] PATH...\n"
+      "  PATHs (files or directories, relative to --root) are scanned for\n"
+      "  *.cpp/*.hpp; diagnostics print as file:line: rule: message.\n"
+      "  Exit: 0 clean, 1 violations or stale baseline entries, 2 usage.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pinlint: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  Linter linter{fs::path(root)};
+  if (!linter.load_paths(paths)) return 2;
+  linter.run();
+
+  Baseline baseline;
+  if (!baseline_path.empty() && !load_baseline(baseline_path, baseline)) {
+    std::fprintf(stderr, "pinlint: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  std::vector<Diag> live;
+  for (const Diag& d : linter.diags()) {
+    bool suppressed = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      if (baseline.entries[i].first == d.file &&
+          baseline.entries[i].second == d.rule) {
+        baseline.used[i] = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) live.push_back(d);
+  }
+  std::vector<std::string> stale;
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (!baseline.used[i]) {
+      stale.push_back(baseline.entries[i].first + ":" +
+                      baseline.entries[i].second);
+    }
+  }
+
+  if (!quiet) {
+    for (const Diag& d : live) {
+      std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                  d.msg.c_str());
+    }
+    for (const std::string& s : stale) {
+      std::printf("%s: stale-baseline: entry no longer matches any "
+                  "diagnostic — delete it (the baseline only shrinks)\n",
+                  s.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\"files_scanned\":" << linter.files_scanned()
+        << ",\"violations\":[";
+    bool first = true;
+    for (const Diag& d : live) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.line
+          << ",\"rule\":\"" << d.rule << "\",\"message\":\""
+          << json_escape(d.msg) << "\"}";
+    }
+    out << "],\"stale_baseline\":[";
+    first = true;
+    for (const std::string& s : stale) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << json_escape(s) << "\"";
+    }
+    out << "],\"count\":" << live.size() << "}\n";
+  }
+
+  if (!live.empty() || !stale.empty()) {
+    if (!quiet) {
+      std::printf("pinlint: %zu violation(s), %zu stale baseline entr%s\n",
+                  live.size(), stale.size(), stale.size() == 1 ? "y" : "ies");
+    }
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("pinlint: clean (%zu files)\n", linter.files_scanned());
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// pinlint fixture: idiomatic deterministic code — must scan clean.
+// Never compiled.
+#include "good.hpp"
+
+namespace demo {
+
+std::uint64_t Ledger::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : entries) sum += v;
+  return sum;
+}
+
+std::vector<std::uint32_t> keys(const Ledger& l) {
+  std::vector<std::uint32_t> out;
+  out.reserve(l.entries.size());
+  for (const auto& [k, v] : l.entries) out.push_back(k);
+  return out;
+}
+
+}  // namespace demo

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace demo {
+
+/// Ordered by key: iteration order is part of the contract.
+struct Ledger {
+  std::map<std::uint32_t, std::uint64_t> entries;
+  [[nodiscard]] std::uint64_t total() const;
+};
+
+std::vector<std::uint32_t> keys(const Ledger& l);
+
+}  // namespace demo

@@ -1,0 +1,32 @@
+// pinlint fixture: every D1 nondeterminism source in one file. Never
+// compiled — scanned by tests/pinlint_test only.
+#include <cstdio>
+#include <unordered_map>
+
+struct Foo {
+  int x;
+};
+
+std::unordered_map<Foo*, int> g_by_ptr;  // pointer-keyed: bucket order = ASLR
+
+void nondeterminism() {
+  std::random_device rd;  // hardware entropy breaks seeded replay
+  (void)rd;
+  int r = rand();
+  long now = time(nullptr);
+  (void)r;
+  (void)now;
+}
+
+int returned_rand() {
+  return rand();  // call context: `return` must not read as a declaration
+}
+
+unsigned long hash_ptr(Foo* f) {
+  std::hash<Foo*> h;  // pointer value hashing
+  return h(f);
+}
+
+void print_ptr(Foo* f) {
+  std::printf("%p\n", static_cast<void*>(f));  // prints an address
+}

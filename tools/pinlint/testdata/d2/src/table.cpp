@@ -1,0 +1,14 @@
+// pinlint fixture: D2 unordered iteration, including through the paired
+// header's member declaration. Never compiled.
+#include "table.hpp"
+
+int Table::sum() const {
+  int total = 0;
+  for (const auto& [k, v] : cells) total += v;  // range-for over unordered
+  return total;
+}
+
+int first_value(const Table& t) {
+  auto it = t.cells.begin();  // iterator traversal: bucket order
+  return it == t.cells.end() ? 0 : it->second;
+}

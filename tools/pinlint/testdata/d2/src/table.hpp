@@ -1,0 +1,10 @@
+#pragma once
+
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, int> cells;
+  int sum() const;
+};
+
+int first_value(const Table& t);

@@ -1,0 +1,19 @@
+// pinlint fixture: the same unordered-iteration shapes as d2, every one
+// carrying the annotation that makes the order provably irrelevant. Must
+// scan clean. Never compiled.
+#include <unordered_map>
+
+int sum_annotated() {
+  std::unordered_map<int, int> cells;
+  cells[1] = 2;
+  int total = 0;
+  // pinlint: unordered-ok(addition is commutative)
+  for (const auto& [k, v] : cells) total += v;
+  return total;
+}
+
+int count_allowed(std::unordered_map<int, int>& m) {
+  int n = 0;
+  for (auto it = m.begin(); it != m.end(); ++it) ++n;  // pinlint: allow(D2: counting only)
+  return n;
+}

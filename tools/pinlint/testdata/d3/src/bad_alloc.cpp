@@ -1,0 +1,38 @@
+// pinlint fixture: D3 raw allocation, plus one inline-allowed call and the
+// simulator-API shapes that must NOT fire. Never compiled.
+#include <cstdlib>
+
+struct Widget {
+  int x;
+  Widget(const Widget&) = delete;  // `= delete` is not a deallocation
+};
+
+struct Heap {
+  void* malloc(unsigned long n);  // declaration: the simulator's own API
+};
+
+Widget* make() {
+  return new Widget();
+}
+
+void destroy(Widget* w) {
+  delete w;
+}
+
+void* grab() {
+  void* p = malloc(64);
+  return p;
+}
+
+void drop(void* p) {
+  free(p);
+}
+
+void* simulated(Heap& heap) {
+  return heap.malloc(64);  // member call: MallocSim idiom, not libc
+}
+
+void* sanctioned() {
+  void* p = malloc(32);  // pinlint: allow(D3: C-API interop shim)
+  return p;
+}

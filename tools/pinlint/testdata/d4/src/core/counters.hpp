@@ -1,0 +1,9 @@
+#pragma once
+
+#include <cstdint>
+
+struct Counters {
+  std::uint64_t pin_ops = 0;            // incremented + serialized: clean
+  std::uint64_t never_incremented = 0;  // serialized but nothing bumps it
+  std::uint64_t never_serialized = 0;   // bumped but absent from the report
+};

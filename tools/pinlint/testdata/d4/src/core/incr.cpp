@@ -1,0 +1,7 @@
+// pinlint fixture: the increment side of the D4 contract. Never compiled.
+#include "counters.hpp"
+
+void bump(Counters& c) {
+  ++c.pin_ops;
+  c.never_serialized += 2;
+}

@@ -1,0 +1,7 @@
+// pinlint fixture: the serialization side of the D4 contract — reads one
+// counter that does not exist. Never compiled.
+#include "counters.hpp"
+
+unsigned long serialize(const Counters& c) {
+  return c.pin_ops + c.never_incremented + c.bogus_counter;
+}

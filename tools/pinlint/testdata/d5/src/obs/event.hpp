@@ -1,0 +1,3 @@
+#pragma once
+
+enum class EventKind { kA, kB, kC };

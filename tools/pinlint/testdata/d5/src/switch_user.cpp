@@ -1,0 +1,13 @@
+// pinlint fixture: a defaultless switch over EventKind that misses kC —
+// the D5 exhaustiveness rule. Never compiled.
+#include "obs/event.hpp"
+
+int weight(EventKind k) {
+  switch (k) {
+    case EventKind::kA:
+      return 1;
+    case EventKind::kB:
+      return 2;
+  }
+  return 0;
+}

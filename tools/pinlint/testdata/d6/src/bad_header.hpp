@@ -1,0 +1,10 @@
+// pinlint fixture: header hygiene violations — no #pragma once, a
+// using-namespace, and a std::vector use without including <vector>.
+// Never compiled.
+#include <cstddef>
+
+using namespace std;
+
+inline std::vector<int> make_list() {
+  return {};
+}
