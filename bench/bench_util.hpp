@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -107,6 +109,14 @@ struct ObsRig {
     if (!trace_path.empty()) {
       chrome = std::make_unique<obs::ChromeTraceWriter>(trace_path);
       bus.attach(chrome.get());
+      // Wall-clock throughput is measured only on instrumented runs: the
+      // determinism suite byte-compares json_report() output, and a wall
+      // clock in that path would make the report machine-dependent.
+      wall_metrics = true;
+      // pinlint: allow(D1: wall-clock throughput metric, never in sim state)
+      wall_start = std::chrono::steady_clock::now();
+      events_start = c.eng.processed();
+      sim_start = c.eng.now();
     }
     for (auto& h : c.hosts) {
       h->driver().set_bus(&bus);
@@ -158,6 +168,27 @@ struct ObsRig {
     out += critical_path.json();
     out += ",\"metrics\":";
     out += metrics.json();
+    if (wall_metrics) {
+      // pinlint: allow(D1: wall-clock throughput metric, never in sim state)
+      const auto now = std::chrono::steady_clock::now();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(now - wall_start).count();
+      const auto events = cluster->eng.processed() - events_start;
+      const auto sim_ns =
+          static_cast<std::uint64_t>(cluster->eng.now() - sim_start);
+      const double eps =
+          wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1000.0)
+                        : 0.0;
+      const double ns_per_ms =
+          wall_ms > 0.0 ? static_cast<double>(sim_ns) / wall_ms : 0.0;
+      char tp[256];
+      std::snprintf(tp, sizeof tp,
+                    ",\"throughput\":{\"events\":%llu,\"wall_ms\":%.3f,"
+                    "\"events_per_sec\":%.1f,\"sim_ns_per_wall_ms\":%.1f}",
+                    static_cast<unsigned long long>(events), wall_ms, eps,
+                    ns_per_ms);
+      out += tp;
+    }
     char tail[64];
     std::snprintf(tail, sizeof tail, ",\"invariant_violations\":%llu}",
                   static_cast<unsigned long long>(checker.violation_count()));
@@ -193,6 +224,12 @@ struct ObsRig {
   obs::MetricsSampler metrics;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
   bool finished = false;
+  // Wall-clock throughput baseline (instrumented runs only, see ctor).
+  bool wall_metrics = false;
+  // pinlint: allow(D1: wall-clock throughput metric, never in sim state)
+  std::chrono::steady_clock::time_point wall_start{};
+  std::uint64_t events_start = 0;
+  sim::Time sim_start = 0;
 
  private:
   void detach() {

@@ -13,6 +13,7 @@
 #include "mem/address_space.hpp"
 #include "mem/physical_memory.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 
 namespace {
@@ -32,6 +33,46 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 256);
 }
 BENCHMARK(BM_EngineScheduleDispatch);
+
+/// Million-event scheduler torture: the timing-wheel acceptance workload.
+/// Bursts of schedules over three horizons (most short like protocol RTOs,
+/// some medium like retry backoffs, a few far like soak deadlines), ~30%
+/// cancelled before firing, interleaved with bounded run_until windows —
+/// the mix the endpoint tables generate at steady state. Throughput is
+/// items/s over scheduled events.
+void BM_EngineMillionEventTorture(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Rng rng(42);
+    std::uint64_t fired = 0;
+    std::vector<sim::Engine::EventId> batch;
+    constexpr int kTotal = 1'000'000;
+    int scheduled = 0;
+    while (scheduled < kTotal) {
+      batch.clear();
+      for (int i = 0; i < 64 && scheduled < kTotal; ++i, ++scheduled) {
+        const std::uint64_t pick = rng.next_below(100);
+        sim::Time delay;
+        if (pick < 70) {
+          delay = 1 + static_cast<sim::Time>(rng.next_below(2000));
+        } else if (pick < 95) {
+          delay = 2000 + static_cast<sim::Time>(rng.next_below(198'000));
+        } else {
+          delay = static_cast<sim::Time>(rng.next_below(1'000'000'000));
+        }
+        batch.push_back(eng.schedule_after(delay, [&fired] { ++fired; }));
+      }
+      for (const auto& id : batch) {
+        if (rng.next_below(100) < 30) eng.cancel(id);
+      }
+      eng.run_until(eng.now() + 5000);
+    }
+    eng.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000'000);
+}
+BENCHMARK(BM_EngineMillionEventTorture)->Unit(benchmark::kMillisecond);
 
 void BM_CoroutineDelayChain(benchmark::State& state) {
   for (auto _ : state) {

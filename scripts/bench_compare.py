@@ -14,13 +14,23 @@ Collected metrics per bench:
   * send/pull latency p50/p95/p99 and mean (ns, sim time) from the
     LatencyRecorder histograms;
   * critical-path phase totals (ns) and completed/aborted/orphaned counts;
+  * wall-clock throughput (events_per_sec, sim_ns_per_wall_ms) when the
+    instrumented run recorded it;
   * invariant violations (any non-zero fails the gate outright).
 
 compare exits 0 when every latency metric of every bench present in both
 points is within `threshold` (relative) of the baseline — growth only;
 getting faster never fails — and no bench reports invariant violations or
-newly aborted/orphaned chains. Exits 1 on regression, 2 on usage errors.
-Stdlib only.
+newly aborted/orphaned chains. Throughput metrics gate *drops* against
+`--throughput-threshold` (generous by default: wall-clock numbers vary
+with the machine, unlike the bit-stable sim-time metrics).
+
+Benches or metrics present in the current point but missing from the
+baseline are NEW: they are recorded in the delta and warned about, never
+gated and never an error — a baseline committed before a metric existed
+must not crash the gate that introduces it.
+
+Exits 1 on regression, 2 on usage errors. Stdlib only.
 """
 
 import argparse
@@ -32,6 +42,9 @@ import sys
 # only the end-to-end latency metrics gate.
 GATED_HISTOGRAMS = ("send_latency_ns", "pull_latency_ns")
 GATED_STATS = ("mean", "p50", "p95", "p99")
+
+# Wall-clock throughput metrics: higher is better, so these gate drops.
+GATED_THROUGHPUT = ("events_per_sec", "sim_ns_per_wall_ms")
 
 # Below this many sim-nanoseconds of growth a relative threshold is noise
 # (one DMA chunk of jitter on a microsecond-scale metric).
@@ -65,6 +78,13 @@ def collect(args):
                 "orphaned": cp.get("orphaned", 0),
                 "phase_totals_ns": cp.get("phase_totals_ns", {}),
             }
+        tp = report.get("throughput")
+        if tp is not None:
+            bench["throughput"] = {
+                k: tp[k]
+                for k in GATED_THROUGHPUT + ("events", "wall_ms")
+                if k in tp
+            }
         point["benches"][name] = bench
     with open(args.out, "w") as f:
         json.dump(point, f, indent=1, sort_keys=True)
@@ -91,17 +111,30 @@ def compare(args):
         return 2
 
     failures = []
+    warnings = []
     delta = {"baseline": base.get("label"), "current": cur.get("label"),
-             "threshold": args.threshold, "benches": {}}
+             "threshold": args.threshold,
+             "throughput_threshold": args.throughput_threshold,
+             "benches": {}}
 
-    common = sorted(set(base.get("benches", {})) & set(cur.get("benches", {})))
+    base_benches = base.get("benches", {})
+    cur_benches = cur.get("benches", {})
+    common = sorted(set(base_benches) & set(cur_benches))
     if not common:
         print("compare: no common benches between the two points",
               file=sys.stderr)
         return 2
 
+    # A bench only in the current point is new: record it for the human,
+    # warn, and gate nothing (there is nothing to compare against).
+    for name in sorted(set(cur_benches) - set(base_benches)):
+        warnings.append(f"{name}: bench missing from baseline — "
+                        "recorded, not gated")
+        delta["benches"][name] = {"new": True,
+                                  "current": cur_benches[name]}
+
     for name in common:
-        b, c = base["benches"][name], cur["benches"][name]
+        b, c = base_benches[name], cur_benches[name]
         d = delta["benches"].setdefault(name, {})
 
         viol = c.get("invariant_violations", 0)
@@ -128,7 +161,15 @@ def compare(args):
             }
 
         for hname in GATED_HISTOGRAMS:
-            if hname not in b or hname not in c:
+            if hname not in c:
+                continue
+            if hname not in b:
+                # Metric introduced after the baseline was committed:
+                # record-only, never a crash or a failure.
+                warnings.append(f"{name}: {hname} missing from baseline — "
+                                "recorded, not gated")
+                d[hname] = {stat: [None, c[hname].get(stat)]
+                            for stat in GATED_STATS if stat in c[hname]}
                 continue
             for stat in GATED_STATS:
                 old, new = b[hname].get(stat), c[hname].get(stat)
@@ -145,13 +186,41 @@ def compare(args):
                         f"({100.0 * growth / old:+.1f}%, "
                         f"threshold {100.0 * args.threshold:.1f}%)")
 
+        ct = c.get("throughput")
+        if ct:
+            bt = b.get("throughput") or {}
+            d["throughput"] = {k: [bt.get(k), ct.get(k)]
+                               for k in sorted(set(bt) | set(ct))}
+            for stat in GATED_THROUGHPUT:
+                new = ct.get(stat)
+                if new is None:
+                    continue
+                old = bt.get(stat)
+                if old is None:
+                    warnings.append(
+                        f"{name}: throughput.{stat} missing from baseline "
+                        "— recorded, not gated")
+                    continue
+                if old <= 0:
+                    continue
+                drop = (old - new) / old
+                if drop > args.throughput_threshold:
+                    failures.append(
+                        f"{name}: throughput.{stat} dropped "
+                        f"{old} -> {new} "
+                        f"({-100.0 * drop:+.1f}%, tolerance "
+                        f"{100.0 * args.throughput_threshold:.1f}%)")
+
     delta["verdict"] = "FAIL" if failures else "PASS"
     delta["failures"] = failures
+    delta["warnings"] = warnings
     if args.delta_out:
         with open(args.delta_out, "w") as f:
             json.dump(delta, f, indent=1, sort_keys=True)
             f.write("\n")
 
+    for w in warnings:
+        print(f"compare: warning: {w}")
     if failures:
         print(f"compare: FAIL vs {args.baseline} "
               f"({len(failures)} regressions):")
@@ -177,6 +246,10 @@ def main():
     p.add_argument("--baseline", required=True)
     p.add_argument("--current", required=True)
     p.add_argument("--threshold", type=float, default=0.05)
+    p.add_argument("--throughput-threshold", type=float, default=0.5,
+                   help="max relative throughput drop before failing "
+                        "(wall-clock metrics are machine-dependent, so "
+                        "the default is generous)")
     p.add_argument("--delta-out", default=None)
     p.set_defaults(func=compare)
 

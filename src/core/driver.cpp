@@ -46,7 +46,9 @@ void Driver::close_endpoint(std::uint8_t id) {
 void Driver::on_frame(net::Frame&& frame) {
   Packet pkt;
   try {
-    pkt = decode(frame.payload);
+    // Zero-copy decode: bulk data adopts the frame's payload vector; on
+    // throw the payload is untouched for the attribution paths below.
+    pkt = decode_frame(frame);
   } catch (const WireChecksumError&) {
     // Bit-flipped in flight. The header may itself be corrupted, so the
     // dst_ep lookup for counter attribution is best-effort only — the frame

@@ -49,26 +49,25 @@ Endpoint::Endpoint(Driver& driver, std::uint8_t id, mem::AddressSpace& as,
   notifier_ = std::move(notifier);
 
   pins_.set_failure_handler([this](Region& r) {
-    // Abort every in-flight request still using this region. The scans walk
-    // unordered maps, so sort the collected keys before acting: the abort
-    // packets (and their event emissions) must leave in seq order, not
-    // bucket order, for replays to be bit-exact.
+    // Abort every in-flight request still using this region. The tables
+    // iterate in ascending seq order (flat maps), which is the order the
+    // abort packets and their event emissions must leave in for replays to
+    // be bit-exact; collect the keys first because fail_send/destroy_pull
+    // erase entries mid-walk.
     std::vector<std::uint32_t> dead_sends;
-    // pinlint: unordered-ok(keys collected then sorted below)
     for (auto& [seq, req] : sends_) {
-      if (!req.eager && req.region == r.id()) dead_sends.push_back(seq);
+      if (!req->eager && req->region == r.id()) dead_sends.push_back(seq);
     }
-    std::sort(dead_sends.begin(), dead_sends.end());
     for (std::uint32_t seq : dead_sends) fail_send(seq, /*send_abort=*/true);
 
     std::vector<std::uint32_t> dead_pulls;
-    // pinlint: unordered-ok(keys collected then sorted below)
     for (auto& [handle, ps] : pulls_) {
       if (ps->region == &r && !ps->done) dead_pulls.push_back(handle);
     }
-    std::sort(dead_pulls.begin(), dead_pulls.end());
     for (std::uint32_t handle : dead_pulls) {
-      PullState& ps = *pulls_[handle];
+      auto it = pulls_.find(handle);
+      if (it == pulls_.end()) continue;  // torn down by an earlier abort
+      PullState& ps = *it->second;
       ++counters_.aborts;
       send_packet({ps.peer_node, ps.peer_ep}, AbortBody{ps.sender_seq},
                   cpu::Priority::kKernel);
@@ -91,22 +90,15 @@ Endpoint::~Endpoint() {
   // endpoint closed mid-transfer otherwise leaves retransmit timers and
   // queued bottom halves pointing at freed memory.
   alive_.reset();
-  // pinlint: unordered-ok(timer cancellation is commutative, no emission)
-  for (auto& [seq, req] : sends_) driver_.engine().cancel(req.rto);
-  // pinlint: unordered-ok(timer cancellation is commutative, no emission)
+  for (auto& [seq, req] : sends_) driver_.engine().cancel(req->rto);
   for (auto& [handle, ps] : pulls_) driver_.engine().cancel(ps->rto);
 
   // Regions still declared (an endpoint closed mid-transfer, or one driven
   // without a Library): cancel in-flight pin jobs and release their pins so
   // the pin manager never holds a pointer into the freed region table.
-  // Unregistering emits unpin events, so process in ascending-id order
-  // rather than bucket order.
-  std::vector<RegionId> declared;
-  declared.reserve(regions_.size());
-  // pinlint: unordered-ok(keys collected then sorted below)
-  for (auto& [id, region] : regions_) declared.push_back(id);
-  std::sort(declared.begin(), declared.end());
-  for (RegionId id : declared) pins_.unregister_region(*regions_[id]);
+  // Unregistering emits unpin events; the flat map iterates in ascending-id
+  // order, which is the order replays expect.
+  for (auto& [id, region] : regions_) pins_.unregister_region(*region);
   regions_.clear();
 
   // If the address space died first, its destructor already fired the
@@ -175,7 +167,8 @@ std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
                                     std::vector<Segment> segments,
                                     Completion done) {
   const std::uint32_t seq = next_send_seq_++;
-  SendRequest req;
+  auto node = send_pool_.acquire();
+  SendRequest& req = *node;
   req.seq = seq;
   req.dest = dest;
   req.match = match;
@@ -204,7 +197,7 @@ std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
     e.len = len;
     obs_emit(e);
   }
-  sends_.emplace(seq, std::move(req));
+  sends_.emplace(seq, std::move(node));
   // The kernel-side copy into frames costs CPU on the submitting core.
   process_core_.submit(cpu::Priority::kKernel, driver_.cpu().copy_cost(len),
                        guarded([this, seq] {
@@ -214,7 +207,7 @@ std::uint32_t Endpoint::isend_eager(EndpointAddr dest, std::uint64_t match,
 }
 
 void Endpoint::transmit_eager(std::uint32_t seq) {
-  SendRequest& req = sends_.at(seq);
+  SendRequest& req = *sends_.at(seq);
   req.transmitted = true;
   const std::size_t chunk = driver_.config().protocol.frame_payload;
   std::size_t off = 0;
@@ -245,7 +238,8 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
     throw std::invalid_argument("isend length exceeds region");
   }
   const std::uint32_t seq = next_send_seq_++;
-  SendRequest req;
+  auto node = send_pool_.acquire();
+  SendRequest& req = *node;
   req.seq = seq;
   req.dest = dest;
   req.match = match;
@@ -264,7 +258,7 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
     e.len = len;
     obs_emit(e);
   }
-  sends_.emplace(seq, std::move(req));
+  sends_.emplace(seq, std::move(node));
 
   // Pin per configuration: with overlapping the completion fires right away
   // (or after the pre-pin threshold) and the RNDV leaves before the region
@@ -274,10 +268,10 @@ std::uint32_t Endpoint::isend_rndv(EndpointAddr dest, std::uint64_t match,
     auto it = sends_.find(seq);
     if (it == sends_.end()) return;  // already failed/aborted
     if (!ok) {
-      fail_send(seq, /*send_abort=*/it->second.rndv_sent);
+      fail_send(seq, /*send_abort=*/it->second->rndv_sent);
       return;
     }
-    if (!it->second.rndv_sent) send_rndv_frame(it->second);
+    if (!it->second->rndv_sent) send_rndv_frame(*it->second);
   }));
   return seq;
 }
@@ -309,7 +303,7 @@ void Endpoint::arm_send_rto(SendRequest& req) {
       backoff_timeout(req.retries), guarded([this, seq] {
         auto it = sends_.find(seq);
         if (it == sends_.end()) return;
-        SendRequest& r = it->second;
+        SendRequest& r = *it->second;
         ++counters_.retransmit_timeouts;
         ++r.retries;
         {
@@ -340,8 +334,11 @@ void Endpoint::arm_send_rto(SendRequest& req) {
 void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
   auto it = sends_.find(seq);
   if (it == sends_.end()) return;
-  SendRequest req = std::move(it->second);
+  // Move the pooled node out before erasing: the entry must be gone before
+  // the completion runs, and the node recycles when this frame returns.
+  auto node = std::move(it->second);
   sends_.erase(it);
+  SendRequest& req = *node;
   driver_.engine().cancel(req.rto);
   ++counters_.aborts;
   {
@@ -422,7 +419,7 @@ bool Endpoint::cancel_recv(std::uint64_t recv_id) {
 
 bool Endpoint::cancel_send(std::uint32_t seq) {
   auto it = sends_.find(seq);
-  if (it == sends_.end() || it->second.transmitted) return false;
+  if (it == sends_.end() || it->second->transmitted) return false;
   fail_send(seq, /*send_abort=*/false);
   return true;
 }
@@ -511,7 +508,7 @@ void Endpoint::on_eager(net::NodeId src, std::uint8_t src_ep,
 }
 
 void Endpoint::eager_deliver_frag(InboundMsg& msg, std::uint32_t frag_offset,
-                                  std::vector<std::byte>&& data) {
+                                  DataChunk&& data) {
   const std::size_t n = data.size();
   const std::uint32_t seq = msg.seq;
   const net::NodeId peer = msg.peer_node;
@@ -628,8 +625,9 @@ void Endpoint::on_eager_ack(net::NodeId, std::uint8_t,
     ++counters_.duplicates_suppressed;  // duplicate ack
     return;
   }
-  SendRequest req = std::move(it->second);
+  auto node = std::move(it->second);
   sends_.erase(it);
+  SendRequest& req = *node;
   driver_.engine().cancel(req.rto);
   {
     obs::Event e = ev(obs::EventKind::kSendDone);
@@ -652,7 +650,6 @@ void Endpoint::on_rndv(net::NodeId src, std::uint8_t src_ep,
     ++counters_.duplicates_suppressed;  // stale duplicate
     return;
   }
-  // pinlint: unordered-ok(existence check; at most one pull matches a seq)
   for (const auto& [handle, ps] : pulls_) {
     if (ps->peer_node == src && ps->peer_ep == src_ep &&
         ps->sender_seq == body.seq) {
@@ -700,7 +697,7 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
     return;
   }
 
-  auto state = std::make_unique<PullState>();
+  auto state = pull_pool_.acquire();
   PullState& ps = *state;
   ps.handle = next_pull_handle_++;
   ps.peer_node = rndv_msg.peer_node;
@@ -722,6 +719,8 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
     ps.blocks.push_back(std::move(blk));
   }
 
+  // `ps` stays valid across the emplace: the pooled node's address is
+  // stable even as the table itself shifts.
   const std::uint32_t handle = ps.handle;
   pulls_.emplace(handle, std::move(state));
   {
@@ -736,13 +735,13 @@ void Endpoint::start_pull(InboundMsg&& rndv_msg, RecvRequest recv) {
   }
 
   if (wanted == 0) {
-    finish_pull(*pulls_[handle]);
+    finish_pull(ps);
     return;
   }
 
   region->add_use();
-  arm_pull_rto(*pulls_[handle]);
-  pins_.ensure_pinned(*region, overlap_for(pulls_[handle]->recv.blocking_hint),
+  arm_pull_rto(ps);
+  pins_.ensure_pinned(*region, overlap_for(ps.recv.blocking_hint),
                       guarded([this, handle](bool ok) {
     auto it = pulls_.find(handle);
     if (it == pulls_.end()) return;
@@ -810,7 +809,7 @@ void Endpoint::request_block(PullState& ps, std::size_t block_idx) {
 void Endpoint::on_pull(net::NodeId src, std::uint8_t src_ep,
                        const PullBody& body) {
   if (auto it = sends_.find(body.seq); it != sends_.end()) {
-    it->second.pull_seen = true;  // the RNDV clearly arrived
+    it->second->pull_seen = true;  // the RNDV clearly arrived
   }
   Region* region = find_region(body.region);
   if (region == nullptr) return;  // undeclared (aborted): ignore
@@ -1221,8 +1220,9 @@ void Endpoint::on_notify(net::NodeId src, std::uint8_t src_ep,
     ++counters_.duplicates_suppressed;  // notify retransmission
     return;
   }
-  SendRequest req = std::move(it->second);
+  auto node = std::move(it->second);
   sends_.erase(it);
+  SendRequest& req = *node;
   driver_.engine().cancel(req.rto);
   if (Region* r = find_region(req.region); r != nullptr) r->drop_use();
   {
@@ -1248,20 +1248,24 @@ void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
                         const AbortBody& body) {
   // Receiver side: the sender gave up on (src, seq). At most one in-progress
   // pull matches (on_rndv suppresses duplicates), so scan order cannot leak.
-  // pinlint: unordered-ok(at most one pull matches; acts on it and returns)
   for (auto& [handle, ps] : pulls_) {
     if (ps->peer_node == src && ps->peer_ep == src_ep &&
         ps->sender_seq == body.seq && !ps->done) {
+      // Copy the key and pin the pooled node: complete_recv runs a user
+      // completion that may insert into pulls_, shifting the flat map the
+      // structured bindings point into.
+      const std::uint32_t h = handle;
+      PullState& p = *ps;
       ++counters_.aborts;
-      if (ps->region != nullptr) ps->region->drop_use();
+      if (p.region != nullptr) p.region->drop_use();
       obs::Event e = ev(obs::EventKind::kRecvAbort);
-      e.seq = handle;
-      e.offset = ps->sender_seq;
+      e.seq = h;
+      e.offset = p.sender_seq;
       e.peer = src;
       e.peer_ep = src_ep;
       obs_emit(e);
-      complete_recv(ps->recv, Status{false, false, 0});
-      destroy_pull(handle);
+      complete_recv(p.recv, Status{false, false, 0});
+      destroy_pull(h);
       return;
     }
   }
@@ -1274,8 +1278,8 @@ void Endpoint::on_abort(net::NodeId src, std::uint8_t src_ep,
   }
   // Sender side: the receiver aborted our request.
   if (auto it = sends_.find(body.seq);
-      it != sends_.end() && it->second.dest.node == src &&
-      it->second.dest.ep == src_ep) {
+      it != sends_.end() && it->second->dest.node == src &&
+      it->second->dest.ep == src_ep) {
     fail_send(body.seq, /*send_abort=*/false);
   }
 }

@@ -5,9 +5,7 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <set>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -20,9 +18,11 @@
 #include "ioat/dma_engine.hpp"
 #include "mem/address_space.hpp"
 #include "mem/mmu_notifier.hpp"
+#include "mem/pool.hpp"
 #include "net/frame.hpp"
 #include "obs/event.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 
 namespace pinsim::core {
 
@@ -182,7 +182,7 @@ class Endpoint {
     std::size_t msg_len = 0;
     // Eager-specific.
     std::size_t bytes_received = 0;
-    std::set<std::uint32_t> frags_seen;     // offsets, for dup suppression
+    sim::FlatSet<std::uint32_t> frags_seen; // offsets, for dup suppression
     std::vector<std::byte> kernel_buffer;   // only when unexpected
     bool bound = false;                     // matched to a posted recv
     bool acked = false;                     // EAGER_ACK already sent
@@ -263,7 +263,7 @@ class Endpoint {
   void scatter_to_user(const RecvRequest& recv, std::size_t offset,
                        std::span<const std::byte> data);
   void eager_deliver_frag(InboundMsg& msg, std::uint32_t frag_offset,
-                          std::vector<std::byte>&& data);
+                          DataChunk&& data);
   void finish_eager_inbound(InboundMsg& msg);
   void erase_inbound(InboundMsg& msg);
   void complete_recv(const RecvRequest& recv, Status st);
@@ -342,21 +342,29 @@ class Endpoint {
   PinManager pins_;
   std::unique_ptr<mem::MmuNotifier> notifier_;
 
-  std::unordered_map<RegionId, std::unique_ptr<Region>> regions_;
+  // Request tables are sorted flat maps (deterministic ascending iteration,
+  // no per-entry allocation) over pooled nodes: a SendRequest/PullState must
+  // keep a stable address across reentrant completions that insert into the
+  // table, and the pools recycle the nodes so steady-state traffic stops
+  // allocating. Pools are declared before the tables that hold their nodes.
+  mem::ObjectPool<SendRequest> send_pool_;
+  mem::ObjectPool<PullState> pull_pool_;
+
+  sim::FlatMap<RegionId, std::unique_ptr<Region>> regions_;
   RegionId next_region_ = 1;
 
-  std::unordered_map<std::uint32_t, SendRequest> sends_;
+  sim::FlatMap<std::uint32_t, mem::ObjectPool<SendRequest>::Ptr> sends_;
   std::uint32_t next_send_seq_ = 1;
 
   std::list<RecvRequest> posted_;
   std::uint64_t next_recv_id_ = 1;
   std::list<InboundMsg> inbound_;  // unmatched or in-progress inbound msgs
-  std::unordered_map<std::uint32_t, std::unique_ptr<PullState>> pulls_;
+  sim::FlatMap<std::uint32_t, mem::ObjectPool<PullState>::Ptr> pulls_;
   std::uint32_t next_pull_handle_ = 1;
 
-  std::set<std::uint64_t> completed_;
+  sim::FlatSet<std::uint64_t> completed_;
   std::deque<std::uint64_t> completed_fifo_;
-  std::set<std::uint64_t> pending_pull_retries_;  // sender fast-retry polls
+  sim::FlatSet<std::uint64_t> pending_pull_retries_;  // sender fast-retry polls
 };
 
 }  // namespace pinsim::core

@@ -45,7 +45,11 @@ void PinManager::emit_invalidate(Region& r, std::size_t cut) {
 }
 
 PinManager::Tracked& PinManager::track(Region& r) {
-  Tracked& t = tracked_[r.id()];
+  auto it = tracked_.find(r.id());
+  if (it == tracked_.end()) {
+    it = tracked_.emplace(r.id(), tracked_pool_.acquire()).first;
+  }
+  Tracked& t = *it->second;
   t.region = &r;
   return t;
 }
@@ -53,8 +57,8 @@ PinManager::Tracked& PinManager::track(Region& r) {
 PinManager::Tracked* PinManager::find_alive(RegionId rid,
                                             const Region* expected) {
   auto it = tracked_.find(rid);
-  if (it == tracked_.end() || it->second.region != expected) return nullptr;
-  return &it->second;
+  if (it == tracked_.end() || it->second->region != expected) return nullptr;
+  return it->second.get();
 }
 
 void PinManager::register_region(Region& r) {
@@ -374,8 +378,8 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
   // part of the deterministic contract.
   std::vector<std::pair<RegionId, Region*>> hits;
   for (const auto& [rid, t] : tracked_) {
-    if (t.registered && t.region->overlaps(start, end)) {
-      hits.emplace_back(rid, t.region);
+    if (t->registered && t->region->overlaps(start, end)) {
+      hits.emplace_back(rid, t->region);
     }
   }
   for (const auto& [rid, rp] : hits) {
@@ -445,13 +449,13 @@ bool PinManager::shed_one_victim() {
   sim::Time oldest = 0;
   for (const auto& [rid, t] : tracked_) {
     (void)rid;
-    if (!t.registered) continue;
-    Region* region = t.region;
+    if (!t->registered) continue;
+    Region* region = t->region;
     if (region->use_count() != 0 || region->pinned_pages() == 0) continue;
-    if (t.job.active) continue;
-    if (victim == nullptr || t.last_use < oldest) {
+    if (t->job.active) continue;
+    if (victim == nullptr || t->last_use < oldest) {
       victim = region;
-      oldest = t.last_use;
+      oldest = t->last_use;
     }
   }
   if (victim == nullptr) return false;  // nothing evictable

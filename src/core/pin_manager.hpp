@@ -3,7 +3,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -12,9 +11,11 @@
 #include "core/region.hpp"
 #include "cpu/core.hpp"
 #include "cpu/cpu_model.hpp"
+#include "mem/pool.hpp"
 #include "obs/event.hpp"
 #include "obs/relay.hpp"
 #include "sim/engine.hpp"
+#include "sim/flat_map.hpp"
 
 namespace pinsim::core {
 
@@ -102,11 +103,14 @@ class PinManager {
   };
 
   /// Everything the manager knows about one region, keyed by the region's
-  /// stable id in an *ordered* map: iteration order (notifier invalidation,
-  /// LRU shedding ties) is then part of the deterministic contract instead
-  /// of hash-of-pointer happenstance (pinlint D1/D2). The Region pointer is
-  /// re-validated against the tracked entry before any deref from a timer
-  /// callback, so a region destroyed during a backoff cannot be touched.
+  /// stable id in an *ordered* flat map: iteration order (notifier
+  /// invalidation, LRU shedding ties) is then part of the deterministic
+  /// contract instead of hash-of-pointer happenstance (pinlint D1/D2). The
+  /// Region pointer is re-validated against the tracked entry before any
+  /// deref from a timer callback, so a region destroyed during a backoff
+  /// cannot be touched. Entries live in pooled nodes so references survive
+  /// reentrant completions that insert into the map, and churn (declare/
+  /// undeclare cycles) stops allocating at steady state.
   struct Tracked {
     Region* region = nullptr;
     sim::Time last_use = 0;
@@ -142,7 +146,10 @@ class PinManager {
   const cpu::CpuModel& cpu_;
   PinningConfig cfg_;
   Counters& counters_;
-  std::map<RegionId, Tracked> tracked_;
+  // Pool declared before the map: map entries hold pool nodes, so the pool
+  // must outlive them on destruction.
+  mem::ObjectPool<Tracked> tracked_pool_;
+  sim::FlatMap<RegionId, mem::ObjectPool<Tracked>::Ptr> tracked_;
   std::function<void(Region&)> failure_handler_;
   const obs::Relay* relay_ = nullptr;
   std::uint32_t node_ = 0;

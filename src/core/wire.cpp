@@ -8,7 +8,8 @@ namespace {
 
 class Writer {
  public:
-  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
+  explicit Writer(std::size_t reserve)
+      : out_(frame_buffers().acquire_reserved(reserve)) {}
 
   void u8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
   void u32(std::uint32_t v) {
@@ -55,6 +56,15 @@ class Reader {
                                in_.end());
     pos_ = in_.size();
     return out;
+  }
+  /// Position of the next unread byte; with skip_rest(), lets decode_frame
+  /// compute the (offset, length) window of the trailing data bytes without
+  /// materializing them.
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  std::size_t skip_rest() noexcept {
+    const std::size_t n = in_.size() - pos_;
+    pos_ = in_.size();
+    return n;
   }
   void expect_end() const {
     if (pos_ != in_.size()) throw WireFormatError("trailing bytes");
@@ -202,7 +212,13 @@ std::vector<std::byte> encode(const Packet& p) {
   return out;
 }
 
-Packet decode(std::span<const std::byte> bytes) {
+namespace {
+
+/// Shared decode body. When `owner` is non-null it is the vector `bytes`
+/// views, and bulk data is adopted out of it zero-copy (the vector is left
+/// unspecified-but-valid afterwards); when null, bulk data is copied.
+Packet decode_impl(std::span<const std::byte> bytes,
+                   std::vector<std::byte>* owner) {
   if (bytes.size() < kHeaderBytes + kChecksumBytes) {
     throw WireFormatError("truncated packet");
   }
@@ -213,6 +229,15 @@ Packet decode(std::span<const std::byte> bytes) {
     stored |= static_cast<std::uint32_t>(bytes[body.size() + i]) << (8 * i);
   }
   if (frame_checksum(body) != stored) throw WireChecksumError();
+
+  // Takes the trailing data bytes: adopting the owning vector when there is
+  // one (the CRC above already vouched for the window), copying otherwise.
+  const auto take_rest = [&](Reader& r) -> DataChunk {
+    if (owner == nullptr) return DataChunk(r.rest());
+    const std::size_t off = r.pos();
+    const std::size_t n = r.skip_rest();
+    return DataChunk::adopt(std::move(*owner), off, n);
+  };
 
   Reader r(body);
   Packet p;
@@ -229,10 +254,12 @@ Packet decode(std::span<const std::byte> bytes) {
       b.msg_len = r.u32();
       b.frag_offset = r.u32();
       b.seq = r.u32();
-      b.data = r.rest();
-      if (b.frag_offset + b.data.size() > b.msg_len) {
+      // Bounds check BEFORE adopting: on throw the caller's payload vector
+      // must still be intact for drop attribution.
+      if (b.frag_offset + (body.size() - r.pos()) > b.msg_len) {
         throw WireFormatError("eager fragment out of bounds");
       }
+      b.data = take_rest(r);
       p.body = std::move(b);
       break;
     }
@@ -268,7 +295,7 @@ Packet decode(std::span<const std::byte> bytes) {
       PullReplyBody b;
       b.handle = r.u32();
       b.offset = r.u64();
-      b.data = r.rest();
+      b.data = take_rest(r);
       p.body = std::move(b);
       break;
     }
@@ -295,6 +322,27 @@ Packet decode(std::span<const std::byte> bytes) {
       break;
     }
   }
+  return p;
+}
+
+}  // namespace
+
+mem::BufferPool& frame_buffers() {
+  static mem::BufferPool pool;
+  return pool;
+}
+
+Packet decode(std::span<const std::byte> bytes) {
+  return decode_impl(bytes, nullptr);
+}
+
+Packet decode_frame(net::Frame& frame) {
+  Packet p = decode_impl(frame.payload, &frame.payload);
+  if (!frame.payload.empty()) {
+    // Not adopted (no bulk data in this packet type): recycle the capacity.
+    frame_buffers().release(std::move(frame.payload));
+  }
+  frame.payload.clear();
   return p;
 }
 

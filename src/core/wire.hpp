@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -8,7 +9,170 @@
 #include <variant>
 #include <vector>
 
+#include "mem/pool.hpp"
+#include "net/frame.hpp"
+
 namespace pinsim::core {
+
+/// Process-wide recycling pool for frame payload buffers. encode() draws
+/// its output vector from here and DataChunk returns its backing on
+/// destruction, so steady-state traffic stops allocating per frame. The
+/// simulator is single-threaded; the pool is not synchronized.
+[[nodiscard]] mem::BufferPool& frame_buffers();
+
+/// Owning view of a packet's bulk data: a backing buffer plus an
+/// (offset, length) window into it.
+///
+/// The receive path used to copy every EAGER/PULL_REPLY payload out of the
+/// frame bytes into a fresh vector during decode. A DataChunk instead
+/// *adopts* the whole frame payload and points at the data bytes inside it
+/// (the CRC trailer makes the window trustworthy), so the only remaining
+/// copy on the hot receive path is the one the simulated DMA semantics
+/// require (Region::copy_in). The vector-like surface (resize/assign/
+/// operator[]/iterators) keeps packet-crafting tests and the send path,
+/// which still materialize their own bytes, unchanged.
+///
+/// The backing buffer is returned to frame_buffers() on destruction.
+class DataChunk {
+ public:
+  DataChunk() = default;
+  /// Wraps a whole buffer (offset 0). Implicit so `body.data = vector` at
+  /// packet-crafting sites keeps working.
+  DataChunk(std::vector<std::byte> bytes)  // NOLINT(google-explicit-constructor)
+      : backing_(std::move(bytes)), len_(backing_.size()) {}
+  /// `n` copies of `value` (vector's fill constructor, for packet crafting).
+  DataChunk(std::size_t n, std::byte value) { assign(n, value); }
+
+  /// Takes ownership of `backing` and views `[off, off + len)` of it.
+  [[nodiscard]] static DataChunk adopt(std::vector<std::byte>&& backing,
+                                       std::size_t off, std::size_t len) {
+    DataChunk c;
+    c.backing_ = std::move(backing);
+    c.off_ = off;
+    c.len_ = len;
+    return c;
+  }
+
+  ~DataChunk() { recycle(); }
+
+  /// Copies duplicate only the viewed window, not the whole frame.
+  DataChunk(const DataChunk& other) { assign_span(other.span()); }
+  DataChunk& operator=(const DataChunk& other) {
+    if (this != &other) assign_span(other.span());
+    return *this;
+  }
+
+  DataChunk(DataChunk&& other) noexcept
+      : backing_(std::move(other.backing_)), off_(other.off_), len_(other.len_) {
+    other.backing_.clear();
+    other.off_ = 0;
+    other.len_ = 0;
+  }
+  DataChunk& operator=(DataChunk&& other) noexcept {
+    if (this != &other) {
+      recycle();
+      backing_ = std::move(other.backing_);
+      off_ = other.off_;
+      len_ = other.len_;
+      other.backing_.clear();
+      other.off_ = 0;
+      other.len_ = 0;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return backing_.data() + off_;
+  }
+  [[nodiscard]] std::byte* data() noexcept { return backing_.data() + off_; }
+  [[nodiscard]] const std::byte* begin() const noexcept { return data(); }
+  [[nodiscard]] const std::byte* end() const noexcept { return data() + len_; }
+  [[nodiscard]] std::byte* begin() noexcept { return data(); }
+  [[nodiscard]] std::byte* end() noexcept { return data() + len_; }
+  [[nodiscard]] const std::byte& operator[](std::size_t i) const noexcept {
+    return backing_[off_ + i];
+  }
+  [[nodiscard]] std::byte& operator[](std::size_t i) noexcept {
+    return backing_[off_ + i];
+  }
+
+  [[nodiscard]] std::span<const std::byte> span() const noexcept {
+    return {data(), len_};
+  }
+  operator std::span<const std::byte>() const noexcept {  // NOLINT
+    return span();
+  }
+  operator std::span<std::byte>() noexcept {  // NOLINT
+    return {data(), len_};
+  }
+
+  /// Grows/shrinks the window; compacts an adopted view first so indices
+  /// stay zero-based. New bytes are value-initialized.
+  void resize(std::size_t n) {
+    compact();
+    backing_.resize(n);
+    len_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n == 0) {
+      recycle();
+      return;
+    }
+    assign_span({&*first, n});
+  }
+  void assign(std::size_t n, std::byte value) {
+    recycle();
+    backing_ = frame_buffers().acquire(n);
+    std::fill(backing_.begin(), backing_.end(), value);
+    off_ = 0;
+    len_ = n;
+  }
+
+  friend bool operator==(const DataChunk& a, const DataChunk& b) {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void assign_span(std::span<const std::byte> src) {
+    // Self-assignment-safe only because callers never alias; recycle first
+    // would invalidate src, so stage through a pool buffer.
+    std::vector<std::byte> fresh = frame_buffers().acquire(src.size());
+    std::copy(src.begin(), src.end(), fresh.begin());
+    recycle();
+    backing_ = std::move(fresh);
+    off_ = 0;
+    len_ = backing_.size();
+  }
+  void compact() {
+    if (off_ == 0) {
+      backing_.resize(len_);
+      return;
+    }
+    std::copy(backing_.begin() + static_cast<std::ptrdiff_t>(off_),
+              backing_.begin() + static_cast<std::ptrdiff_t>(off_ + len_),
+              backing_.begin());
+    backing_.resize(len_);
+    off_ = 0;
+  }
+  void recycle() {
+    if (!backing_.empty() || backing_.capacity() != 0) {
+      frame_buffers().release(std::move(backing_));
+      backing_.clear();
+    }
+    off_ = 0;
+    len_ = 0;
+  }
+
+  std::vector<std::byte> backing_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
 
 /// MXoE-like wire protocol. Packets are serialized to real bytes inside
 /// Ethernet frames (little-endian, bounds-checked decode), so protocol tests
@@ -46,7 +210,7 @@ struct EagerBody {
   std::uint32_t msg_len = 0;
   std::uint32_t frag_offset = 0;
   std::uint32_t seq = 0;
-  std::vector<std::byte> data;
+  DataChunk data;
 };
 
 struct EagerAckBody {
@@ -74,7 +238,7 @@ struct PullBody {
 struct PullReplyBody {
   std::uint32_t handle = 0;
   std::uint64_t offset = 0;  // absolute message offset of this frame
-  std::vector<std::byte> data;
+  DataChunk data;
 };
 
 /// Transfer complete: sender may release its resources.
@@ -132,7 +296,16 @@ inline constexpr std::size_t kChecksumBytes = 4;
 
 /// Parses frame payload bytes. Throws WireChecksumError when the trailing
 /// CRC does not match, and WireFormatError on truncated or malformed input.
+/// Bulk data (EAGER/PULL_REPLY) is copied out of `bytes`; the receive hot
+/// path uses decode_frame() instead to avoid that copy.
 [[nodiscard]] Packet decode(std::span<const std::byte> bytes);
+
+/// Like decode(), but zero-copy for bulk data: on success the frame's
+/// payload vector is adopted as the DataChunk backing of an EAGER or
+/// PULL_REPLY body (recycled into frame_buffers() for the other packet
+/// types), leaving `frame.payload` empty. On throw the payload is left
+/// intact so the caller can still attribute the drop from the raw bytes.
+[[nodiscard]] Packet decode_frame(net::Frame& frame);
 
 /// Serialized size of a packet with `data_bytes` of payload, for MTU math.
 /// Includes the trailing checksum.

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
 #include "net/frame.hpp"
 #include "obs/event.hpp"
 #include "obs/relay.hpp"
+#include "sim/flat_map.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -122,8 +122,9 @@ class FaultInjector {
   void trace(obs::EventKind kind, const Frame& frame);
 
   FaultPlan global_;
-  std::map<std::uint64_t, FaultPlan> link_plans_;
-  std::map<std::uint64_t, bool> burst_bad_;  // Gilbert–Elliott state per link
+  sim::FlatMap<std::uint64_t, FaultPlan> link_plans_;
+  // Gilbert–Elliott state per link
+  sim::FlatMap<std::uint64_t, bool> burst_bad_;
   sim::Rng rng_;
   obs::Relay relay_;
   Stats stats_;

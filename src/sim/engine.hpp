@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <exception>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,13 +17,29 @@ namespace pinsim::sim {
 /// The engine is strictly single-threaded; everything above it (memory, NIC
 /// interrupts, the Open-MX driver, MPI ranks) is a state machine or coroutine
 /// driven by these callbacks.
+///
+/// Internally the queue is a hierarchical timing wheel (calendar queue):
+/// 11 levels of 64 buckets index successive 6-bit fields of the absolute
+/// timestamp, so schedule and cancel are O(1) and dispatch is amortized O(1)
+/// with occasional bucket cascades — no per-event heap churn and no hash-set
+/// membership tracking on the hot path. Events live in a slab of pooled
+/// nodes; an EventId carries the node's slot plus its generation-unique
+/// sequence number, so cancellation is one bounds check and one compare
+/// instead of a hash lookup. The (time, seq) total order of the former
+/// binary-heap scheduler is preserved bit-exactly: same-time events are
+/// dispatched in ascending sequence order regardless of which buckets they
+/// travelled through.
 class Engine {
  public:
   using Callback = UniqueFunction;
 
-  /// Opaque handle for cancelling a scheduled event.
+  /// Opaque handle for cancelling a scheduled event. `seq` is the globally
+  /// unique scheduling sequence number; `slot` locates the slab node so
+  /// cancellation needs no lookup structure (the node's own `seq` acts as a
+  /// generation tag against slot reuse).
   struct EventId {
     std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
     [[nodiscard]] constexpr bool valid() const noexcept { return seq != 0; }
   };
 
@@ -43,8 +59,9 @@ class Engine {
   }
 
   /// Cancels a pending event. Returns false if it already fired, was already
-  /// cancelled, or `id` is invalid. Cancellation is O(1) (lazy: the slot is
-  /// skipped when popped).
+  /// cancelled, or `id` is invalid. Cancellation is O(1) and eager: the node
+  /// is unlinked and recycled immediately, so `pending()` always equals live
+  /// queue occupancy (no lazily-dead entries linger).
   bool cancel(EventId id);
 
   /// Runs the single next event. Returns false if the queue is empty.
@@ -55,7 +72,12 @@ class Engine {
   std::size_t run();
 
   /// Runs every event with timestamp <= `deadline`, then advances `now()` to
-  /// `deadline` (even if idle). Returns events processed.
+  /// `deadline` (even if idle) — unless `stop()` interrupted the run. A
+  /// stopped run returns with `now()` parked at the interrupting event's
+  /// timestamp and the remaining due events still queued, so a subsequent
+  /// `run_until(deadline)` resumes the unfinished window instead of skipping
+  /// it; check `stop_requested()` to distinguish the two outcomes. Returns
+  /// events processed.
   std::size_t run_until(Time deadline);
 
   /// Makes `run()`/`run_until()` return after the current event completes.
@@ -64,12 +86,17 @@ class Engine {
   void clear_stop() noexcept { stopped_ = false; }
 
   /// Number of live (non-cancelled) pending events.
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return pending_seqs_.size();
-  }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Exhaustive accounting audit for tests: walks the wheel, the due batch
+  /// and the slab free list and cross-checks them against `pending()` and
+  /// the occupancy bitmaps. Returns true when consistent; otherwise fills
+  /// `why` (if non-null) with the first discrepancy. O(slab size) — not for
+  /// hot paths.
+  [[nodiscard]] bool self_check(std::string* why = nullptr) const;
 
   /// Detached coroutines report uncaught exceptions here (see task.hpp)
   /// instead of terminating, so tests can assert on failure paths.
@@ -84,23 +111,59 @@ class Engine {
   void rethrow_task_failures() const;
 
  private:
-  struct Entry {
-    Time when = 0;
-    std::uint64_t seq = 0;
-    Callback cb;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kBucketsPerLevel = 1 << kLevelBits;  // 64
+  /// 11 levels x 6 bits = 66 bits: every representable timestamp delta maps
+  /// to some level, so there is no separate overflow list.
+  static constexpr int kLevels = 11;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Where a slab node currently lives.
+  enum class Where : std::uint8_t {
+    kFree = 0,   // on the free list
+    kWheel = 1,  // linked into a wheel bucket
+    kDue = 2,    // extracted into the due batch, awaiting dispatch
   };
 
-  // Min-heap on (when, seq). std::priority_queue cannot move the callback out
-  // of top(), so we manage the heap manually over a vector.
-  static bool later(const Entry& a, const Entry& b) noexcept {
-    return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-  }
+  struct Node {
+    Time when = 0;
+    std::uint64_t seq = 0;  // generation tag; 0 = never scheduled/freed
+    Callback cb;
+    std::uint32_t prev = kNil;  // intrusive list links within a bucket
+    std::uint32_t next = kNil;  // (free-list chaining reuses `next`)
+    std::uint16_t level = 0;
+    std::uint16_t bucket = 0;
+    Where where = Where::kFree;
+  };
 
-  Entry pop_top();
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_seqs_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint32_t alloc_node();
+  void free_node(std::uint32_t idx);
+  /// Files node `idx` by `when` relative to `now_`: a wheel bucket, or the
+  /// due batch when `when == now_`.
+  void file_node(std::uint32_t idx);
+  void bucket_unlink(std::uint32_t idx);
+  /// Advances `now_` to the next event time if it is <= `limit` and moves
+  /// that event's whole same-time batch into `due_` (sorted by seq).
+  /// Returns false — without firing or overshooting `limit` — otherwise.
+  bool extract_next(Time limit);
+  /// Dispatches the next live entry of the due batch; false if none.
+  bool fire_one();
+
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t free_count_ = 0;
+  Bucket wheel_[kLevels][kBucketsPerLevel];
+  std::uint64_t occupied_[kLevels] = {};
+  /// Same-time dispatch batch: (slab index, seq) pairs in ascending seq
+  /// order. Entries whose node was cancelled are skipped on dispatch.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> due_;
+  std::size_t due_cursor_ = 0;
+  std::size_t live_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;

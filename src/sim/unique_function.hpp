@@ -1,6 +1,7 @@
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -12,7 +13,23 @@ namespace pinsim::sim {
 /// handles, frame payloads, unique_ptrs), which `std::function` cannot hold
 /// because it requires copy-constructibility. `std::move_only_function` is
 /// C++23; this is the minimal C++20 equivalent the engine needs.
+///
+/// Callables up to `kInlineSize` bytes are stored inline (no allocation):
+/// the scheduler hot path creates and destroys one callback per event, and
+/// a per-event heap round-trip dominated its cost before the small-buffer
+/// optimization. Larger or potentially-throwing-on-move callables fall back
+/// to the heap.
 class UniqueFunction {
+  /// Sized to fit the simulator's fattest hot-path closures (a pull-reply
+  /// copy continuation carrying a DataChunk plus bookkeeping ids).
+  static constexpr std::size_t kInlineSize = 64;
+  static constexpr std::size_t kInlineAlign = 16;
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
  public:
   UniqueFunction() = default;
 
@@ -20,35 +37,94 @@ class UniqueFunction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      // pinlint: allow(D3: placement new into the inline small-buffer slot)
+      ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      // pinlint: allow(D3: heap fallback for oversized callables)
+      storage_.ptr = new D(std::forward<F>(f));
+      ops_ = &heap_ops<D>;
+    }
+  }
 
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
+  ~UniqueFunction() { reset(); }
+
   [[nodiscard]] explicit operator bool() const noexcept {
-    return impl_ != nullptr;
+    return ops_ != nullptr;
   }
 
-  void operator()() { impl_->invoke(); }
+  void operator()() { ops_->invoke(&storage_); }
 
  private:
-  struct Concept {
-    virtual ~Concept() = default;
-    virtual void invoke() = 0;
+  union Storage {
+    alignas(kInlineAlign) std::byte buf[kInlineSize];
+    void* ptr;
+  };
+
+  struct Ops {
+    void (*invoke)(Storage*);
+    /// Move-construct `dst` from `src` and destroy `src`'s payload.
+    void (*relocate)(Storage* dst, Storage* src) noexcept;
+    void (*destroy)(Storage*) noexcept;
   };
 
   template <typename F>
-  struct Model final : Concept {
-    explicit Model(F&& f) : fn(std::move(f)) {}
-    explicit Model(const F& f) : fn(f) {}
-    void invoke() override { fn(); }
-    F fn;
+  static constexpr Ops inline_ops = {
+      [](Storage* s) { (*std::launder(reinterpret_cast<F*>(s->buf)))(); },
+      [](Storage* dst, Storage* src) noexcept {
+        F* from = std::launder(reinterpret_cast<F*>(src->buf));
+        // pinlint: allow(D3: placement new relocating the inline slot)
+        ::new (static_cast<void*>(dst->buf)) F(std::move(*from));
+        from->~F();
+      },
+      [](Storage* s) noexcept {
+        std::launder(reinterpret_cast<F*>(s->buf))->~F();
+      },
   };
 
-  std::unique_ptr<Concept> impl_;
+  template <typename F>
+  static constexpr Ops heap_ops = {
+      [](Storage* s) { (*static_cast<F*>(s->ptr))(); },
+      [](Storage* dst, Storage* src) noexcept { dst->ptr = src->ptr; },
+      [](Storage* s) noexcept {
+        // pinlint: allow(D3: matching delete for the heap fallback)
+        delete static_cast<F*>(s->ptr);
+      },
+  };
+
+  void move_from(UniqueFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
 };
 
 }  // namespace pinsim::sim

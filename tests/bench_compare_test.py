@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py gate semantics.
+
+The regression this pins down: a current point carrying metrics (or whole
+benches) that the committed baseline predates must be treated as NEW —
+recorded in the delta and warned about — never a crash and never a gate
+failure. Also covers the throughput-drop gate. Stdlib only; run directly or
+via ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "scripts", "bench_compare.py")
+
+
+def write_json(path, obj):
+    with open(path, "w") as f:
+        json.dump(obj, f)
+
+
+def run_compare(baseline, current, *extra):
+    with tempfile.TemporaryDirectory() as td:
+        bpath = os.path.join(td, "base.json")
+        cpath = os.path.join(td, "cur.json")
+        dpath = os.path.join(td, "delta.json")
+        write_json(bpath, baseline)
+        write_json(cpath, current)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "compare", "--baseline", bpath,
+             "--current", cpath, "--delta-out", dpath, *extra],
+            capture_output=True, text=True)
+        delta = None
+        if os.path.exists(dpath):
+            with open(dpath) as f:
+                delta = json.load(f)
+        return proc, delta
+
+
+def hist(mean, p50=None, p95=None, p99=None):
+    return {"count": 10, "mean": mean, "p50": p50 or mean,
+            "p95": p95 or mean, "p99": p99 or mean}
+
+
+def point(label, benches):
+    return {"label": label, "benches": benches}
+
+
+class CompareNewMetricsTest(unittest.TestCase):
+    """Metrics/benches absent from the baseline: record-only + warn."""
+
+    def test_histogram_missing_from_baseline_is_recorded_not_gated(self):
+        base = point("seed", {"fig7": {"invariant_violations": 0,
+                                       "send_latency_ns": hist(1000)}})
+        cur = point("pr", {"fig7": {"invariant_violations": 0,
+                                    "send_latency_ns": hist(1000),
+                                    "pull_latency_ns": hist(5000)}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("pull_latency_ns missing from baseline", proc.stdout)
+        self.assertEqual(delta["verdict"], "PASS")
+        self.assertEqual(delta["benches"]["fig7"]["pull_latency_ns"]["mean"],
+                         [None, 5000])
+        self.assertTrue(any("pull_latency_ns" in w
+                            for w in delta["warnings"]))
+
+    def test_throughput_missing_from_baseline_is_recorded_not_gated(self):
+        base = point("seed", {"fig7": {"invariant_violations": 0,
+                                       "send_latency_ns": hist(1000)}})
+        cur = point("pr", {"fig7": {
+            "invariant_violations": 0,
+            "send_latency_ns": hist(1000),
+            "throughput": {"events_per_sec": 5e6,
+                           "sim_ns_per_wall_ms": 1e9}}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("throughput.events_per_sec missing from baseline",
+                      proc.stdout)
+        self.assertEqual(delta["verdict"], "PASS")
+        self.assertEqual(
+            delta["benches"]["fig7"]["throughput"]["events_per_sec"],
+            [None, 5e6])
+
+    def test_whole_new_bench_is_recorded_not_gated(self):
+        base = point("seed", {"fig7": {"invariant_violations": 0,
+                                       "send_latency_ns": hist(1000)}})
+        cur = point("pr", {"fig7": {"invariant_violations": 0,
+                                    "send_latency_ns": hist(1000)},
+                           "sched": {"invariant_violations": 0,
+                                     "throughput": {
+                                         "events_per_sec": 7e6}}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("sched: bench missing from baseline", proc.stdout)
+        self.assertTrue(delta["benches"]["sched"]["new"])
+
+    def test_extra_keys_everywhere_do_not_crash(self):
+        base = point("seed", {"fig7": {"invariant_violations": 0}})
+        cur = point("pr", {"fig7": {
+            "invariant_violations": 0,
+            "send_latency_ns": hist(1000),
+            "pull_latency_ns": hist(2000),
+            "critical_path": {"completed": 3, "aborted": 0, "orphaned": 0,
+                              "phase_totals_ns": {"pin": 42}},
+            "throughput": {"events_per_sec": 1e6, "sim_ns_per_wall_ms": 2e8,
+                           "events": 1000, "wall_ms": 1.0},
+            "some_future_metric": {"x": 1}}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(delta["verdict"], "PASS")
+
+
+class CompareGatingTest(unittest.TestCase):
+    """Real regressions still fail the gate."""
+
+    def test_latency_regression_fails(self):
+        base = point("seed", {"fig7": {"invariant_violations": 0,
+                                       "send_latency_ns": hist(100000)}})
+        cur = point("pr", {"fig7": {"invariant_violations": 0,
+                                    "send_latency_ns": hist(120000)}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(delta["verdict"], "FAIL")
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        base = point("seed", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 1e6}}})
+        cur = point("pr", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 4e5}}})
+        proc, delta = run_compare(base, cur, "--throughput-threshold", "0.5")
+        self.assertEqual(proc.returncode, 1)
+        self.assertTrue(any("events_per_sec dropped" in f
+                            for f in delta["failures"]))
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        base = point("seed", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 1e6}}})
+        cur = point("pr", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 8e5}}})
+        proc, _ = run_compare(base, cur, "--throughput-threshold", "0.5")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_throughput_gain_never_fails(self):
+        base = point("seed", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 1e6,
+                           "sim_ns_per_wall_ms": 1e8}}})
+        cur = point("pr", {"fig7": {
+            "invariant_violations": 0,
+            "throughput": {"events_per_sec": 3e6,
+                           "sim_ns_per_wall_ms": 3e8}}})
+        proc, _ = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+class CollectThroughputTest(unittest.TestCase):
+    def test_collect_folds_throughput_from_report(self):
+        report = {
+            "invariant_violations": 0,
+            "histograms": {"send_latency_ns": hist(1000)},
+            "critical_path": {"completed": 1, "aborted": 0, "orphaned": 0,
+                              "phase_totals_ns": {}},
+            "throughput": {"events": 5000, "wall_ms": 2.5,
+                           "events_per_sec": 2e6,
+                           "sim_ns_per_wall_ms": 4e8},
+        }
+        with tempfile.TemporaryDirectory() as td:
+            rpath = os.path.join(td, "run.report.json")
+            opath = os.path.join(td, "point.json")
+            write_json(rpath, report)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, "collect", "--label", "t",
+                 "--out", opath, f"fig7={rpath}"],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 0,
+                             proc.stdout + proc.stderr)
+            with open(opath) as f:
+                pt = json.load(f)
+        tp = pt["benches"]["fig7"]["throughput"]
+        self.assertEqual(tp["events_per_sec"], 2e6)
+        self.assertEqual(tp["sim_ns_per_wall_ms"], 4e8)
+        self.assertEqual(tp["events"], 5000)
+
+
+if __name__ == "__main__":
+    unittest.main()

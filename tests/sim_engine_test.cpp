@@ -134,6 +134,65 @@ TEST(Engine, RunUntilSkipsCancelledHead) {
   EXPECT_EQ(eng.now(), 10u);
 }
 
+// Regression for the run_until/stop() contract (ISSUE 6): a stopped run
+// leaves now() parked at the interrupting event's timestamp — NOT advanced
+// to the deadline — and the remaining events in the window stay queued, so
+// a subsequent run_until(deadline) resumes the unfinished window instead of
+// silently skipping it.
+TEST(Engine, StopDuringRunUntilParksClockAndResumes) {
+  Engine eng;
+  std::vector<Time> fired_at;
+  eng.schedule_at(10, [&] { fired_at.push_back(eng.now()); });
+  eng.schedule_at(20, [&] {
+    fired_at.push_back(eng.now());
+    eng.stop();
+  });
+  eng.schedule_at(30, [&] { fired_at.push_back(eng.now()); });
+  eng.schedule_at(40, [&] { fired_at.push_back(eng.now()); });
+
+  EXPECT_EQ(eng.run_until(100), 2u);
+  EXPECT_TRUE(eng.stop_requested());
+  // Clock parked at the stopping event, not at the deadline.
+  EXPECT_EQ(eng.now(), 20u);
+  EXPECT_EQ(eng.pending(), 2u);
+
+  // Resuming with the same deadline finishes the window and only then
+  // advances the clock to the deadline.
+  EXPECT_EQ(eng.run_until(100), 2u);
+  EXPECT_FALSE(eng.stop_requested());
+  EXPECT_EQ(eng.now(), 100u);
+  EXPECT_EQ(fired_at, (std::vector<Time>{10, 20, 30, 40}));
+}
+
+TEST(Engine, StopBetweenSameTimeEventsKeepsRestOfBatch) {
+  Engine eng;
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    eng.schedule_at(50, [&] {
+      if (++fired == 2) eng.stop();
+    });
+  }
+  EXPECT_EQ(eng.run_until(90), 2u);
+  EXPECT_EQ(eng.now(), 50u);
+  EXPECT_EQ(eng.pending(), 4u);
+  // The rest of the 50 ns batch fires on resume, in original order.
+  EXPECT_EQ(eng.run_until(90), 4u);
+  EXPECT_EQ(fired, 6);
+  EXPECT_EQ(eng.now(), 90u);
+}
+
+TEST(Engine, RunUntilIdleStillAdvancesClockWhenNotStopped) {
+  Engine eng;
+  EXPECT_EQ(eng.run_until(1234), 0u);
+  EXPECT_EQ(eng.now(), 1234u);
+  // A stop requested before the run (not during it) is cleared on entry,
+  // exactly like run(): the idle run still advances to the deadline.
+  eng.stop();
+  EXPECT_EQ(eng.run_until(9999), 0u);
+  EXPECT_FALSE(eng.stop_requested());
+  EXPECT_EQ(eng.now(), 9999u);
+}
+
 TEST(Engine, EventsScheduledInsideCallbackAtSameTimeStillRun) {
   Engine eng;
   int depth = 0;
@@ -216,6 +275,88 @@ TEST(Engine, RandomizedCancellationProperty) {
   eng.run();
   EXPECT_EQ(fired, expect);
   EXPECT_EQ(eng.pending(), 0u);
+}
+
+// Mass-cancel torture (ISSUE 6): the old scheduler let cancelled entries
+// linger in the heap until popped, so pending() could disagree with live
+// occupancy after a retry-timer storm. Interleave schedule/cancel/run_until
+// at scale and audit the full accounting invariant with self_check() — which
+// walks the wheel, the due batch and the free list — at every phase.
+TEST(Engine, MassCancelTortureKeepsAccountingExact) {
+  Engine eng;
+  Rng rng(0xc4a05);
+  std::string why;
+  std::vector<Engine::EventId> live_ids;
+  std::size_t fired = 0;
+  std::size_t expected = 0;
+  constexpr int kRounds = 200;
+  constexpr int kBatch = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    // Burst of schedules across several wheel levels (retry timers, frame
+    // hops, and long watchdogs all at once).
+    for (int i = 0; i < kBatch; ++i) {
+      const Time delay = rng.bernoulli(0.7)   ? rng.uniform(0, 2'000)
+                         : rng.bernoulli(0.8) ? rng.uniform(2'000, 200'000)
+                                              : rng.uniform(200'000, 50'000'000);
+      live_ids.push_back(eng.schedule_after(delay, [&] { ++fired; }));
+      ++expected;
+    }
+    // Mass-cancel sweep: kill roughly half of everything still pending,
+    // including events already extracted into the current due batch.
+    for (auto& id : live_ids) {
+      if (id.valid() && rng.bernoulli(0.5) && eng.cancel(id)) {
+        --expected;
+        id = Engine::EventId{};
+      }
+    }
+    std::erase_if(live_ids, [](Engine::EventId id) { return !id.valid(); });
+    const std::size_t before = eng.pending();
+    const std::size_t ran = eng.run_until(eng.now() + 5'000);
+    EXPECT_EQ(eng.pending(), before - ran);
+    // pending() must equal live occupancy exactly — no lazily-dead entries.
+    ASSERT_TRUE(eng.self_check(&why)) << "round " << round << ": " << why;
+  }
+  eng.run();
+  ASSERT_TRUE(eng.self_check(&why)) << "after drain: " << why;
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(eng.pending(), 0u);
+  EXPECT_EQ(eng.processed(), fired);
+}
+
+// Cancelling events that are already in the extracted due batch must not
+// leave stale entries behind or corrupt the batch cursor.
+TEST(Engine, CancelInsideSameTimeBatchIsExact) {
+  Engine eng;
+  std::string why;
+  std::vector<Engine::EventId> ids;
+  int fired = 0;
+  // First event of the batch cancels three later same-time events from
+  // inside its callback — after extract_next has already moved the whole
+  // batch into the due list, so the cancels hit kDue nodes.
+  eng.schedule_at(10, [&] {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(eng.cancel(ids[static_cast<size_t>(i)]));
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(eng.schedule_at(10, [&] { ++fired; }));
+  }
+  eng.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(eng.pending(), 0u);
+  ASSERT_TRUE(eng.self_check(&why)) << why;
+}
+
+TEST(Engine, SelfCheckPassesOnFreshAndDrainedEngine) {
+  Engine eng;
+  std::string why;
+  ASSERT_TRUE(eng.self_check(&why)) << why;
+  for (int i = 0; i < 100; ++i) {
+    eng.schedule_at(static_cast<Time>(i * 17 % 50), [] {});
+  }
+  ASSERT_TRUE(eng.self_check(&why)) << why;
+  eng.run();
+  ASSERT_TRUE(eng.self_check(&why)) << why;
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
