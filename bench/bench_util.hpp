@@ -17,6 +17,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/invariants.hpp"
 #include "obs/latency.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
@@ -106,6 +107,7 @@ struct ObsRig {
     bus.attach(&latency);
     bus.attach(&critical_path);
     bus.attach(&metrics);
+    bus.attach(&lifecycle);
     if (!trace_path.empty()) {
       chrome = std::make_unique<obs::ChromeTraceWriter>(trace_path);
       bus.attach(chrome.get());
@@ -126,6 +128,7 @@ struct ObsRig {
       }
     }
     c.fabric->faults().set_bus(&bus);
+    c.fabric->set_bus(&bus);  // link up/down lifecycle events
   }
 
   ObsRig(const ObsRig&) = delete;
@@ -157,6 +160,7 @@ struct ObsRig {
     bool first = true;
     for (auto& h : cluster->hosts) {
       for (std::size_t i = 0; i < h->process_count(); ++i) {
+        if (!h->process_alive(i)) continue;  // killed, not yet restarted
         if (!first) out += ',';
         first = false;
         out += core::format_json_report(h->process(i), *h);
@@ -168,6 +172,8 @@ struct ObsRig {
     out += critical_path.json();
     out += ",\"metrics\":";
     out += metrics.json();
+    out += ",\"lifecycle\":";
+    out += lifecycle.json();
     if (wall_metrics) {
       // pinlint: allow(D1: wall-clock throughput metric, never in sim state)
       const auto now = std::chrono::steady_clock::now();
@@ -222,6 +228,7 @@ struct ObsRig {
   obs::LatencyRecorder latency;
   obs::CriticalPathAnalyzer critical_path;
   obs::MetricsSampler metrics;
+  obs::LifecycleRecorder lifecycle;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
   bool finished = false;
   // Wall-clock throughput baseline (instrumented runs only, see ctor).
@@ -238,6 +245,7 @@ struct ObsRig {
       if (h->dma() != nullptr) h->dma()->set_bus(nullptr);
     }
     cluster->fabric->faults().set_bus(nullptr);
+    cluster->fabric->set_bus(nullptr);
   }
 };
 

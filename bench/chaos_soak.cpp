@@ -134,6 +134,12 @@ int run_pingpong(const Stage& st, const bench::Options& opt,
       static_cast<unsigned long long>(fs.duplicates),
       static_cast<unsigned long long>(fs.reorders),
       mismatches == 0 ? "bit-exact" : "CORRUPTED");
+  // Stage boundary: the engine's structural invariants must survive the
+  // fault barrage before the next stage reuses the pattern.
+  if (std::string why; !cluster.eng.self_check(&why)) {
+    std::printf("  pingpong: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
+    ++mismatches;
+  }
   int violations = 0;
   if (rig) {
     violations = rig->finish();
@@ -271,6 +277,10 @@ int run_alltoallv(const Stage& st, const bench::Options& opt,
                                       *cluster.hosts[0])
                       .c_str());
     }
+  }
+  if (std::string why; !cluster.eng.self_check(&why)) {
+    std::printf("  alltoallv: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
+    ++mismatches;
   }
   int violations = 0;
   if (rig) {

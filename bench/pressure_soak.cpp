@@ -263,6 +263,12 @@ int run_pingpong(const Stage& st, const bench::Options& opt,
                       .c_str());
     }
   }
+  // Stage boundary: the engine's structural invariants must survive the
+  // pressure barrage before the next stage reuses the pattern.
+  if (std::string why; !cluster.eng.self_check(&why)) {
+    std::printf("  pingpong: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
+    ++bad;
+  }
   if (obs) {
     for (auto& inj : rig.injectors) inj->set_bus(nullptr);
     const int violations = obs->finish();
@@ -361,6 +367,10 @@ int run_starvation_probe(const bench::Options& opt) {
   } else {
     std::printf("  recovered: retry bit-exact, failed_resets=%llu\n",
                 static_cast<unsigned long long>(c1.pin_fail_resets));
+  }
+  if (std::string why; !cluster.eng.self_check(&why)) {
+    std::printf("  probe: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
+    ++bad;
   }
   return bad;
 }

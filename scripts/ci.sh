@@ -8,7 +8,7 @@
 # files when those tools exist).
 #
 #   scripts/ci.sh           # default + asan tiers
-#   scripts/ci.sh --soak    # ... plus the full chaos/pressure soaks
+#   scripts/ci.sh --soak    # ... plus the full chaos/pressure/crash soaks
 #   scripts/ci.sh --perf    # ... plus the perf gate (needs python3)
 #   scripts/ci.sh --lint    # ... plus the static-analysis tier
 set -euo pipefail

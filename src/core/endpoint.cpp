@@ -331,7 +331,7 @@ void Endpoint::arm_send_rto(SendRequest& req) {
       }));
 }
 
-void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
+void Endpoint::fail_send(std::uint32_t seq, bool send_abort, bool peer_dead) {
   auto it = sends_.find(seq);
   if (it == sends_.end()) return;
   // Move the pooled node out before erasing: the entry must be gone before
@@ -354,7 +354,96 @@ void Endpoint::fail_send(std::uint32_t seq, bool send_abort) {
   if (!req.eager) {
     if (Region* r = find_region(req.region); r != nullptr) r->drop_use();
   }
-  req.done(Status{false, false, 0});
+  req.done(Status{false, false, 0, peer_dead});
+}
+
+void Endpoint::fail_pull(std::uint32_t handle, bool peer_dead) {
+  auto it = pulls_.find(handle);
+  if (it == pulls_.end()) return;
+  PullState& p = *it->second;
+  if (p.done) {
+    // Data already delivered and completed; only the NOTIFY handshake was
+    // still retransmitting. Just free the handle.
+    destroy_pull(handle);
+    return;
+  }
+  ++counters_.aborts;
+  if (p.region != nullptr) p.region->drop_use();
+  obs::Event e = ev(obs::EventKind::kRecvAbort);
+  e.seq = handle;
+  e.offset = p.sender_seq;
+  e.peer = p.peer_node;
+  e.peer_ep = p.peer_ep;
+  obs_emit(e);
+  complete_recv(p.recv, Status{false, false, 0, peer_dead});
+  destroy_pull(handle);
+}
+
+void Endpoint::fail_all_inflight() {
+  // Ascending-id walks with the keys collected first: fail_send/fail_pull
+  // erase entries and run user completions that may re-enter the tables.
+  std::vector<std::uint32_t> seqs;
+  for (const auto& [seq, req] : sends_) seqs.push_back(seq);
+  for (std::uint32_t seq : seqs) fail_send(seq, /*send_abort=*/false);
+
+  std::vector<std::uint32_t> handles;
+  for (const auto& [handle, ps] : pulls_) handles.push_back(handle);
+  for (std::uint32_t handle : handles) fail_pull(handle, /*peer_dead=*/false);
+
+  while (!posted_.empty()) {
+    RecvRequest recv = std::move(posted_.front());
+    posted_.pop_front();
+    complete_recv(recv, Status{false, false, 0});
+  }
+  inbound_.clear();
+}
+
+void Endpoint::fail_requests_to(net::NodeId node, int peer_ep) {
+  std::vector<std::uint32_t> seqs;
+  for (const auto& [seq, req] : sends_) {
+    if (req->dest.node == node &&
+        (peer_ep < 0 || req->dest.ep == static_cast<std::uint8_t>(peer_ep))) {
+      seqs.push_back(seq);
+    }
+  }
+  for (std::uint32_t seq : seqs) {
+    fail_send(seq, /*send_abort=*/false, /*peer_dead=*/true);
+  }
+  std::vector<std::uint32_t> handles;
+  for (const auto& [handle, ps] : pulls_) {
+    if (ps->peer_node == node &&
+        (peer_ep < 0 || ps->peer_ep == static_cast<std::uint8_t>(peer_ep))) {
+      handles.push_back(handle);
+    }
+  }
+  for (std::uint32_t handle : handles) fail_pull(handle, /*peer_dead=*/true);
+}
+
+void Endpoint::on_peer_restarted(net::NodeId node, std::uint8_t peer_ep) {
+  fail_requests_to(node, peer_ep);
+  // Reassembly records from the dead incarnation: unbound ones evaporate,
+  // bound ones fail their receive.
+  for (auto it = inbound_.begin(); it != inbound_.end();) {
+    if (it->peer_node != node || it->peer_ep != peer_ep) {
+      ++it;
+      continue;
+    }
+    if (it->bound) complete_recv(it->recv, Status{false, false, 0, true});
+    it = inbound_.erase(it);
+  }
+  // Duplicate-suppression memory keyed by the old incarnation's seq space:
+  // the new incarnation reuses seqs from 1, so stale "already completed"
+  // records would silently swallow its messages. inbound_key packs node/ep
+  // into disjoint bit ranges, so prefix filtering is exact.
+  const auto from_peer = [node, peer_ep](std::uint64_t key) {
+    return (key >> 41) == node && ((key >> 33) & 0xff) == peer_ep;
+  };
+  std::vector<std::uint64_t> stale;
+  for (std::uint64_t key : completed_) {
+    if (from_peer(key)) stale.push_back(key);
+  }
+  for (std::uint64_t key : stale) completed_.erase(key);
+  std::erase_if(completed_fifo_, from_peer);
 }
 
 // --- receive posting -----------------------------------------------------------
@@ -1334,6 +1423,10 @@ void Endpoint::send_packet(EndpointAddr dest, PacketBody body,
   pkt.header.type = static_cast<PacketType>(body.index() + 1);
   pkt.header.src_ep = id_;
   pkt.header.dst_ep = dest.ep;
+  // Incarnation fencing: our epoch, and the destination's as far as we have
+  // learned it (0 = unknown, never fenced — first contact always lands).
+  pkt.header.src_epoch = epoch_;
+  pkt.header.dst_epoch = driver_.peer_epoch(dest.node, dest.ep);
   pkt.body = std::move(body);
 
   net::Frame frame;

@@ -41,6 +41,7 @@ struct Status {
   bool ok = true;
   bool truncated = false;
   std::size_t len = 0;  // bytes actually transferred
+  bool peer_dead = false;  // failed because the remote endpoint/node died
 };
 
 using Completion = std::function<void(Status)>;
@@ -121,6 +122,31 @@ class Endpoint {
 
   /// Packet dispatch; runs in BH context on the irq core.
   void handle_packet(net::NodeId src_node, Packet&& pkt);
+
+  // --- crash/restart lifecycle ----------------------------------------------
+
+  /// Crash teardown, called by Host::kill_process before the MMU-notifier
+  /// sweep: every in-flight send, pull, posted receive and reassembly record
+  /// dies right here, completions fire with ok=false, and nothing touches
+  /// the wire — a dead process sends no aborts. Normal destruction stays
+  /// silent; only the explicit crash path emits.
+  void fail_all_inflight();
+
+  /// Fails outstanding sends/pulls whose peer is `node` (all its endpoints
+  /// when `peer_ep` is negative) with Status::peer_dead. Driven by the
+  /// watchdog's missed-heartbeat verdict and by epoch-change detection.
+  void fail_requests_to(net::NodeId node, int peer_ep = -1);
+
+  /// A remote endpoint was reincarnated (or closed): fail what is still
+  /// outstanding to the old incarnation and flush its duplicate-suppression
+  /// and reassembly state — the new incarnation restarts its seq space, so
+  /// stale "already completed" records would wrongly suppress fresh traffic.
+  void on_peer_restarted(net::NodeId node, std::uint8_t peer_ep);
+
+  /// Incarnation number stamped into every outgoing frame (src_epoch);
+  /// assigned by the driver when the slot opens.
+  void set_epoch(std::uint8_t e) noexcept { epoch_ = e; }
+  [[nodiscard]] std::uint8_t epoch() const noexcept { return epoch_; }
 
   [[nodiscard]] std::uint8_t id() const noexcept { return id_; }
   [[nodiscard]] EndpointAddr addr() const noexcept;
@@ -239,7 +265,12 @@ class Endpoint {
   void start_rndv(SendRequest& req);
   void send_rndv_frame(SendRequest& req);
   void arm_send_rto(SendRequest& req);
-  void fail_send(std::uint32_t seq, bool send_abort);
+  void fail_send(std::uint32_t seq, bool send_abort, bool peer_dead = false);
+
+  /// Aborts one in-progress pull locally: drops the region use, emits
+  /// kRecvAbort, completes the receive with ok=false, destroys the state.
+  /// Never sends an abort packet (callers that want one send it first).
+  void fail_pull(std::uint32_t handle, bool peer_dead);
 
   /// Exponential backoff: base retransmit timeout doubled per retry already
   /// burned, capped at `retransmit_backoff_max`.
@@ -336,6 +367,7 @@ class Endpoint {
 
   Driver& driver_;
   std::uint8_t id_;
+  std::uint8_t epoch_ = 1;  // stamped by the driver at open
   mem::AddressSpace& as_;
   cpu::Core& process_core_;
   Counters counters_;

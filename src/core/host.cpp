@@ -49,7 +49,54 @@ Host::Process& Host::spawn_process() {
 Host::Process& Host::spawn_process_on(std::size_t core_idx) {
   processes_.push_back(
       std::make_unique<Process>(*this, *cores_.at(core_idx)));
+  process_core_.push_back(core_idx);
   return *processes_.back();
+}
+
+void Host::kill_process(std::size_t i) {
+  Process& p = *processes_.at(i);
+  const std::uint8_t ep_id = p.ep.id();
+
+  // Pinned-page accounting for the kLifeCrash proof: what the host holds
+  // now, and how much of it belongs to the victim.
+  const std::uint64_t before = pm_.pinned_pages();
+  const std::uint64_t victim_pins = p.as.stats().pins - p.as.stats().unpins;
+
+  // 1. Every in-flight request dies locally. No abort packets leave — the
+  //    process is gone; peers find out via retry exhaustion or watchdog.
+  p.ep.fail_all_inflight();
+
+  // 2. The library's region cache is flushed so cached (idle) regions
+  //    undeclare and release their pins through the normal ioctl path.
+  p.lib.cache().clear();
+
+  // 3. exit()-style address-space teardown: the MMU notifiers fire for every
+  //    VMA, and the pin manager reclaims what is still pinned — the paper's
+  //    core claim that a dying process never has to unpin anything itself.
+  p.as.release_all();
+
+  const std::uint64_t after = pm_.pinned_pages();
+  driver_.note_crash(ep_id, /*reclaimed=*/before - after, /*pinned_after=*/after,
+                     /*baseline=*/before - victim_pins);
+
+  // 4. Destroy the process object; ~EndpointHolder closes the endpoint,
+  //    which bumps the slot epoch for fencing.
+  processes_[i].reset();
+}
+
+Host::Process& Host::restart_process(std::size_t i) {
+  if (processes_.at(i) != nullptr) {
+    throw std::logic_error("restarting a live process");
+  }
+  processes_[i] =
+      std::make_unique<Process>(*this, *cores_.at(process_core_.at(i)));
+  return *processes_[i];
+}
+
+net::Watchdog& Host::enable_watchdog(net::Watchdog::Config cfg) {
+  watchdog_ = std::make_unique<net::Watchdog>(eng_, nic_, cfg);
+  driver_.attach_watchdog(*watchdog_);
+  return *watchdog_;
 }
 
 }  // namespace pinsim::core

@@ -15,6 +15,7 @@
 #include "mem/physical_memory.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
+#include "net/watchdog.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::core {
@@ -79,6 +80,33 @@ class Host {
   /// Spawns a process bound to a specific core.
   Process& spawn_process_on(std::size_t core_idx);
 
+  // --- crash/restart lifecycle ----------------------------------------------
+
+  /// Kills process `i` the way a SIGKILL mid-transfer would: every in-flight
+  /// request fails locally (no wire traffic — a dead process sends no
+  /// aborts), the region cache is flushed, and the address space is torn
+  /// down exit()-style so the MMU notifiers reclaim every pinned page and
+  /// cancel in-flight pin jobs. The driver records the crash (kLifeCrash
+  /// carries the pinned-page baseline proof) and the slot's epoch bumps when
+  /// the endpoint closes, fencing stale frames off the next incarnation.
+  /// The process slot stays empty until restart_process(i).
+  void kill_process(std::size_t i);
+
+  /// Respawns a killed process on the core it died on. Fresh address space,
+  /// fresh endpoint (same slot if free, stamped with the bumped epoch),
+  /// fresh library. Emits kLifeRestart.
+  Process& restart_process(std::size_t i);
+
+  [[nodiscard]] bool process_alive(std::size_t i) const {
+    return i < processes_.size() && processes_[i] != nullptr;
+  }
+
+  /// Creates the node-liveness watchdog and wires it into the driver (epoch
+  /// announcements, heartbeat interception, dead-peer request failure).
+  /// Callers still pick the peers (add_peer) and start() it.
+  net::Watchdog& enable_watchdog(net::Watchdog::Config cfg);
+  [[nodiscard]] net::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+
   [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
   [[nodiscard]] net::Nic& nic() noexcept { return nic_; }
   [[nodiscard]] Driver& driver() noexcept { return driver_; }
@@ -104,7 +132,9 @@ class Host {
   net::Nic nic_;
   std::unique_ptr<ioat::DmaEngine> dma_;
   Driver driver_;
+  std::unique_ptr<net::Watchdog> watchdog_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::size_t> process_core_;  // core index, for restart
   std::size_t next_core_ = 1;
 };
 

@@ -37,7 +37,9 @@ void Library::submit_send(Request* r, EndpointAddr dest, std::uint64_t match,
 
   if (total <= proto.eager_threshold) {
     core.submit(cpu::Priority::kKernel, proto.syscall_cost,
-                [this, dest, match, segs = std::move(segments), r]() mutable {
+                [this, alive = std::weak_ptr<void>(alive_), dest, match,
+                 segs = std::move(segments), r]() mutable {
+                  if (alive.expired()) return;  // library died mid-queue
                   if (r->cancel_requested_) {
                     r->complete(Status{false, false, 0});
                     return;
@@ -53,8 +55,10 @@ void Library::submit_send(Request* r, EndpointAddr dest, std::uint64_t match,
   // User-space region-cache lookup, then the send ioctl.
   core.submit(
       cpu::Priority::kUser, kCacheLookupCost,
-      [this, dest, match, segs = std::move(segments), total, r, &core,
-       &proto, blocking_hint]() mutable {
+      [this, alive = std::weak_ptr<void>(alive_), dest, match,
+       segs = std::move(segments), total, r, &core, &proto,
+       blocking_hint]() mutable {
+        if (alive.expired()) return;  // library died mid-queue
         if (r->cancel_requested_) {
           r->complete(Status{false, false, 0});
           return;
@@ -62,7 +66,8 @@ void Library::submit_send(Request* r, EndpointAddr dest, std::uint64_t match,
         const RegionId rid = cache_.acquire(segs);
         r->region_ = rid;
         core.submit(cpu::Priority::kKernel, proto.syscall_cost,
-                    [this, dest, match, rid, total, r, blocking_hint] {
+                    [this, alive, dest, match, rid, total, r, blocking_hint] {
+                      if (alive.expired()) return;
                       if (r->cancel_requested_) {
                         cache_.release(rid);
                         r->complete(Status{false, false, 0});
@@ -90,7 +95,9 @@ void Library::submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
 
   if (total <= proto.eager_threshold) {
     core.submit(cpu::Priority::kKernel, proto.syscall_cost,
-                [this, match, mask, segs = std::move(segments), r]() mutable {
+                [this, alive = std::weak_ptr<void>(alive_), match, mask,
+                 segs = std::move(segments), r]() mutable {
+                  if (alive.expired()) return;  // library died mid-queue
                   if (r->cancel_requested_) {
                     r->complete(Status{false, false, 0});
                     return;
@@ -105,8 +112,10 @@ void Library::submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
 
   core.submit(
       cpu::Priority::kUser, kCacheLookupCost,
-      [this, match, mask, segs = std::move(segments), r, &core,
-       &proto, blocking_hint]() mutable {
+      [this, alive = std::weak_ptr<void>(alive_), match, mask,
+       segs = std::move(segments), r, &core, &proto,
+       blocking_hint]() mutable {
+        if (alive.expired()) return;  // library died mid-queue
         if (r->cancel_requested_) {
           r->complete(Status{false, false, 0});
           return;
@@ -114,8 +123,9 @@ void Library::submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
         const RegionId rid = cache_.acquire(segs);
         r->region_ = rid;
         core.submit(cpu::Priority::kKernel, proto.syscall_cost,
-                    [this, match, mask, segs = std::move(segs), rid, r,
+                    [this, alive, match, mask, segs = std::move(segs), rid, r,
                      blocking_hint]() mutable {
+                      if (alive.expired()) return;
                       if (r->cancel_requested_) {
                         cache_.release(rid);
                         r->complete(Status{false, false, 0});
@@ -144,6 +154,9 @@ RequestPtr Library::isend(EndpointAddr dest, std::uint64_t match,
 RequestPtr Library::isendv(EndpointAddr dest, std::uint64_t match,
                            std::vector<Segment> segments,
                            bool blocking_hint) {
+  // The watchdog already declared this node dead: fail fast in the caller's
+  // context instead of spending the whole retry budget against silence.
+  if (ep_.driver().peer_dead(dest.node)) throw PeerDeadError(dest.node);
   auto req = std::make_unique<Request>(eng_);
   submit_send(req.get(), dest, match, std::move(segments), blocking_hint);
   return req;

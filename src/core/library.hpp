@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/endpoint.hpp"
@@ -10,6 +11,20 @@
 #include "sim/task.hpp"
 
 namespace pinsim::core {
+
+/// Thrown synchronously (in the caller's context, before anything is
+/// submitted) when a send targets a node the watchdog has declared dead.
+/// MX semantics for a known-dead peer: fail fast instead of burning the
+/// whole retry budget against silence.
+class PeerDeadError : public std::runtime_error {
+ public:
+  explicit PeerDeadError(net::NodeId node)
+      : std::runtime_error("isend to a dead peer node"), node_(node) {}
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+
+ private:
+  net::NodeId node_;
+};
 
 /// A user-visible communication request. The owner keeps it alive until it
 /// completes; coroutines `co_await req->wait()`.
@@ -108,6 +123,12 @@ class Library {
                    std::vector<Segment> segments, bool blocking_hint);
   void submit_recv(Request* r, std::uint64_t match, std::uint64_t mask,
                    std::vector<Segment> segments, bool blocking_hint);
+
+  /// Liveness token for submission closures queued on the process core: a
+  /// process killed with submissions still queued (crash injection) must not
+  /// let them fire into the freed library. Such requests never complete;
+  /// their owner drops them after the kill.
+  std::shared_ptr<void> alive_ = std::make_shared<char>();
 
   Endpoint& ep_;
   sim::Engine& eng_;

@@ -186,8 +186,10 @@ void PinManager::schedule_chunk(Region& r) {
 
   const std::uint64_t gen = job.generation;
   const RegionId rid = r.id();
+  std::weak_ptr<char> alive = alive_;
   core_.submit(cpu::Priority::kKernel, cost, [this, rid, rp = &r, gen,
-                                              chunk] {
+                                              chunk, alive] {
+    if (alive.expired()) return;  // the manager died while the cost accrued
     Tracked* t = find_alive(rid, rp);
     if (t == nullptr || !t->job.active || t->job.generation != gen) {
       return;  // invalidated or undeclared while the cost was accruing

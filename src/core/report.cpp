@@ -77,6 +77,13 @@ std::string format_report(Host::Process& p, Host& host) {
        static_cast<unsigned long long>(c.region_accesses),
        static_cast<unsigned long long>(c.overlap_misses),
        c.overlap_miss_rate());
+  line(out, "  lifecycle: crashes=%llu restarts=%llu reclaimed_pages=%llu "
+            "fenced=%llu hb_timeouts=%llu",
+       static_cast<unsigned long long>(c.lifecycle_crashes),
+       static_cast<unsigned long long>(c.lifecycle_restarts),
+       static_cast<unsigned long long>(c.lifecycle_reclaimed_pages),
+       static_cast<unsigned long long>(c.fenced_stale_frames),
+       static_cast<unsigned long long>(c.heartbeat_timeouts));
   line(out, "  region cache: hits=%llu misses=%llu evictions=%llu live=%zu",
        static_cast<unsigned long long>(cache.hits),
        static_cast<unsigned long long>(cache.misses),
@@ -158,6 +165,11 @@ std::string format_json_report(Host::Process& p, Host& host) {
   field("pin_inval_restarts", c.pin_inval_restarts);
   field("region_accesses", c.region_accesses);
   field("overlap_misses", c.overlap_misses);
+  field("lifecycle_crashes", c.lifecycle_crashes);
+  field("lifecycle_restarts", c.lifecycle_restarts);
+  field("lifecycle_reclaimed_pages", c.lifecycle_reclaimed_pages);
+  field("fenced_stale_frames", c.fenced_stale_frames);
+  field("heartbeat_timeouts", c.heartbeat_timeouts);
   field("cache_hits", cache.hits);
   field("cache_misses", cache.misses);
   field("cache_evictions", cache.evictions);

@@ -78,7 +78,10 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-constexpr std::size_t kHeaderBytes = 3;  // type, src_ep, dst_ep
+// type, src_ep, dst_ep, src_epoch, dst_epoch. The epoch bytes sit AFTER
+// dst_ep: the dst_ep byte's fixed offset (payload[2]) is load-bearing for
+// NIC flow steering and drop attribution.
+constexpr std::size_t kHeaderBytes = 5;
 
 PacketType body_type(const PacketBody& b) noexcept {
   return static_cast<PacketType>(b.index() + 1);
@@ -165,6 +168,8 @@ std::vector<std::byte> encode(const Packet& p) {
   w.u8(static_cast<std::uint8_t>(t));
   w.u8(p.header.src_ep);
   w.u8(p.header.dst_ep);
+  w.u8(p.header.src_epoch);
+  w.u8(p.header.dst_epoch);
 
   std::visit(
       [&w](const auto& body) {
@@ -246,6 +251,8 @@ Packet decode_impl(std::span<const std::byte> bytes,
   p.header.type = static_cast<PacketType>(raw_type);
   p.header.src_ep = r.u8();
   p.header.dst_ep = r.u8();
+  p.header.src_epoch = r.u8();
+  p.header.dst_epoch = r.u8();
 
   switch (p.header.type) {
     case PacketType::kEager: {

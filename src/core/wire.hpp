@@ -195,11 +195,20 @@ enum class PacketType : std::uint8_t {
 
 [[nodiscard]] const char* packet_type_name(PacketType t) noexcept;
 
-/// Endpoint demultiplexing within a node (like an MX endpoint id).
+/// Endpoint demultiplexing within a node (like an MX endpoint id), plus the
+/// incarnation epochs that fence frames across endpoint crash/restart
+/// cycles: `src_epoch` is the sender's current incarnation (endpoints are
+/// born at epoch 1 and every close bumps the slot's epoch), `dst_epoch` the
+/// sender's belief about the destination's incarnation. 0 means "unknown" —
+/// a frame with dst_epoch 0 is never fenced (first contact), and any other
+/// mismatch against the receiver's live epoch is stale pre-crash traffic
+/// dropped at the driver.
 struct PacketHeader {
   PacketType type{};
   std::uint8_t src_ep = 0;
   std::uint8_t dst_ep = 0;
+  std::uint8_t src_epoch = 0;
+  std::uint8_t dst_epoch = 0;
 };
 
 /// Small message fragment. `seq` identifies the message per

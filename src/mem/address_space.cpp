@@ -95,6 +95,12 @@ void AddressSpace::munmap(VirtAddr addr, std::size_t length) {
   }
 }
 
+void AddressSpace::release_all() {
+  // vma_list() snapshots address-ordered (start, length) pairs, so the
+  // notifier sweep order is deterministic and the map can mutate freely.
+  for (const auto& [start, len] : vma_list()) munmap(start, len);
+}
+
 bool AddressSpace::is_mapped(VirtAddr addr, std::size_t length) const {
   if (length == 0) return true;
   VirtAddr cur = addr;

@@ -60,6 +60,14 @@ class AddressSpace {
   /// tearing translations down. Unmapping a hole is a no-op (like Linux).
   void munmap(VirtAddr addr, std::size_t length);
 
+  /// exit()-style teardown of the whole address space: unmaps every VMA in
+  /// address order, firing MMU notifiers before each range's translations
+  /// go. This is the crash path the decoupled-pinning design must survive —
+  /// a dying process never unpins anything itself; the driver's notifiers
+  /// reclaim every pinned page and cancel in-flight pin jobs right here.
+  /// The space is reusable afterwards (a restart mmaps from scratch).
+  void release_all();
+
   /// True if every byte of [addr, addr+length) is inside a mapping.
   [[nodiscard]] bool is_mapped(VirtAddr addr, std::size_t length) const;
 

@@ -20,7 +20,20 @@ NodeId Fabric::attach(Nic* nic) {
   assert(nic != nullptr);
   nics_.push_back(nic);
   ingress_free_.push_back(0);
+  port_up_.push_back(1);
   return static_cast<NodeId>(nics_.size() - 1);
+}
+
+void Fabric::set_port_up(NodeId port, bool up) {
+  if (port >= port_up_.size()) return;
+  if ((port_up_[port] != 0) == up) return;
+  port_up_[port] = up ? 1 : 0;
+  if (bus_ != nullptr && bus_->active()) {
+    obs::Event e;
+    e.kind = up ? obs::EventKind::kLifeLinkUp : obs::EventKind::kLifeLinkDown;
+    e.node = port;
+    bus_->emit(e);
+  }
 }
 
 sim::Time Fabric::serialization_time(std::size_t wire_bytes) const {
@@ -34,6 +47,14 @@ sim::Time Fabric::serialization_time(std::size_t wire_bytes) const {
 void Fabric::transmit(Frame frame) {
   if (frame.dst >= nics_.size()) {
     throw std::invalid_argument("frame to unknown node");
+  }
+  if (!port_up(frame.dst) ||
+      (frame.src < port_up_.size() && !port_up(frame.src))) {
+    // A downed link loses frames silently, exactly like wire loss: the
+    // retransmission machinery (or the watchdog, if it stays down) recovers.
+    ++dropped_;
+    ++link_down_drops_;
+    return;
   }
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
     ++dropped_;
@@ -67,6 +88,13 @@ void Fabric::deliver_frame(Frame frame, sim::Time extra_latency) {
   }
   ++delivered_;
   eng_.schedule_at(done, [this, f = std::move(frame)]() mutable {
+    if (!port_up(f.dst)) {
+      // The link dropped while the frame was in flight.
+      --delivered_;
+      ++dropped_;
+      ++link_down_drops_;
+      return;
+    }
     nics_[f.dst]->deliver(std::move(f));
   });
 }

@@ -5,6 +5,7 @@
 
 #include "net/fault.hpp"
 #include "net/frame.hpp"
+#include "obs/bus.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -62,6 +63,21 @@ class Fabric {
   /// is seeded from Config::seed so runs stay reproducible.
   [[nodiscard]] FaultInjector& faults() noexcept { return faults_; }
 
+  /// Forces a port administratively down (link flap injection): frames to
+  /// or from a down port are dropped at the switch, including frames
+  /// already past the sender's NIC. Ports start (and new attaches arrive)
+  /// up; bringing a port down twice is idempotent.
+  void set_port_up(NodeId port, bool up);
+  [[nodiscard]] bool port_up(NodeId port) const {
+    return port >= port_up_.size() || port_up_[port] != 0;
+  }
+  [[nodiscard]] std::uint64_t link_down_drops() const noexcept {
+    return link_down_drops_;
+  }
+
+  /// Lifecycle-event emission point (kLifeLinkDown/Up); optional.
+  void set_bus(obs::Bus* bus) noexcept { bus_ = bus; }
+
  private:
   /// Applies latency/ingress accounting and hands the frame to the NIC.
   void deliver_frame(Frame frame, sim::Time extra_latency);
@@ -70,10 +86,13 @@ class Fabric {
   Config cfg_;
   std::vector<Nic*> nics_;
   std::vector<sim::Time> ingress_free_;  // per-port ingress availability
+  std::vector<std::uint8_t> port_up_;    // administrative link state
   sim::Rng rng_;
   FaultInjector faults_;
+  obs::Bus* bus_ = nullptr;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t link_down_drops_ = 0;
 };
 
 }  // namespace pinsim::net

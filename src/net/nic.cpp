@@ -35,10 +35,28 @@ void Nic::pump_tx() {
   stats_.tx_bytes += frame.payload.size();
   // The frame leaves the port after its serialization time, then the next
   // queued frame starts clocking out.
-  eng_.schedule_after(wire, [this, f = std::move(frame)]() mutable {
+  tx_done_ = eng_.schedule_after(wire, [this, f = std::move(frame)]() mutable {
+    tx_done_ = {};
     fabric_.transmit(std::move(f));
     pump_tx();
   });
+}
+
+std::size_t Nic::reset() {
+  std::size_t lost = tx_queue_.size();
+  tx_queue_.clear();
+  if (tx_done_.valid() && eng_.cancel(tx_done_)) {
+    ++lost;  // the frame mid-serialization died with the ring
+  }
+  tx_done_ = {};
+  tx_busy_ = false;
+  stats_.tx_ring_drops += lost;
+  // Queued bottom halves hold frames whose ring slots no longer exist:
+  // bump the generation so they drain without reaching the driver.
+  stats_.rx_ring_drops += rx_inflight_;
+  ++reset_gen_;
+  ++resets_;
+  return lost;
 }
 
 void Nic::deliver(Frame frame) {
@@ -55,8 +73,10 @@ void Nic::deliver(Frame frame) {
   // runs there.
   cpu::Core& core = rx_select_ ? rx_select_(frame) : irq_core_;
   core.submit(cpu::Priority::kBottomHalf, cfg_.rx_frame_overhead,
-              [this, f = std::move(frame)]() mutable {
+              [this, gen = reset_gen_, f = std::move(frame)]() mutable {
                 --rx_inflight_;
+                // A reset since enqueue wiped this frame's ring slot.
+                if (gen != reset_gen_) return;
                 if (rx_handler_) rx_handler_(std::move(f));
               });
 }

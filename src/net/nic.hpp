@@ -68,6 +68,15 @@ class Nic {
   /// Fabric-side entry: a frame has finished arriving at this port.
   void deliver(Frame frame);
 
+  /// Hard NIC reset (firmware reload / lifecycle injection): wipes the TX
+  /// ring including the frame currently clocking out, and invalidates every
+  /// RX frame still waiting for its bottom half — they were sitting in ring
+  /// memory the reset just reinitialized. Returns the number of TX frames
+  /// lost (counted as tx_ring_drops; RX casualties count as rx_ring_drops).
+  std::size_t reset();
+
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] cpu::Core& irq_core() noexcept { return irq_core_; }
 
@@ -83,7 +92,10 @@ class Nic {
   RxCoreSelector rx_select_;
   std::deque<Frame> tx_queue_;
   bool tx_busy_ = false;
+  sim::Engine::EventId tx_done_{};  // in-flight egress serialization
   std::size_t rx_inflight_ = 0;  // frames in the rx ring awaiting BH
+  std::uint64_t reset_gen_ = 0;  // invalidates queued rx bottom halves
+  std::uint64_t resets_ = 0;
   Stats stats_;
 };
 

@@ -61,6 +61,20 @@ enum class EventKind : std::uint8_t {
   kFaultCorrupt,
   kFaultDup,
   kFaultReorder,
+
+  // Component lifecycle (crash/restart injection, PR 7). For kLifeCrash,
+  // `offset` is the host's pinned-page count after the reclaim sweep,
+  // `len` the expected non-tenant baseline (the invariant checker proves
+  // offset == len), `region` the pages the sweep reclaimed from the dying
+  // tenant, and `seq` the dying incarnation's epoch.
+  kLifeCrash,     // process killed; pins reclaimed via the notifier sweep
+  kLifeRestart,   // process restarted (seq = new epoch)
+  kLifeLinkDown,  // fabric port forced down (node = port)
+  kLifeLinkUp,    // fabric port restored
+  kLifeNicReset,  // NIC rings wiped mid-transfer (len = tx frames dropped)
+  kLifePeerDead,  // watchdog declared a peer dead (peer = node)
+  kLifePeerAlive, // watchdog heard the peer again
+  kLifeFence,     // stale-epoch frame fenced at the driver (seq = frame epoch)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k) noexcept;

@@ -156,9 +156,49 @@ void InvariantChecker::on_event(const Event& e) {
       }
       break;
 
+    case EventKind::kLifeCrash:
+      // The crash sweep must return the host's pinned-page count exactly to
+      // the pre-crash non-tenant baseline: anything above leaked pins,
+      // anything below double-unpinned a bystander.
+      if (e.offset > e.len) {
+        violate(e, "crashed endpoint leaked pinned pages: " +
+                       std::to_string(e.offset) + " pinned after the sweep, "
+                       "baseline " + std::to_string(e.len));
+      } else if (e.offset < e.len) {
+        violate(e, "crash sweep unpinned bystander pages: " +
+                       std::to_string(e.offset) + " pinned after the sweep, "
+                       "baseline " + std::to_string(e.len));
+      }
+      // The incarnation is gone; its ids (regions, seqs, handles) restart
+      // from 1 in the next one. Stale shadow models would turn that reuse
+      // into false violations, and its open sends/pulls were either failed
+      // (events already seen) or died with it — not orphans to report.
+      drop_endpoint_state(e.node, e.ep);
+      break;
+
     default:
       break;
   }
+}
+
+void InvariantChecker::drop_endpoint_state(std::uint32_t node,
+                                           std::uint8_t ep) {
+  const std::uint64_t prefix =
+      (static_cast<std::uint64_t>(node) << 8) | ep;
+  auto drop = [prefix](auto& map) {
+    // pinlint: unordered-ok(pure erase by key predicate, no observable order)
+    for (auto it = map.begin(); it != map.end();) {
+      if ((it->first >> 32) == prefix) {
+        it = map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  drop(regions_);
+  drop(open_sends_);
+  drop(open_pulls_);
+  drop(send_retries_);
 }
 
 void InvariantChecker::finalize() {

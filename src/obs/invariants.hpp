@@ -22,7 +22,10 @@ namespace pinsim::obs {
 ///    invalidate/unpin/shed/fail events;
 ///  * every rendezvous/eager send terminates in completion or clean abort,
 ///    and every pull transfer in done or abort (checked at finalize);
-///  * retransmission retry counts are strictly monotonic per request.
+///  * retransmission retry counts are strictly monotonic per request;
+///  * a crash sweep (kLifeCrash) returns the host's pinned-page count
+///    exactly to the pre-crash non-tenant baseline — no leaks, no
+///    double-unpins — and retires the dead incarnation's shadow state.
 ///
 /// Violations carry the offending event plus a window of the events leading
 /// up to it, so a failing soak prints the interleaving, not just a boolean.
@@ -64,6 +67,9 @@ class InvariantChecker final : public Sink {
 
   void violate(const Event& e, std::string message);
   void on_pin_event(const Event& e);
+  /// Forgets every shadow model owned by (node, ep) — called on kLifeCrash,
+  /// where the next incarnation legitimately reuses ids from 1.
+  void drop_endpoint_state(std::uint32_t node, std::uint8_t ep);
 
   [[nodiscard]] static std::uint64_t key(std::uint32_t node, std::uint8_t ep,
                                          std::uint32_t id) noexcept {

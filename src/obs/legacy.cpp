@@ -59,6 +59,14 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kFaultCorrupt: return "fault_corrupt";
     case EventKind::kFaultDup: return "fault_dup";
     case EventKind::kFaultReorder: return "fault_reorder";
+    case EventKind::kLifeCrash: return "life_crash";
+    case EventKind::kLifeRestart: return "life_restart";
+    case EventKind::kLifeLinkDown: return "life_link_down";
+    case EventKind::kLifeLinkUp: return "life_link_up";
+    case EventKind::kLifeNicReset: return "life_nic_reset";
+    case EventKind::kLifePeerDead: return "life_peer_dead";
+    case EventKind::kLifePeerAlive: return "life_peer_alive";
+    case EventKind::kLifeFence: return "life_fence";
   }
   return "unknown";
 }
@@ -158,6 +166,30 @@ LegacyStrings legacy_strings(const Event& e) {
       return {"fault.dup", frame_detail(e)};
     case EventKind::kFaultReorder:
       return {"fault.reorder", frame_detail(e)};
+    case EventKind::kLifeCrash:
+      return {"life.crash", "ep " + std::to_string(e.ep) + " epoch " +
+                                std::to_string(e.seq) + " reclaimed " +
+                                std::to_string(e.region) + " pinned " +
+                                std::to_string(e.offset) + "/" +
+                                std::to_string(e.len) + " baseline"};
+    case EventKind::kLifeRestart:
+      return {"life.restart",
+              "ep " + std::to_string(e.ep) + " epoch " + std::to_string(e.seq)};
+    case EventKind::kLifeLinkDown:
+      return {"life.link", "port " + std::to_string(e.node) + " down"};
+    case EventKind::kLifeLinkUp:
+      return {"life.link", "port " + std::to_string(e.node) + " up"};
+    case EventKind::kLifeNicReset:
+      return {"life.nic_reset", "node " + std::to_string(e.node) +
+                                    " dropped " + std::to_string(e.len) +
+                                    " tx frames"};
+    case EventKind::kLifePeerDead:
+      return {"life.peer", "node " + std::to_string(e.peer) + " dead"};
+    case EventKind::kLifePeerAlive:
+      return {"life.peer", "node " + std::to_string(e.peer) + " alive"};
+    case EventKind::kLifeFence:
+      return {"life.fence", "from node " + std::to_string(e.peer) +
+                                " stale epoch " + std::to_string(e.seq)};
   }
   return {"unknown", ""};
 }

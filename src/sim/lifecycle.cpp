@@ -1,0 +1,108 @@
+#include "sim/lifecycle.hpp"
+
+#include <cassert>
+
+namespace pinsim::sim {
+
+LifecycleInjector::LifecycleInjector(Engine& eng, Plan plan)
+    : eng_(eng), plan_(plan), rng_(plan.seed ^ 0x11fec7c1eULL) {
+  assert(plan_.uptime_min <= plan_.uptime_max);
+  assert(plan_.downtime_min <= plan_.downtime_max);
+  assert(plan_.flap_min <= plan_.flap_max);
+  victims_.resize(plan_.victims);
+  ports_.resize(plan_.ports);
+}
+
+void LifecycleInjector::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t v = 0; v < victims_.size(); ++v) {
+    if (!victims_[v].down) arm_crash(v);
+  }
+}
+
+void LifecycleInjector::stop() {
+  running_ = false;
+  for (auto& vs : victims_) {
+    if (vs.timer.valid()) eng_.cancel(vs.timer);
+    vs.timer = {};
+  }
+  for (auto& ps : ports_) {
+    if (ps.timer.valid()) eng_.cancel(ps.timer);
+    ps.timer = {};
+    ps.flapping = false;
+  }
+}
+
+bool LifecycleInjector::quiescent() const {
+  for (const auto& vs : victims_) {
+    if (vs.down) return false;
+  }
+  for (const auto& ps : ports_) {
+    if (ps.flapping) return false;
+  }
+  return true;
+}
+
+void LifecycleInjector::arm_crash(std::size_t v) {
+  if (plan_.max_crashes != 0 && crashes_started_ >= plan_.max_crashes) return;
+  ++crashes_started_;
+  const Time up = static_cast<Time>(
+      rng_.uniform(static_cast<std::uint64_t>(plan_.uptime_min),
+                   static_cast<std::uint64_t>(plan_.uptime_max)));
+  victims_[v].timer = eng_.schedule_after(up, [this, v] { on_crash(v); });
+}
+
+void LifecycleInjector::on_crash(std::size_t v) {
+  victims_[v].timer = {};
+  victims_[v].down = true;
+  ++stats_.crashes;
+  if (hooks_.crash) hooks_.crash(v);
+  maybe_collateral();
+  const Time down = static_cast<Time>(
+      rng_.uniform(static_cast<std::uint64_t>(plan_.downtime_min),
+                   static_cast<std::uint64_t>(plan_.downtime_max)));
+  victims_[v].timer = eng_.schedule_after(down, [this, v] { on_restart(v); });
+}
+
+void LifecycleInjector::on_restart(std::size_t v) {
+  victims_[v].timer = {};
+  victims_[v].down = false;
+  ++stats_.restarts;
+  if (hooks_.restart) hooks_.restart(v);
+  if (running_) arm_crash(v);
+}
+
+void LifecycleInjector::maybe_collateral() {
+  if (ports_.empty()) return;
+  // Draw both decisions unconditionally so the random stream consumed per
+  // crash has a fixed shape — adding a NIC reset to a plan then cannot shift
+  // the flap schedule of an otherwise identical run.
+  const bool flap = rng_.bernoulli(plan_.flap_prob);
+  const bool reset = rng_.bernoulli(plan_.nic_reset_prob);
+  const std::size_t flap_port =
+      static_cast<std::size_t>(rng_.next_below(ports_.size()));
+  const std::size_t reset_port =
+      static_cast<std::size_t>(rng_.next_below(ports_.size()));
+  if (flap && !ports_[flap_port].flapping) flap_link(flap_port);
+  if (reset) {
+    ++stats_.nic_resets;
+    if (hooks_.nic_reset) hooks_.nic_reset(reset_port);
+  }
+}
+
+void LifecycleInjector::flap_link(std::size_t port) {
+  ports_[port].flapping = true;
+  ++stats_.flaps;
+  if (hooks_.link) hooks_.link(port, false);
+  const Time dur = static_cast<Time>(
+      rng_.uniform(static_cast<std::uint64_t>(plan_.flap_min),
+                   static_cast<std::uint64_t>(plan_.flap_max)));
+  ports_[port].timer = eng_.schedule_after(dur, [this, port] {
+    ports_[port].timer = {};
+    ports_[port].flapping = false;
+    if (hooks_.link) hooks_.link(port, true);
+  });
+}
+
+}  // namespace pinsim::sim

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace pinsim::sim {
+
+/// Seeded component-level fault injector: kills and restarts processes,
+/// flaps links and resets NICs on engine timers.
+///
+/// The sim layer cannot know what a "process" or "NIC" is, so every action
+/// is a caller-supplied hook keyed by a small index (the bench maps victim
+/// indices to process slots and port indices to fabric ports). All timing
+/// comes from one xoshiro stream seeded at construction and all actions fire
+/// from engine timers, so a given (seed, plan) pair produces the same crash
+/// schedule on every run — the property the byte-identical-report acceptance
+/// test leans on.
+///
+/// Each victim runs an independent up/down cycle: up for uniform
+/// [uptime_min, uptime_max], then `crash`, then down for uniform
+/// [downtime_min, downtime_max], then `restart`, repeat until `max_crashes`
+/// cycles have started (0 = run until stop()). A crash may additionally flap
+/// a random link (probability `flap_prob`, duration uniform in
+/// [flap_min, flap_max]) and reset a random NIC (probability
+/// `nic_reset_prob`) — the compositions that exercise fencing and watchdog
+/// timeouts at the nastiest moment, mid-recovery.
+class LifecycleInjector {
+ public:
+  struct Hooks {
+    std::function<void(std::size_t)> crash;        // kill victim slot i
+    std::function<void(std::size_t)> restart;      // revive victim slot i
+    std::function<void(std::size_t, bool)> link;   // port i up(true)/down
+    std::function<void(std::size_t)> nic_reset;    // reset the NIC on port i
+  };
+
+  struct Plan {
+    std::uint64_t seed = 1;
+    std::size_t victims = 1;  // victim slots [0, victims) cycle independently
+    Time uptime_min = 200'000;     // ns alive before a crash
+    Time uptime_max = 2'000'000;
+    Time downtime_min = 50'000;    // ns dead before the restart
+    Time downtime_max = 500'000;
+    std::size_t ports = 0;         // ports eligible for flaps / NIC resets
+    double flap_prob = 0.0;        // per-crash chance to also flap a link
+    Time flap_min = 20'000;
+    Time flap_max = 200'000;
+    double nic_reset_prob = 0.0;   // per-crash chance to also reset a NIC
+    std::size_t max_crashes = 0;   // total crash budget; 0 = unbounded
+  };
+
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t flaps = 0;       // down/up pairs initiated
+    std::uint64_t nic_resets = 0;
+  };
+
+  LifecycleInjector(Engine& eng, Plan plan);
+  ~LifecycleInjector() { stop(); }
+
+  LifecycleInjector(const LifecycleInjector&) = delete;
+  LifecycleInjector& operator=(const LifecycleInjector&) = delete;
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Arms every victim's first crash timer. Idempotent while running.
+  void start();
+
+  /// Cancels all pending timers. Victims currently down stay down (the
+  /// caller decides whether to restart them); link state is not touched.
+  void stop();
+
+  /// True when every victim is up and no link is mid-flap — the safe moment
+  /// to take a final report (crashes == restarts, no half-open state).
+  [[nodiscard]] bool quiescent() const;
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
+
+ private:
+  struct VictimState {
+    bool down = false;
+    Engine::EventId timer{};
+  };
+  struct PortState {
+    bool flapping = false;
+    Engine::EventId timer{};
+  };
+
+  void arm_crash(std::size_t v);
+  void on_crash(std::size_t v);
+  void on_restart(std::size_t v);
+  void maybe_collateral();
+  void flap_link(std::size_t port);
+
+  Engine& eng_;
+  Plan plan_;
+  Hooks hooks_;
+  Rng rng_;
+  Stats stats_;
+  std::vector<VictimState> victims_;
+  std::vector<PortState> ports_;
+  std::size_t crashes_started_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pinsim::sim

@@ -112,6 +112,25 @@ TEST(Pinlint, D4CrossChecksCountersAgainstIncrementsAndReport) {
   EXPECT_EQ(r.output.find("'pin_ops'"), std::string::npos) << r.output;
 }
 
+TEST(Pinlint, D4AcceptsTheLifecycleStampingIdiom) {
+  // Crash-history counters are stamped from slot state with plain '=' on
+  // restart; D4 must treat that as an increment site, while still flagging
+  // the one serialized counter nothing ever bumps.
+  const auto r = run_pinlint("--root=" + fixture("d4_lifecycle") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D4: "), 1) << r.output;
+  EXPECT_NE(r.output.find("'stale_epoch_probes' is declared but never "
+                          "incremented"),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("'lifecycle_crashes'"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("'lifecycle_reclaimed_pages'"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("'fenced_stale_frames'"), std::string::npos)
+      << r.output;
+}
+
 TEST(Pinlint, D5FlagsUnrenderedKindsAndNonExhaustiveSwitches) {
   const auto r = run_pinlint("--root=" + fixture("d5") + " src");
   EXPECT_EQ(r.exit_code, 1) << r.output;

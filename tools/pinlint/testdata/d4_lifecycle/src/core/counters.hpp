@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+// pinlint fixture: the lifecycle counters' D4 shape. A crash-history counter
+// is *stamped* from the driver's slot state on restart (plain `=`), not
+// bumped in place — D4 must accept that as an increment site. Never compiled.
+struct Counters {
+  std::uint64_t lifecycle_crashes = 0;          // stamped via '='
+  std::uint64_t lifecycle_restarts = 0;         // stamped via '='
+  std::uint64_t lifecycle_reclaimed_pages = 0;  // '=' stamp and '+=' sweep
+  std::uint64_t fenced_stale_frames = 0;        // classic '++'
+  std::uint64_t heartbeat_timeouts = 0;         // classic '++'
+  std::uint64_t stale_epoch_probes = 0;  // serialized but nothing bumps it
+};

@@ -1,0 +1,19 @@
+// pinlint fixture: increment sites for the lifecycle counters — the
+// restart-time stamping idiom ('=' from slot history) plus the in-place
+// forms. Never compiled.
+#include "counters.hpp"
+
+void stamp_from_slot_history(Counters& c, unsigned long crashes,
+                             unsigned long restarts, unsigned long pages) {
+  c.lifecycle_crashes = crashes;
+  c.lifecycle_restarts = restarts;
+  c.lifecycle_reclaimed_pages = pages;
+}
+
+void on_fenced_frame(Counters& c) { ++c.fenced_stale_frames; }
+
+void on_peer_death(Counters& c) { ++c.heartbeat_timeouts; }
+
+void on_reclaim_sweep(Counters& c, unsigned long pages) {
+  c.lifecycle_reclaimed_pages += pages;
+}

@@ -1,0 +1,9 @@
+// pinlint fixture: the serialization side — every lifecycle counter lands in
+// the report, including one nothing ever increments. Never compiled.
+#include "counters.hpp"
+
+unsigned long serialize(const Counters& c) {
+  return c.lifecycle_crashes + c.lifecycle_restarts +
+         c.lifecycle_reclaimed_pages + c.fenced_stale_frames +
+         c.heartbeat_timeouts + c.stale_epoch_probes;
+}
