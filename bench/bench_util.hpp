@@ -12,6 +12,7 @@
 #include "core/report.hpp"
 #include "mpi/communicator.hpp"
 #include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "obs/bus.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/critical_path.hpp"
@@ -47,8 +48,30 @@ struct Cluster {
     }
   }
 
+  /// Cluster-scale variant: `num_hosts` machines on a rack `Topology`
+  /// instead of the ideal two-host fabric. Processes are NOT spawned —
+  /// cluster benches place tenants themselves. `cores` counts the worker
+  /// cores (core 0 stays the interrupt core), so a host can run
+  /// `cores - 1` processes off the interrupt path.
+  Cluster(const cpu::CpuModel& cpu, core::StackConfig stack,
+          net::Topology::Config tc, std::size_t num_hosts, std::size_t cores,
+          std::size_t memory_frames) {
+    auto t = std::make_unique<net::Topology>(eng, tc);
+    topo = t.get();
+    fabric = std::move(t);
+    core::Host::Config hc;
+    hc.cpu = cpu;
+    hc.cores = cores;
+    hc.memory_frames = memory_frames;
+    for (std::size_t h = 0; h < num_hosts; ++h) {
+      hc.name = "host" + std::to_string(h);
+      hosts.push_back(std::make_unique<core::Host>(eng, *fabric, hc, stack));
+    }
+  }
+
   sim::Engine eng;
   std::unique_ptr<net::Fabric> fabric;
+  net::Topology* topo = nullptr;  // non-null on the cluster-scale ctor
   std::vector<std::unique_ptr<core::Host>> hosts;
   std::unique_ptr<mpi::Communicator> comm;
 };

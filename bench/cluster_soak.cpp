@@ -1,0 +1,637 @@
+// Cluster soak: the multi-tenant rack-scale acceptance bench. 16 hosts (two
+// racks of 8 on a switched `net::Topology` with shared uplinks and bounded
+// per-port egress queues) each run 16 tenant processes — 256 endpoints
+// competing pairwise across racks, collapsing onto one incast hub, and
+// finally soaking under composed frame loss, pin-denial pressure and
+// process crash/restart cycles.
+//
+// What it proves, beyond the two-host soaks:
+//  * congestion loss (bounded switch queues overflowing under incast) is
+//    accounted separately from fault loss and the protocol recovers from
+//    both;
+//  * the per-host pin quota is arbitrated across tenants: the fair-share
+//    floor and weighted LRU shedding keep pin denials from starving any
+//    single process (reported as a Jain fairness index over per-tenant
+//    completions and denials);
+//  * the whole thing is deterministic at cluster scale: every stage runs
+//    twice under one seed and the two JSON run reports (256 endpoint
+//    sections plus the fairness digest) must compare byte-identical.
+//
+// Exits non-zero on payload corruption, invariant violations, a stalled
+// pump, missing congestion/arbitration activity, or a determinism mismatch,
+// so `cluster_soak --quick` doubles as a ctest entry and an ASan target;
+// the full run (>= 1M messages) lives in the soak tier.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mem/pressure.hpp"
+#include "net/fault.hpp"
+#include "net/watchdog.hpp"
+#include "sim/lifecycle.hpp"
+
+namespace {
+
+using namespace pinsim;
+
+constexpr std::uint64_t kMasterSeed = 0xc1a5'7e25;
+
+constexpr std::size_t kHosts = 16;          // two racks of 8
+constexpr std::size_t kNodesPerRack = 8;
+constexpr std::size_t kProcsPerHost = 16;   // 256 endpoints total
+constexpr std::size_t kEndpoints = kHosts * kProcsPerHost;
+constexpr std::size_t kEager = 2048;
+constexpr std::size_t kRendezvous = 64 * 1024;  // 16 pages
+constexpr std::size_t kPinQuota = 160;  // pages/host: 16 tenants must share
+
+std::vector<std::byte> pattern(std::size_t n, std::uint32_t salt) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 2654435761u + salt) >> 13);
+  }
+  return v;
+}
+
+enum class Pattern { kUniform, kIncast };
+
+struct Stage {
+  const char* label;
+  Pattern pattern;
+  int rounds_full;
+  int rounds_quick;
+  std::size_t downlink_queue;
+  net::FaultPlan faults;
+  bool pressure = false;   // pin-denial pressure on one victim host
+  bool lifecycle = false;  // seeded crash/restart of two tenant slots
+};
+
+std::vector<Stage> stages() {
+  std::vector<Stage> out;
+  out.push_back({"uniform pairwise, intra+cross rack", Pattern::kUniform,
+                 1200, 50, 64, {}, false, false});
+  // A shallow hub downlink queue so 240-into-1 must overflow it.
+  out.push_back({"incast: 240 tenants into one hub", Pattern::kIncast,
+                 500, 50, 16, {}, false, false});
+  net::FaultPlan loss;
+  loss.loss = 0.01;
+  out.push_back({"composed: 1% loss + pressure + crash/restart",
+                 Pattern::kUniform, 500, 40, 64, loss, true, true});
+  return out;
+}
+
+/// Short protocol timers, a bounded retry budget and a contended pin quota:
+/// a denial must resolve through the arbiter (or abort) well inside a pump
+/// window, not after the paper's 1 s pessimistic timeout.
+core::StackConfig soak_stack() {
+  core::StackConfig stack = core::overlapped_cache_config();
+  stack.protocol.retransmit_timeout = 300 * sim::kMicrosecond;
+  stack.protocol.retransmit_backoff_max = 2 * sim::kMillisecond;
+  stack.protocol.retry_budget = 12;
+  stack.protocol.pull_retry_timeout = 300 * sim::kMicrosecond;
+  // Abandoned pulls (sender aborted mid-rendezvous) must abort well inside
+  // one pump stall window: 24 ticks x 300 us ~= 7 ms of silence.
+  stack.protocol.pull_stall_budget = 24;
+  stack.pinning.pin_retry_backoff = 30 * sim::kMicrosecond;
+  stack.pinning.pin_retry_backoff_max = 1 * sim::kMillisecond;
+  stack.pinning.pin_retry_budget = 16;
+  return stack;
+}
+
+struct Flight {
+  std::uint32_t sender = 0;   // endpoint index
+  std::uint32_t receiver = 0;
+  std::size_t size = 0;
+  sim::Time posted = 0;
+  bool counted = false;            // both requests posted successfully
+  std::uint64_t s_epoch = 0;       // victim-slot crash epochs at post time:
+  std::uint64_t r_epoch = 0;       // a bump means the owning library died
+  mem::VirtAddr rcv{};
+  core::RequestPtr send, recv;
+  std::vector<std::byte> expect;
+};
+
+struct StageResult {
+  int failures = 0;
+  std::string report;  // byte-compared across the determinism pair
+  std::uint64_t posted = 0;
+  std::uint64_t ok_pairs = 0;
+  std::uint64_t failed_ops = 0;
+  std::uint64_t canceled = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t skipped_dead = 0;
+  std::uint64_t congestion_dropped = 0;
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t arb_requests = 0;
+  std::uint64_t arb_grants = 0;
+  std::uint64_t arb_sheds = 0;
+  double jain_ok = 0.0;
+  double p99_spread = 0.0;
+};
+
+double jain_index(const std::vector<std::uint64_t>& xs) {
+  double sum = 0.0, sq = 0.0;
+  for (std::uint64_t x : xs) {
+    const double v = static_cast<double>(x);
+    sum += v;
+    sq += v * v;
+  }
+  if (sq == 0.0) return 1.0;  // nobody got anything: trivially fair
+  return (sum * sum) / (static_cast<double>(xs.size()) * sq);
+}
+
+sim::Time p99_of(std::vector<sim::Time>& xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  return xs[(99 * (xs.size() - 1)) / 100];
+}
+
+StageResult run_stage(const Stage& st, const bench::Options& opt,
+                      std::uint64_t seed, const std::string& tag) {
+  StageResult res;
+
+  net::Topology::Config tc;
+  tc.nodes_per_rack = kNodesPerRack;
+  tc.uplinks_per_rack = 2;
+  tc.downlink_queue_frames = st.downlink_queue;
+  tc.uplink_queue_frames = 128;
+  tc.link.seed = seed ^ 0x70b0u;
+  bench::Cluster cluster(*opt.cpu, soak_stack(), tc, kHosts,
+                         /*cores=*/kProcsPerHost + 1,
+                         /*memory_frames=*/4096);
+  sim::Engine& eng = cluster.eng;
+
+  // Tenants: 16 processes per host, all arbitrating one pin quota that is
+  // far below their aggregate rendezvous working set (16 tenants * 32 pages
+  // cached vs 160 allowed), so fair-share shedding must do real work.
+  for (auto& h : cluster.hosts) {
+    h->enable_pin_arbitration();
+    h->memory().set_pin_quota(kPinQuota);
+    for (std::size_t p = 0; p < kProcsPerHost; ++p) h->spawn_process();
+  }
+  const auto ep = [&cluster](std::size_t e) -> core::Host::Process& {
+    return cluster.hosts[e / kProcsPerHost]->process(e % kProcsPerHost);
+  };
+  const auto ep_alive = [&cluster](std::size_t e) {
+    return cluster.hosts[e / kProcsPerHost]->process_alive(e % kProcsPerHost);
+  };
+
+  // Per-endpoint persistent buffers (re-carved on restart: a killed
+  // process's address space dies with it).
+  struct EpBuf {
+    mem::VirtAddr snd{}, rcv{};
+  };
+  std::vector<EpBuf> bufs(kEndpoints);
+  const auto carve = [&](std::size_t e) {
+    bufs[e].snd = ep(e).heap.malloc(kRendezvous);
+    bufs[e].rcv = ep(e).heap.malloc(kRendezvous);
+  };
+  for (std::size_t e = 0; e < kEndpoints; ++e) carve(e);
+
+  // Incast hub slots: one 2 kB landing buffer per remote sender.
+  std::vector<mem::VirtAddr> hub_rcv;
+  if (st.pattern == Pattern::kIncast) {
+    for (std::size_t s = 0; s < kEndpoints - kProcsPerHost; ++s) {
+      hub_rcv.push_back(ep(0).heap.malloc(kEager));
+    }
+  }
+
+  // Node-liveness watchdogs on the hosts involved in the lifecycle stage
+  // (victims' hosts and one observer per rack) — before the rig, so the
+  // observability bus reaches their heartbeat traffic too.
+  if (st.lifecycle) {
+    const std::size_t pairs[2][2] = {{0, 1}, {8, 9}};
+    for (const auto& pr : pairs) {
+      for (int side = 0; side < 2; ++side) {
+        net::Watchdog::Config wc;
+        wc.seed = (seed ^ 0x4deadu) + pr[static_cast<std::size_t>(side)];
+        core::Host& self = *cluster.hosts[pr[static_cast<std::size_t>(side)]];
+        core::Host& peer =
+            *cluster.hosts[pr[static_cast<std::size_t>(1 - side)]];
+        self.enable_watchdog(wc).add_peer(peer.nic().node_id());
+        self.watchdog()->start();
+      }
+    }
+  }
+
+  bench::ObsRig obs(cluster,
+                    tag.empty() ? std::string() : tag + ".trace.json");
+  cluster.fabric->faults().set_plan(st.faults);
+
+  std::unique_ptr<mem::PressureInjector> pressure;
+  if (st.pressure) {
+    pressure = std::make_unique<mem::PressureInjector>(seed ^ 0x9e55u);
+    mem::PressurePlan pp;
+    pp.pin_fail = 0.03;
+    pressure->set_plan(pp);
+    pressure->set_bus(&obs.bus);
+    cluster.hosts[1]->memory().set_pressure(pressure.get());
+  }
+
+  // Crash/restart two tenant slots, one per rack: (host 1, proc 0) and
+  // (host 9, proc 0). Their buffers are re-carved on every restart, and a
+  // per-victim crash epoch lets the pump recognize request handles whose
+  // owning library died — those are dropped, not awaited (the dead
+  // incarnation's unmatched requests never complete).
+  std::array<std::uint64_t, 2> crash_epoch{0, 0};
+  const auto victim_of = [](std::size_t e) -> int {
+    if (e == 1 * kProcsPerHost) return 0;
+    if (e == 9 * kProcsPerHost) return 1;
+    return -1;
+  };
+  std::unique_ptr<sim::LifecycleInjector> inj;
+  sim::LifecycleInjector::Plan lp;
+  if (st.lifecycle) {
+    lp.seed = seed;
+    lp.victims = 2;
+    lp.uptime_min = 150 * sim::kMicrosecond;
+    lp.uptime_max = 500 * sim::kMicrosecond;
+    lp.downtime_min = 60 * sim::kMicrosecond;
+    lp.downtime_max = 200 * sim::kMicrosecond;
+    lp.max_crashes = opt.quick ? 8 : 40;
+    inj = std::make_unique<sim::LifecycleInjector>(eng, lp);
+    sim::LifecycleInjector::Hooks hooks;
+    const auto victim_host = [](std::size_t v) { return v == 0 ? 1u : 9u; };
+    hooks.crash = [&cluster, &crash_epoch, victim_host](std::size_t v) {
+      core::Host& h = *cluster.hosts[victim_host(v)];
+      if (h.process_alive(0)) {
+        ++crash_epoch[v];
+        h.kill_process(0);
+      }
+    };
+    hooks.restart = [&cluster, &carve, victim_host](std::size_t v) {
+      const std::size_t hidx = victim_host(v);
+      core::Host& h = *cluster.hosts[hidx];
+      if (!h.process_alive(0)) {
+        h.restart_process(0);
+        carve(hidx * kProcsPerHost);
+      }
+    };
+    inj->set_hooks(hooks);
+    inj->start();
+  }
+
+  const sim::Time kSlice = 20 * sim::kMicrosecond;
+  const sim::Time kStuck = 25 * sim::kMillisecond;
+  const int rounds = opt.quick ? st.rounds_quick : st.rounds_full;
+
+  std::vector<std::vector<sim::Time>> lat(kEndpoints);  // per-tenant
+  std::vector<std::uint64_t> ok_by_ep(kEndpoints, 0);
+  std::vector<Flight> flights;
+  flights.reserve(kEndpoints);
+
+  for (int r = 0; r < rounds && res.failures == 0; ++r) {
+    flights.clear();
+    const auto post_pair = [&](std::size_t se, std::size_t re,
+                               std::size_t size, mem::VirtAddr rcv_buf) {
+      Flight f;
+      f.sender = static_cast<std::uint32_t>(se);
+      f.receiver = static_cast<std::uint32_t>(re);
+      f.size = size;
+      f.posted = eng.now();
+      f.rcv = rcv_buf;
+      if (const int vs = victim_of(se); vs >= 0) {
+        f.s_epoch = crash_epoch[static_cast<std::size_t>(vs)];
+      }
+      if (const int vr = victim_of(re); vr >= 0) {
+        f.r_epoch = crash_epoch[static_cast<std::size_t>(vr)];
+      }
+      f.expect = pattern(size, static_cast<std::uint32_t>(r) * 65536u +
+                                   static_cast<std::uint32_t>(se));
+      const std::uint64_t match =
+          (static_cast<std::uint64_t>(r) << 32) | se;
+      try {
+        ep(se).as.write(bufs[se].snd, f.expect);
+        f.recv = ep(re).lib.irecv(match, ~0ull, rcv_buf, size);
+        f.send = ep(se).lib.isend(ep(re).addr(), match, bufs[se].snd, size);
+        f.counted = true;
+        ++res.posted;
+      } catch (const core::PeerDeadError&) {
+        // Raced a death declaration: cancel whatever half-posted, but keep
+        // the flight alive — the library references the request until its
+        // (possibly deferred) completion, so the handle must survive until
+        // the reap path sees it completed.
+        ++res.skipped_dead;
+        if (f.recv && !f.recv->completed()) ep(re).lib.cancel(*f.recv);
+        if (!f.recv && !f.send) return;
+      }
+      flights.push_back(std::move(f));
+    };
+
+    if (st.pattern == Pattern::kUniform) {
+      // Pair hosts by XOR mask, alternating intra-rack (^1, ^3) and
+      // cross-rack (^8, ^11) rounds; process index is preserved, so every
+      // endpoint sends one message and receives one message per round.
+      static constexpr std::size_t kMasks[4] = {1, 8, 3, 11};
+      const std::size_t hmask = kMasks[static_cast<std::size_t>(r) % 4];
+      for (std::size_t e = 0; e < kEndpoints; ++e) {
+        const std::size_t h = e / kProcsPerHost, p = e % kProcsPerHost;
+        const std::size_t partner = (h ^ hmask) * kProcsPerHost + p;
+        if (!ep_alive(e) || !ep_alive(partner)) {
+          ++res.skipped_dead;
+          continue;
+        }
+        const std::size_t size =
+            ((static_cast<std::size_t>(r) + e) % 8 == 0) ? kRendezvous
+                                                         : kEager;
+        post_pair(e, partner, size, bufs[partner].rcv);
+      }
+    } else {
+      // Everyone outside the hub's host blasts endpoint (host 0, proc 0).
+      std::size_t slot = 0;
+      for (std::size_t e = kProcsPerHost; e < kEndpoints; ++e, ++slot) {
+        post_pair(e, 0, kEager, hub_rcv[slot]);
+      }
+    }
+
+    // Drain the round: time-sliced windows until every request resolves.
+    sim::Time stuck_at = eng.now() + kStuck;
+    int cancel_passes = 0;
+    while (true) {
+      bool all_done = true;
+      for (Flight& f : flights) {
+        // Handles owned by a crashed incarnation are dead weight: the
+        // library that created them is gone (crash_soak drops these the
+        // same way).
+        if (const int vs = victim_of(f.sender);
+            vs >= 0 && f.send &&
+            crash_epoch[static_cast<std::size_t>(vs)] != f.s_epoch) {
+          f.send.reset();
+        }
+        if (const int vr = victim_of(f.receiver);
+            vr >= 0 && f.recv &&
+            crash_epoch[static_cast<std::size_t>(vr)] != f.r_epoch) {
+          f.recv.reset();
+        }
+        if ((f.send && !f.send->completed()) ||
+            (f.recv && !f.recv->completed())) {
+          all_done = false;
+        }
+      }
+      if (all_done) break;
+      if (eng.now() > stuck_at) {
+        if (++cancel_passes > 2) {
+          std::printf("  FAIL: pump stalled in round %d at t=%llu\n", r,
+                      static_cast<unsigned long long>(eng.now()));
+          for (const Flight& f : flights) {
+            const bool sp = f.send && !f.send->completed();
+            const bool rp = f.recv && !f.recv->completed();
+            if (sp || rp) {
+              std::printf("    stuck %u->%u size=%zu pending:%s%s "
+                          "alive(s=%d,r=%d)\n",
+                          f.sender, f.receiver, f.size, sp ? " send" : "",
+                          rp ? " recv" : "", ep_alive(f.sender) ? 1 : 0,
+                          ep_alive(f.receiver) ? 1 : 0);
+            }
+          }
+          ++res.failures;
+          break;
+        }
+        // Reclaim whatever a dead peer or a loss burst orphaned.
+        for (Flight& f : flights) {
+          if (f.send && !f.send->completed() && ep_alive(f.sender) &&
+              ep(f.sender).lib.cancel(*f.send)) {
+            ++res.canceled;
+          }
+          if (f.recv && !f.recv->completed() && ep_alive(f.receiver) &&
+              ep(f.receiver).lib.cancel(*f.recv)) {
+            ++res.canceled;
+          }
+        }
+        stuck_at = eng.now() + kStuck;
+      }
+      eng.run_until(eng.now() + kSlice);
+    }
+    if (res.failures != 0) break;
+
+    for (Flight& f : flights) {
+      if (!f.counted) continue;  // half-posted against a dead peer
+      const bool sok = f.send && f.send->status().ok;
+      const bool rok = f.recv && f.recv->status().ok;
+      if (sok && rok) {
+        ++res.ok_pairs;
+        ++ok_by_ep[f.sender];
+        lat[f.sender].push_back(eng.now() - f.posted);
+      } else {
+        ++res.failed_ops;  // expected under loss/crashes; never silent
+      }
+      if (rok && ep_alive(f.receiver)) {
+        std::vector<std::byte> got(f.size);
+        ep(f.receiver).as.read(f.rcv, got);
+        if (std::memcmp(got.data(), f.expect.data(), f.size) != 0) {
+          std::size_t first = 0;
+          while (first < f.size && got[first] == f.expect[first]) ++first;
+          std::printf("  CORRUPT: round=%d %u->%u size=%zu sok=%d "
+                      "first_bad=%zu\n",
+                      r, f.sender, f.receiver, f.size, sok ? 1 : 0, first);
+          ++res.mismatches;
+        }
+      }
+    }
+  }
+
+  // Let the lifecycle schedule finish so both victims end the stage alive
+  // (the report section set must match across the determinism pair).
+  if (inj) {
+    const sim::Time drain_deadline = eng.now() + sim::kSecond;
+    while (!(inj->stats().crashes >= lp.max_crashes && inj->quiescent()) &&
+           eng.now() < drain_deadline) {
+      eng.run_until(eng.now() + kSlice);
+    }
+    if (inj->stats().restarts != inj->stats().crashes) {
+      std::printf("  FAIL: lifecycle schedule incomplete "
+                  "(crashes=%llu restarts=%llu)\n",
+                  static_cast<unsigned long long>(inj->stats().crashes),
+                  static_cast<unsigned long long>(inj->stats().restarts));
+      ++res.failures;
+    }
+  }
+
+  std::string why;
+  if (!eng.self_check(&why)) {
+    std::printf("  FAIL: engine self-check: %s\n", why.c_str());
+    ++res.failures;
+  }
+  if (res.ok_pairs == 0) {
+    std::printf("  FAIL: no exchange ever completed\n");
+    ++res.failures;
+  }
+  if (res.mismatches != 0) {
+    std::printf("  FAIL: %llu corrupted payload(s)\n",
+                static_cast<unsigned long long>(res.mismatches));
+    ++res.failures;
+  }
+
+  // Per-tenant fairness digest. Everything here is simulation-derived, so
+  // it byte-compares across the determinism pair like the rest of the
+  // report.
+  std::vector<std::uint64_t> denied_by_ep(kEndpoints, 0);
+  std::uint64_t floor_protected = 0;
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    if (!ep_alive(e)) continue;
+    const core::Counters& c = ep(e).lib.counters();
+    denied_by_ep[e] = c.pins_denied;
+    res.arb_requests += c.tenant_arb_requests;
+    res.arb_grants += c.tenant_arb_grants;
+    res.arb_sheds += c.tenant_sheds_suffered;
+    floor_protected += c.tenant_floor_protected;
+  }
+  res.jain_ok = jain_index(ok_by_ep);
+  const double jain_denied = jain_index(denied_by_ep);
+  sim::Time p99_min = 0, p99_max = 0;
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    if (lat[e].size() < 8) continue;  // too few samples to rank
+    const sim::Time p = p99_of(lat[e]);
+    if (p99_min == 0 || p < p99_min) p99_min = p;
+    if (p > p99_max) p99_max = p;
+  }
+  res.p99_spread = p99_min > 0 ? static_cast<double>(p99_max) /
+                                     static_cast<double>(p99_min)
+                               : 1.0;
+  res.congestion_dropped = cluster.topo->congestion_dropped();
+  res.fault_dropped = cluster.topo->fault_dropped();
+
+  if (pressure) {
+    pressure->set_bus(nullptr);
+    cluster.hosts[1]->memory().set_pressure(nullptr);
+  }
+  const int violations = obs.finish();
+  if (violations != 0) {
+    std::printf("  %d INVARIANT VIOLATION(S)\n", violations);
+    res.failures += violations;
+  }
+
+  char digest[512];
+  std::snprintf(
+      digest, sizeof digest,
+      "\"tenant_fairness\":{\"tenants\":%zu,\"jain_ok_pairs\":%.6f,"
+      "\"jain_pin_denials\":%.6f,\"p99_spread_ratio\":%.6f,"
+      "\"arb_requests\":%llu,\"arb_grants\":%llu,\"arb_sheds\":%llu,"
+      "\"floor_protected\":%llu,\"fault_dropped\":%llu,"
+      "\"congestion_dropped\":%llu},",
+      kEndpoints, res.jain_ok, jain_denied, res.p99_spread,
+      static_cast<unsigned long long>(res.arb_requests),
+      static_cast<unsigned long long>(res.arb_grants),
+      static_cast<unsigned long long>(res.arb_sheds),
+      static_cast<unsigned long long>(floor_protected),
+      static_cast<unsigned long long>(res.fault_dropped),
+      static_cast<unsigned long long>(res.congestion_dropped));
+  res.report = obs.json_report();
+  res.report.insert(1, digest);
+  if (!tag.empty()) {
+    std::FILE* f = std::fopen((tag + ".report.json").c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(res.report.data(), 1, res.report.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+  return res;
+}
+
+void print_stage(const StageResult& r) {
+  std::printf(
+      "  traffic: posted=%llu ok=%llu failed=%llu canceled=%llu "
+      "dead_skips=%llu -> %s\n"
+      "  fabric:  congestion_dropped=%llu fault_dropped=%llu\n"
+      "  tenants: arb_requests=%llu grants=%llu sheds=%llu "
+      "jain_ok=%.4f p99_spread=%.2fx\n",
+      static_cast<unsigned long long>(r.posted),
+      static_cast<unsigned long long>(r.ok_pairs),
+      static_cast<unsigned long long>(r.failed_ops),
+      static_cast<unsigned long long>(r.canceled),
+      static_cast<unsigned long long>(r.skipped_dead),
+      r.mismatches == 0 ? "bit-exact" : "CORRUPTED",
+      static_cast<unsigned long long>(r.congestion_dropped),
+      static_cast<unsigned long long>(r.fault_dropped),
+      static_cast<unsigned long long>(r.arb_requests),
+      static_cast<unsigned long long>(r.arb_grants),
+      static_cast<unsigned long long>(r.arb_sheds), r.jain_ok, r.p99_spread);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Cluster soak: rack-scale multi-tenant fabric with pin arbitration",
+      "paper §5 scaled out: N nodes behind shared switch ports, per-host "
+      "pin quotas arbitrated across tenant processes");
+
+  int failures = 0;
+  std::uint64_t total_posted = 0;
+  std::uint64_t total_arb = 0;
+  int sidx = 0;
+  for (const Stage& st : stages()) {
+    std::printf("stage: %s (%zu endpoints)\n", st.label, kEndpoints);
+    const std::uint64_t seed =
+        kMasterSeed + static_cast<std::uint64_t>(sidx) * 0x9e3779b9u;
+
+    // Determinism pair: identical seed, no tracing (wall-clock metrics are
+    // trace-only and would differ) — the reports must match byte for byte.
+    StageResult a = run_stage(st, opt, seed, "");
+    StageResult b = run_stage(st, opt, seed, "");
+    print_stage(a);
+    if (a.report != b.report) {
+      std::printf("  FAIL: determinism mismatch (%zu vs %zu bytes)\n",
+                  a.report.size(), b.report.size());
+      ++failures;
+    }
+    failures += a.failures + b.failures;
+    total_posted += a.posted + b.posted;
+    total_arb += a.arb_requests;
+
+    if (st.pattern == Pattern::kIncast && a.congestion_dropped == 0) {
+      std::printf("  FAIL: incast never overflowed a switch queue — "
+                  "congestion accounting untested\n");
+      ++failures;
+    }
+
+    if (!opt.trace_out.empty()) {
+      const std::string tag = opt.trace_out + "-s" + std::to_string(sidx);
+      if (opt.quick) {
+        // Instrumented third run: Chrome trace + archived report. Full-length
+        // traces would be multi-GB, so the soak tier archives the untraced
+        // report instead.
+        StageResult c = run_stage(st, opt, seed, tag);
+        failures += c.failures;
+      } else {
+        std::FILE* f = std::fopen((tag + ".report.json").c_str(), "w");
+        if (f != nullptr) {
+          std::fwrite(a.report.data(), 1, a.report.size(), f);
+          std::fputc('\n', f);
+          std::fclose(f);
+        }
+      }
+    }
+    ++sidx;
+  }
+
+  const std::uint64_t msg_floor = opt.quick ? 60'000 : 1'000'000;
+  if (total_posted < msg_floor) {
+    std::printf("\nFAIL: only %llu messages posted (acceptance needs >= "
+                "%llu)\n",
+                static_cast<unsigned long long>(total_posted),
+                static_cast<unsigned long long>(msg_floor));
+    ++failures;
+  }
+  if (total_arb == 0) {
+    std::printf("\nFAIL: the pin arbiter never fired — the quota was never "
+                "contended across tenants\n");
+    ++failures;
+  }
+
+  if (failures != 0) {
+    std::printf("\nFAIL: %d cluster-soak failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\n%llu messages across %zu endpoints: reports byte-identical, "
+              "congestion and fault loss attributed separately, pin quota "
+              "arbitrated fairly\n",
+              static_cast<unsigned long long>(total_posted), kEndpoints);
+  return 0;
+}

@@ -25,6 +25,12 @@ newly aborted/orphaned chains. Throughput metrics gate *drops* against
 `--throughput-threshold` (generous by default: wall-clock numbers vary
 with the machine, unlike the bit-stable sim-time metrics).
 
+Cluster benches additionally publish a `tenant_fairness` digest (Jain
+indices over per-endpoint completions and pin denials, p99 spread, arbiter
+totals). The Jain indices gate *drops* against `--fairness-threshold`
+(absolute, the index lives in [0, 1]); everything else in the digest is
+recorded for the human.
+
 Benches or metrics present in the current point but missing from the
 baseline are NEW: they are recorded in the delta and warned about, never
 gated and never an error — a baseline committed before a metric existed
@@ -45,6 +51,10 @@ GATED_STATS = ("mean", "p50", "p95", "p99")
 
 # Wall-clock throughput metrics: higher is better, so these gate drops.
 GATED_THROUGHPUT = ("events_per_sec", "sim_ns_per_wall_ms")
+
+# Jain fairness indices (1.0 = perfectly fair): higher is better and the
+# scale is absolute, so these gate absolute drops, not relative growth.
+GATED_FAIRNESS = ("jain_ok_pairs", "jain_pin_denials")
 
 # Below this many sim-nanoseconds of growth a relative threshold is noise
 # (one DMA chunk of jitter on a microsecond-scale metric).
@@ -84,6 +94,12 @@ def collect(args):
                 k: tp[k]
                 for k in GATED_THROUGHPUT + ("events", "wall_ms")
                 if k in tp
+            }
+        tf = report.get("tenant_fairness")
+        if tf is not None:
+            bench["tenant_fairness"] = {
+                k: v for k, v in tf.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
             }
         point["benches"][name] = bench
     with open(args.out, "w") as f:
@@ -211,6 +227,27 @@ def compare(args):
                         f"({-100.0 * drop:+.1f}%, tolerance "
                         f"{100.0 * args.throughput_threshold:.1f}%)")
 
+        ctf = c.get("tenant_fairness")
+        if ctf:
+            btf = b.get("tenant_fairness") or {}
+            d["tenant_fairness"] = {k: [btf.get(k), ctf.get(k)]
+                                    for k in sorted(set(btf) | set(ctf))}
+            for stat in GATED_FAIRNESS:
+                new = ctf.get(stat)
+                if new is None:
+                    continue
+                old = btf.get(stat)
+                if old is None:
+                    warnings.append(
+                        f"{name}: tenant_fairness.{stat} missing from "
+                        "baseline — recorded, not gated")
+                    continue
+                if old - new > args.fairness_threshold:
+                    failures.append(
+                        f"{name}: tenant_fairness.{stat} dropped "
+                        f"{old:.4f} -> {new:.4f} (tolerance "
+                        f"{args.fairness_threshold:.3f} absolute)")
+
     delta["verdict"] = "FAIL" if failures else "PASS"
     delta["failures"] = failures
     delta["warnings"] = warnings
@@ -250,6 +287,10 @@ def main():
                    help="max relative throughput drop before failing "
                         "(wall-clock metrics are machine-dependent, so "
                         "the default is generous)")
+    p.add_argument("--fairness-threshold", type=float, default=0.02,
+                   help="max absolute Jain-index drop before failing "
+                        "(the index lives in [0, 1] and is bit-stable, "
+                        "so the tolerance can be tight)")
     p.add_argument("--delta-out", default=None)
     p.set_defaults(func=compare)
 

@@ -129,8 +129,11 @@ fi
 #  2. against the committed BENCH_pr6.json for the wall-clock throughput
 #     metrics (events_per_sec, sim_ns_per_wall_ms). Wall-clock numbers vary
 #     with the machine, so the tolerance is generous and overridable via
-#     PINSIM_PERF_TPUT_TOL (relative drop, default 0.5).
-# The comparison deltas are archived when either gate fails.
+#     PINSIM_PERF_TPUT_TOL (relative drop, default 0.5);
+#  3. against the committed BENCH_pr8.json, the first point carrying the
+#     cluster-soak stages and their tenant_fairness digests — this is where
+#     Jain-index drops gate.
+# The comparison deltas are archived when any gate fails.
 perf_tier() {
   echo "=== tier: perf ==="
   if ! command -v python3 >/dev/null 2>&1; then
@@ -144,10 +147,17 @@ perf_tier() {
   ./build/bench/fig7_decoupled --quick --trace-out="${out}_fig7" > /dev/null
   ./build/bench/overlap_miss --quick --trace-out="${out}_overlap_miss" \
     > /dev/null
+  # Cluster soak: one report per stage (uniform / incast / composed), each
+  # carrying the tenant_fairness digest the compare gate watches for
+  # Jain-index drops.
+  ./build/bench/cluster_soak --quick --trace-out="${out}_cluster" > /dev/null
   python3 scripts/bench_compare.py collect --label ci --out build/BENCH_ci.json \
     fig6="${out}_fig6.report.json" \
     fig7="${out}_fig7.report.json" \
-    overlap_miss="${out}_overlap_miss.report.json"
+    overlap_miss="${out}_overlap_miss.report.json" \
+    cluster_uniform="${out}_cluster-s0.report.json" \
+    cluster_incast="${out}_cluster-s1.report.json" \
+    cluster_composed="${out}_cluster-s2.report.json"
   local failed=0
   if ! python3 scripts/bench_compare.py compare \
       --baseline BENCH_seed.json --current build/BENCH_ci.json \
@@ -162,10 +172,19 @@ perf_tier() {
       failed=1
     fi
   fi
+  if [[ -f BENCH_pr8.json ]]; then
+    if ! python3 scripts/bench_compare.py compare \
+        --baseline BENCH_pr8.json --current build/BENCH_ci.json \
+        --throughput-threshold "${tput_tol}" \
+        --delta-out build/BENCH_fairness_delta.json; then
+      failed=1
+    fi
+  fi
   if [[ "${failed}" -ne 0 ]]; then
     mkdir -p ci-artifacts/perf
     cp build/BENCH_ci.json build/BENCH_delta.json \
-      build/BENCH_tput_delta.json ci-artifacts/perf/ 2>/dev/null || true
+      build/BENCH_tput_delta.json build/BENCH_fairness_delta.json \
+      ci-artifacts/perf/ 2>/dev/null || true
     cp "${out}"_*.report.json "${out}"_*.trace.json ci-artifacts/perf/ \
       2>/dev/null || true
     echo "=== tier perf FAILED; comparison delta archived in" \

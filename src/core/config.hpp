@@ -77,6 +77,13 @@ struct PinningConfig {
   int pin_retry_budget = 16;
   sim::Time pin_retry_backoff = 50 * sim::kMicrosecond;
   sim::Time pin_retry_backoff_max = 5 * sim::kMillisecond;
+
+  /// Weight of this process in cross-tenant pin arbitration (see
+  /// mem/pin_arbiter.hpp). A tenant's fair-share floor is its weight's
+  /// proportion of the host pin quota; weight 2 is entitled to twice the
+  /// pinned pages of weight 1. Only consulted on hosts that enabled an
+  /// arbiter; must be >= 1.
+  std::uint32_t tenant_weight = 1;
 };
 
 /// User-space region cache behaviour (§3.2).

@@ -62,6 +62,14 @@ struct Counters {
   std::uint64_t fenced_stale_frames = 0;     // stale-epoch frames dropped
   std::uint64_t heartbeat_timeouts = 0;      // peers declared dead by watchdog
 
+  // Cross-tenant pin arbitration (mem/pin_arbiter.hpp): how this tenant
+  // fared against the other processes sharing the host's pin quota.
+  std::uint64_t tenant_arb_requests = 0;   // headroom requests to the arbiter
+  std::uint64_t tenant_arb_grants = 0;     // requests satisfied by shedding
+  std::uint64_t tenant_sheds_suffered = 0; // regions shed for another tenant
+  std::uint64_t tenant_floor_protected = 0;  // times the fair-share floor
+                                             // shielded this tenant's pins
+
   /// §4.3's headline metric: fraction of packet-driven region accesses that
   /// found their page not pinned yet.
   [[nodiscard]] double overlap_miss_rate() const noexcept {

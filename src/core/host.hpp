@@ -13,6 +13,7 @@
 #include "mem/address_space.hpp"
 #include "mem/malloc_sim.hpp"
 #include "mem/physical_memory.hpp"
+#include "mem/pin_arbiter.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "net/watchdog.hpp"
@@ -107,6 +108,15 @@ class Host {
   net::Watchdog& enable_watchdog(net::Watchdog::Config cfg);
   [[nodiscard]] net::Watchdog* watchdog() noexcept { return watchdog_.get(); }
 
+  /// Creates the cross-tenant pin arbiter and installs it on this host's
+  /// physical memory; every process's pin manager joins it lazily on first
+  /// quota contact. Idempotent. Enable *before* setting a pin quota low
+  /// enough to contend, so tenants register before the first denial.
+  mem::PinArbiter& enable_pin_arbitration();
+  [[nodiscard]] mem::PinArbiter* pin_arbiter() noexcept {
+    return arbiter_.get();
+  }
+
   [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
   [[nodiscard]] net::Nic& nic() noexcept { return nic_; }
   [[nodiscard]] Driver& driver() noexcept { return driver_; }
@@ -133,6 +143,8 @@ class Host {
   std::unique_ptr<ioat::DmaEngine> dma_;
   Driver driver_;
   std::unique_ptr<net::Watchdog> watchdog_;
+  // Before processes_: pin managers unregister from the arbiter on teardown.
+  std::unique_ptr<mem::PinArbiter> arbiter_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::size_t> process_core_;  // core index, for restart
   std::size_t next_core_ = 1;

@@ -17,6 +17,44 @@ PinManager::PinManager(sim::Engine& eng, cpu::Core& core,
       counters_(counters),
       relay_(relay) {}
 
+PinManager::~PinManager() {
+  if (arb_registered_) arbiter_->unregister_tenant(arb_id_);
+}
+
+void PinManager::maybe_join_arbitration(mem::PhysicalMemory& pm) {
+  if (arb_registered_ || pm.arbiter() == nullptr) return;
+  arbiter_ = pm.arbiter();
+  arb_id_ = arbiter_->register_tenant(this, cfg_.tenant_weight);
+  arb_registered_ = true;
+}
+
+bool PinManager::arbitrate_headroom() {
+  if (!arb_registered_) return false;
+  ++counters_.tenant_arb_requests;
+  if (!arbiter_->request_headroom(this)) return false;
+  ++counters_.tenant_arb_grants;
+  return true;
+}
+
+std::size_t PinManager::arb_pinned_pages() const {
+  std::size_t total = 0;
+  for (const auto& [rid, t] : tracked_) {
+    (void)rid;
+    if (t->region != nullptr) total += t->region->pinned_pages();
+  }
+  return total;
+}
+
+bool PinManager::arb_shed_idle() {
+  if (!shed_one_victim()) return false;
+  ++counters_.tenant_sheds_suffered;
+  return true;
+}
+
+void PinManager::arb_note_floor_protected() {
+  ++counters_.tenant_floor_protected;
+}
+
 void PinManager::emit(obs::EventKind kind, Region& r, const char* what) {
   if (relay_ == nullptr || !relay_->active()) return;
   obs::Event e;
@@ -155,16 +193,19 @@ void PinManager::schedule_chunk(Region& r) {
     return;
   }
   auto& pm = r.address_space().physical();
+  maybe_join_arbitration(pm);
   std::size_t chunk = std::min(cfg_.pin_chunk_pages, r.unpinned_pages());
   shed_pins_if_needed(pm, chunk);
 
   // Graceful degradation under a pinned-page quota: when the full chunk
   // cannot fit even after shedding idle regions, pin what fits — a smaller
   // frontier advance beats a failed one. With zero headroom nothing can pin
-  // at all; back off and retry so a transient squeeze (another endpoint
-  // releasing pages, the quota being raised) heals, and a permanent one
-  // ends in a clean ok=false abort once the budget runs out.
-  const std::size_t headroom = pm.pin_headroom();
+  // at all; first ask the host arbiter (if any) to shed an over-floor
+  // tenant for us, then back off and retry so a transient squeeze (another
+  // endpoint releasing pages, the quota being raised) heals, and a
+  // permanent one ends in a clean ok=false abort once the budget runs out.
+  std::size_t headroom = pm.pin_headroom();
+  if (headroom == 0 && arbitrate_headroom()) headroom = pm.pin_headroom();
   if (headroom == 0) {
     ++counters_.pins_denied;
     pm.count_quota_denial();
@@ -211,7 +252,7 @@ void PinManager::schedule_chunk(Region& r) {
       } catch (const mem::PinDeniedError& e) {
         ++counters_.pins_denied;
         if (e.reason() == mem::PinDeniedError::Reason::kQuota &&
-            shed_one_victim()) {
+            (shed_one_victim() || arbitrate_headroom())) {
           --i;  // freed quota headroom; retry this page now
           continue;
         }

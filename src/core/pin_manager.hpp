@@ -11,6 +11,7 @@
 #include "core/region.hpp"
 #include "cpu/core.hpp"
 #include "cpu/cpu_model.hpp"
+#include "mem/pin_arbiter.hpp"
 #include "mem/pool.hpp"
 #include "obs/event.hpp"
 #include "obs/relay.hpp"
@@ -31,7 +32,12 @@ namespace pinsim::core {
 ///  * overlapped: the completion fires after only `sync_prepin_pages` are
 ///    pinned (default 0, i.e. immediately) and the rest keeps pinning in the
 ///    background while the rendezvous round-trip runs (Figure 5).
-class PinManager {
+///
+/// On multi-tenant hosts the manager doubles as one tenant of the host's
+/// `mem::PinArbiter`: it joins arbitration lazily on first quota contact,
+/// answers shed requests with its own LRU walk, and asks the arbiter for
+/// headroom (shedding over-floor tenants) when the shared quota denies it.
+class PinManager : public mem::PinArbiter::TenantOps {
  public:
   /// done(ok): ok=false means a segment was invalid (or went away) and the
   /// region is PinState::kFailed; the caller aborts its request.
@@ -54,6 +60,7 @@ class PinManager {
 
   PinManager(const PinManager&) = delete;
   PinManager& operator=(const PinManager&) = delete;
+  ~PinManager() override;
 
   /// Tracks a declared region for LRU/pressure management.
   void register_region(Region& r);
@@ -137,6 +144,16 @@ class PinManager {
   void shed_pins_if_needed(mem::PhysicalMemory& pm,
                            std::size_t incoming_pages);
   bool shed_one_victim();
+
+  // Cross-tenant arbitration (mem::PinArbiter::TenantOps).
+  [[nodiscard]] std::size_t arb_pinned_pages() const override;
+  bool arb_shed_idle() override;
+  void arb_note_floor_protected() override;
+  /// Registers with the host arbiter on first quota contact (idempotent).
+  void maybe_join_arbitration(mem::PhysicalMemory& pm);
+  /// Asks the arbiter to shed another tenant below us. True when headroom
+  /// exists on return.
+  bool arbitrate_headroom();
   void do_unpin(Region& r, std::uint64_t& op_counter);
   void do_unpin_from(Region& r, std::size_t first_slot,
                      std::uint64_t& op_counter);
@@ -154,6 +171,9 @@ class PinManager {
   const obs::Relay* relay_ = nullptr;
   std::uint32_t node_ = 0;
   std::uint8_t ep_ = 0;
+  mem::PinArbiter* arbiter_ = nullptr;  // joined lazily; not owned
+  std::uint32_t arb_id_ = 0;
+  bool arb_registered_ = false;
   // Liveness token for engine timers (retry backoff): a timer may fire after
   // the endpoint (and its PinManager) is destroyed; captured weakly.
   std::shared_ptr<char> alive_ = std::make_shared<char>('p');

@@ -84,6 +84,12 @@ std::string format_report(Host::Process& p, Host& host) {
        static_cast<unsigned long long>(c.lifecycle_reclaimed_pages),
        static_cast<unsigned long long>(c.fenced_stale_frames),
        static_cast<unsigned long long>(c.heartbeat_timeouts));
+  line(out, "  tenant: arb_requests=%llu arb_grants=%llu sheds_suffered=%llu "
+            "floor_protected=%llu",
+       static_cast<unsigned long long>(c.tenant_arb_requests),
+       static_cast<unsigned long long>(c.tenant_arb_grants),
+       static_cast<unsigned long long>(c.tenant_sheds_suffered),
+       static_cast<unsigned long long>(c.tenant_floor_protected));
   line(out, "  region cache: hits=%llu misses=%llu evictions=%llu live=%zu",
        static_cast<unsigned long long>(cache.hits),
        static_cast<unsigned long long>(cache.misses),
@@ -102,6 +108,10 @@ std::string format_report(Host::Process& p, Host& host) {
   } else {
     line(out, "  host pinned pages now: %zu", host.memory().pinned_pages());
   }
+  line(out, "  fabric drops: fault=%llu congestion=%llu",
+       static_cast<unsigned long long>(host.nic().fabric().fault_dropped()),
+       static_cast<unsigned long long>(
+           host.nic().fabric().congestion_dropped()));
   return out;
 }
 
@@ -170,6 +180,10 @@ std::string format_json_report(Host::Process& p, Host& host) {
   field("lifecycle_reclaimed_pages", c.lifecycle_reclaimed_pages);
   field("fenced_stale_frames", c.fenced_stale_frames);
   field("heartbeat_timeouts", c.heartbeat_timeouts);
+  field("tenant_arb_requests", c.tenant_arb_requests);
+  field("tenant_arb_grants", c.tenant_arb_grants);
+  field("tenant_sheds_suffered", c.tenant_sheds_suffered);
+  field("tenant_floor_protected", c.tenant_floor_protected);
   field("cache_hits", cache.hits);
   field("cache_misses", cache.misses);
   field("cache_evictions", cache.evictions);
@@ -178,6 +192,9 @@ std::string format_json_report(Host::Process& p, Host& host) {
     field("host_pin_quota", host.memory().pin_quota());
     field("host_quota_denials", host.memory().quota_denials());
   }
+  field("fabric_fault_dropped", host.nic().fabric().fault_dropped());
+  field("fabric_congestion_dropped",
+        host.nic().fabric().congestion_dropped());
   out += '}';
   return out;
 }

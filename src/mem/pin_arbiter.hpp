@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/physical_memory.hpp"
+
+namespace pinsim::mem {
+
+/// Cross-tenant pin arbitration over one host's shared pin quota.
+///
+/// Several processes (tenants) on a multi-tenant host compete for one
+/// `PhysicalMemory` pin quota. Without arbitration, whoever pins first wins
+/// and a greedy tenant can starve the rest — the classic problem with
+/// RLIMIT_MEMLOCK-style per-host accounting. The arbiter adds two policies
+/// on top of the raw quota:
+///
+///  * **fair-share floor**: each tenant is entitled to
+///    `weight_i / total_weight` of the quota. A tenant pinned at or above
+///    its floor cannot demand headroom from others; a tenant below its
+///    floor may.
+///  * **weighted LRU shedding**: when an under-floor tenant is denied by
+///    the quota, the arbiter asks over-floor tenants — most-over-floor
+///    first, normalized by weight — to shed one idle (LRU, unreferenced)
+///    region each until a page of headroom appears. Tenants at or below
+///    their floor are never shed against their will (floor protection).
+///
+/// Everything is deterministic: tenants are ranked by exact integer
+/// arithmetic with ascending-registration-id tie-breaks, and shedding
+/// reuses each tenant's own deterministic LRU walk.
+class PinArbiter {
+ public:
+  /// What the arbiter needs from a tenant (implemented by core::PinManager).
+  /// Kept abstract so mem/ stays independent of core/.
+  class TenantOps {
+   public:
+    virtual ~TenantOps() = default;
+    /// Pages this tenant currently holds pinned.
+    [[nodiscard]] virtual std::size_t arb_pinned_pages() const = 0;
+    /// Sheds one idle region's pins (LRU first). Returns false when every
+    /// region is busy — the tenant cannot yield anything right now.
+    virtual bool arb_shed_idle() = 0;
+    /// The arbiter skipped this tenant as a shed victim because it sits at
+    /// or below its fair-share floor (accounting hook only).
+    virtual void arb_note_floor_protected() = 0;
+  };
+
+  struct TenantStats {
+    std::uint64_t requests = 0;         // headroom requests made
+    std::uint64_t grants = 0;           // requests satisfied by shedding
+    std::uint64_t floor_denied = 0;     // refused: requester at/over floor
+    std::uint64_t sheds_suffered = 0;   // times picked as the shed victim
+  };
+
+  explicit PinArbiter(PhysicalMemory& pm) : pm_(pm) {}
+
+  PinArbiter(const PinArbiter&) = delete;
+  PinArbiter& operator=(const PinArbiter&) = delete;
+
+  /// Registers a tenant with a scheduling weight (>= 1). Ids ascend and are
+  /// never reused, so registration order fixes all tie-breaks.
+  std::uint32_t register_tenant(TenantOps* ops, std::uint32_t weight);
+
+  /// Detaches a dying tenant; its stats slot survives for reporting.
+  void unregister_tenant(std::uint32_t id);
+
+  /// An under-quota denial landed on `requester`: try to free headroom by
+  /// shedding from over-floor tenants. Returns true when at least one page
+  /// of headroom exists on return (the caller's retry will succeed).
+  /// Refuses — without shedding anyone — when the requester already holds
+  /// its fair share.
+  bool request_headroom(TenantOps* requester);
+
+  /// The requester's fair-share floor in pages (weight-proportional slice
+  /// of the pin quota). Unlimited quota means an unlimited floor.
+  [[nodiscard]] std::size_t fair_floor(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return live_count_;
+  }
+  [[nodiscard]] const TenantStats& stats(std::uint32_t id) const {
+    return slots_.at(id).stats;
+  }
+  [[nodiscard]] std::uint64_t total_requests() const noexcept {
+    return total_requests_;
+  }
+  [[nodiscard]] std::uint64_t total_grants() const noexcept {
+    return total_grants_;
+  }
+  [[nodiscard]] std::uint64_t total_sheds() const noexcept {
+    return total_sheds_;
+  }
+
+ private:
+  struct Slot {
+    TenantOps* ops = nullptr;  // nullptr once unregistered
+    std::uint32_t weight = 1;
+    TenantStats stats;
+  };
+
+  [[nodiscard]] std::size_t floor_for(const Slot& s) const;
+
+  PhysicalMemory& pm_;
+  std::vector<Slot> slots_;  // indexed by tenant id; never shrinks
+  std::size_t live_count_ = 0;
+  std::uint32_t total_weight_ = 0;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_grants_ = 0;
+  std::uint64_t total_sheds_ = 0;
+};
+
+}  // namespace pinsim::mem

@@ -44,7 +44,7 @@ sim::Time Fabric::serialization_time(std::size_t wire_bytes) const {
                                 0.5);
 }
 
-void Fabric::transmit(Frame frame) {
+bool Fabric::admit(Frame& frame, FaultInjector::Verdict& verdict) {
   if (frame.dst >= nics_.size()) {
     throw std::invalid_argument("frame to unknown node");
   }
@@ -52,20 +52,25 @@ void Fabric::transmit(Frame frame) {
       (frame.src < port_up_.size() && !port_up(frame.src))) {
     // A downed link loses frames silently, exactly like wire loss: the
     // retransmission machinery (or the watchdog, if it stays down) recovers.
-    ++dropped_;
+    ++fault_dropped_;
     ++link_down_drops_;
-    return;
+    return false;
   }
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
-    ++dropped_;
-    return;
+    ++fault_dropped_;
+    return false;
   }
-  FaultInjector::Verdict verdict;
   if (faults_.enabled()) verdict = faults_.inspect(frame);
   if (verdict.drop) {
-    ++dropped_;
-    return;
+    ++fault_dropped_;
+    return false;
   }
+  return true;
+}
+
+void Fabric::transmit(Frame frame) {
+  FaultInjector::Verdict verdict;
+  if (!admit(frame, verdict)) return;
   if (verdict.duplicate) deliver_frame(frame, 0);
   deliver_frame(std::move(frame), verdict.extra_latency);
 }
@@ -91,7 +96,20 @@ void Fabric::deliver_frame(Frame frame, sim::Time extra_latency) {
     if (!port_up(f.dst)) {
       // The link dropped while the frame was in flight.
       --delivered_;
-      ++dropped_;
+      ++fault_dropped_;
+      ++link_down_drops_;
+      return;
+    }
+    nics_[f.dst]->deliver(std::move(f));
+  });
+}
+
+void Fabric::deliver_after(Frame frame, sim::Time propagation) {
+  ++delivered_;
+  eng_.schedule_after(propagation, [this, f = std::move(frame)]() mutable {
+    if (!port_up(f.dst)) {
+      --delivered_;
+      ++fault_dropped_;
       ++link_down_drops_;
       return;
     }

@@ -25,6 +25,13 @@ class Nic;
 /// senders blasting one receiver share its 10 Gb/s ingress — which is what
 /// makes the shared-NIC experiments (Table 2 runs several processes per
 /// node) behave like the real thing.
+///
+/// The base class is the paper's two-host cut-through switch; `Topology`
+/// (net/topology.hpp) overrides `transmit`/`attach` to route frames through
+/// explicit rack switches with bounded per-port egress queues. Loss is
+/// attributed by cause: `fault_dropped()` counts injected/link loss,
+/// `congestion_dropped()` counts queue-overflow loss (always zero here — the
+/// ideal switch has infinite buffers; only a Topology increments it).
 class Fabric {
  public:
   struct Config {
@@ -35,18 +42,19 @@ class Fabric {
   };
 
   Fabric(sim::Engine& eng, Config cfg);
-  Fabric(sim::Engine& eng) : Fabric(eng, Config()) {}
+  explicit Fabric(sim::Engine& eng) : Fabric(eng, Config()) {}
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+  virtual ~Fabric() = default;
 
   /// Registers a NIC and assigns its node id.
-  NodeId attach(Nic* nic);
+  virtual NodeId attach(Nic* nic);
 
   /// Hands a fully-serialized frame to the fabric (called by the sending NIC
   /// when egress serialization completes). Applies latency, loss and ingress
   /// port sharing, then delivers to the destination NIC.
-  void transmit(Frame frame);
+  virtual void transmit(Frame frame);
 
   /// Time to clock `bytes` onto a port at line rate.
   [[nodiscard]] sim::Time serialization_time(std::size_t wire_bytes) const;
@@ -55,8 +63,18 @@ class Fabric {
   [[nodiscard]] std::uint64_t frames_delivered() const noexcept {
     return delivered_;
   }
+  /// All losses regardless of cause (fault + congestion).
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
-    return dropped_;
+    return fault_dropped_ + congestion_dropped_;
+  }
+  /// Fault-attributed loss: injected drops, random loss, downed links.
+  [[nodiscard]] std::uint64_t fault_dropped() const noexcept {
+    return fault_dropped_;
+  }
+  /// Congestion-attributed loss: bounded egress queues overflowing under
+  /// incast. The ideal point-to-point fabric never congests.
+  [[nodiscard]] std::uint64_t congestion_dropped() const noexcept {
+    return congestion_dropped_;
   }
 
   /// The fabric's fault-injection layer. Configure plans on it directly; it
@@ -75,12 +93,28 @@ class Fabric {
     return link_down_drops_;
   }
 
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nics_.size();
+  }
+
   /// Lifecycle-event emission point (kLifeLinkDown/Up); optional.
   void set_bus(obs::Bus* bus) noexcept { bus_ = bus; }
 
- private:
+ protected:
+  /// The shared admission pipeline: administrative link state, the legacy
+  /// drop_probability coin, and the fault injector (which may corrupt the
+  /// frame in place). Returns false when the frame was consumed (dropped and
+  /// accounted); otherwise fills `verdict` with the duplicate/extra-latency
+  /// decisions the caller must honour.
+  bool admit(Frame& frame, FaultInjector::Verdict& verdict);
+
   /// Applies latency/ingress accounting and hands the frame to the NIC.
   void deliver_frame(Frame frame, sim::Time extra_latency);
+
+  /// Final-hop delivery for routed (Topology) frames: the egress queue
+  /// already serialized the frame toward `frame.dst`, so this only models
+  /// the remaining propagation delay and the in-flight link-down loss.
+  void deliver_after(Frame frame, sim::Time propagation);
 
   sim::Engine& eng_;
   Config cfg_;
@@ -91,7 +125,8 @@ class Fabric {
   FaultInjector faults_;
   obs::Bus* bus_ = nullptr;
   std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t congestion_dropped_ = 0;
   std::uint64_t link_down_drops_ = 0;
 };
 

@@ -79,6 +79,8 @@ class Nic {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] cpu::Core& irq_core() noexcept { return irq_core_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const Fabric& fabric() const noexcept { return fabric_; }
 
  private:
   void pump_tx();

@@ -75,6 +75,18 @@ enum class EventKind : std::uint8_t {
   kLifePeerDead,  // watchdog declared a peer dead (peer = node)
   kLifePeerAlive, // watchdog heard the peer again
   kLifeFence,     // stale-epoch frame fenced at the driver (seq = frame epoch)
+
+  // Cluster switch fabric (net/topology.hpp). `node` is the switch port id
+  // (downlink ports share the destination node's id, uplink ports live in
+  // a disjoint id range), `pkt` is 1 on uplink ports. For kNetPortQueue,
+  // `offset` is the queue depth after the transition and `len` the port's
+  // capacity (the invariant checker asserts offset <= len). For kNetPortTx,
+  // `offset` is the serialization time in ns and `len` the wire bytes. For
+  // kNetCongestionDrop, `peer` is the frame's destination node and `len`
+  // its wire bytes.
+  kNetPortQueue,       // egress queue depth changed (enqueue or drain)
+  kNetPortTx,          // frame finished clocking out of a switch port
+  kNetCongestionDrop,  // bounded egress queue overflowed; frame lost
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k) noexcept;

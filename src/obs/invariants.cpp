@@ -176,6 +176,16 @@ void InvariantChecker::on_event(const Event& e) {
       drop_endpoint_state(e.node, e.ep);
       break;
 
+    case EventKind::kNetPortQueue:
+      // A bounded egress queue can never report more frames than it holds:
+      // depth above capacity means the switch accounting double-counted.
+      if (e.offset > e.len) {
+        violate(e, "switch port queue depth above capacity (" +
+                       std::to_string(e.offset) + "/" +
+                       std::to_string(e.len) + " frames)");
+      }
+      break;
+
     default:
       break;
   }

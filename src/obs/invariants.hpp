@@ -25,7 +25,9 @@ namespace pinsim::obs {
 ///  * retransmission retry counts are strictly monotonic per request;
 ///  * a crash sweep (kLifeCrash) returns the host's pinned-page count
 ///    exactly to the pre-crash non-tenant baseline — no leaks, no
-///    double-unpins — and retires the dead incarnation's shadow state.
+///    double-unpins — and retires the dead incarnation's shadow state;
+///  * a bounded switch-port queue never reports a depth above its capacity
+///    (kNetPortQueue carries depth in `offset`, capacity in `len`).
 ///
 /// Violations carry the offending event plus a window of the events leading
 /// up to it, so a failing soak prints the interleaving, not just a boolean.

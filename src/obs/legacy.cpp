@@ -67,6 +67,9 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kLifePeerDead: return "life_peer_dead";
     case EventKind::kLifePeerAlive: return "life_peer_alive";
     case EventKind::kLifeFence: return "life_fence";
+    case EventKind::kNetPortQueue: return "net_port_queue";
+    case EventKind::kNetPortTx: return "net_port_tx";
+    case EventKind::kNetCongestionDrop: return "net_congestion_drop";
   }
   return "unknown";
 }
@@ -190,6 +193,22 @@ LegacyStrings legacy_strings(const Event& e) {
     case EventKind::kLifeFence:
       return {"life.fence", "from node " + std::to_string(e.peer) +
                                 " stale epoch " + std::to_string(e.seq)};
+    case EventKind::kNetPortQueue:
+      return {"net.port", std::string(e.pkt != 0 ? "uplink " : "port ") +
+                              std::to_string(e.node) + " depth " +
+                              std::to_string(e.offset) + "/" +
+                              std::to_string(e.len)};
+    case EventKind::kNetPortTx:
+      return {"net.port", std::string(e.pkt != 0 ? "uplink " : "port ") +
+                              std::to_string(e.node) + " tx " +
+                              std::to_string(e.len) + "B in " +
+                              std::to_string(e.offset) + "ns"};
+    case EventKind::kNetCongestionDrop:
+      return {"net.congestion", std::string(e.pkt != 0 ? "uplink " : "port ") +
+                                    std::to_string(e.node) +
+                                    " overflow, frame to node " +
+                                    std::to_string(e.peer) + " (" +
+                                    std::to_string(e.len) + "B)"};
   }
   return {"unknown", ""};
 }

@@ -11,14 +11,19 @@ void MetricsSampler::push_sample(sim::Time boundary) {
   s.inflight_pin_jobs = static_cast<std::uint32_t>(pin_jobs_.size());
   s.open_sends = static_cast<std::uint32_t>(sends_.size());
   s.open_pulls = static_cast<std::uint32_t>(pulls_.size());
+  s.port_queue_depth = port_queue_depth_;
   s.overlap_misses = overlap_misses_;
   s.retransmits = retransmits_;
   s.copied_bytes = copied_bytes_;
   s.pressure_denials = pressure_denials_;
+  s.congestion_drops = congestion_drops_;
+  s.uplink_busy_ns = uplink_busy_ns_;
   overlap_misses_ = 0;
   retransmits_ = 0;
   copied_bytes_ = 0;
   pressure_denials_ = 0;
+  congestion_drops_ = 0;
+  uplink_busy_ns_ = 0;
   dirty_ = false;
   samples_.push_back(s);
   if (samples_.size() >= max_samples_) compact();
@@ -34,6 +39,8 @@ void MetricsSampler::compact() {
     m.retransmits += samples_[i].retransmits;
     m.copied_bytes += samples_[i].copied_bytes;
     m.pressure_denials += samples_[i].pressure_denials;
+    m.congestion_drops += samples_[i].congestion_drops;
+    m.uplink_busy_ns += samples_[i].uplink_busy_ns;
     samples_[w++] = m;
   }
   if (samples_.size() % 2 != 0) samples_[w++] = samples_.back();
@@ -125,6 +132,22 @@ void MetricsSampler::on_event(const Event& e) {
       ++pressure_denials_;
       break;
 
+    // Switch-port gauge: every kNetPortQueue carries the port's absolute
+    // depth in `offset`, so the cluster-wide gauge mirrors the per-port
+    // deltas the same way the pin frontier gauge does.
+    case EventKind::kNetPortQueue: {
+      std::uint64_t& d = port_depths_[e.node];
+      port_queue_depth_ += e.offset - d;  // unsigned wrap cancels on drain
+      d = e.offset;
+      break;
+    }
+    case EventKind::kNetPortTx:
+      if (e.pkt != 0) uplink_busy_ns_ += e.offset;
+      break;
+    case EventKind::kNetCongestionDrop:
+      ++congestion_drops_;
+      break;
+
     default:
       break;
   }
@@ -164,6 +187,11 @@ std::string MetricsSampler::json() const {
   column("copied_bytes", [](const Sample& s) { return s.copied_bytes; });
   column("pressure_denials",
          [](const Sample& s) { return s.pressure_denials; });
+  column("port_queue_depth",
+         [](const Sample& s) { return s.port_queue_depth; });
+  column("congestion_drops",
+         [](const Sample& s) { return s.congestion_drops; });
+  column("uplink_busy_ns", [](const Sample& s) { return s.uplink_busy_ns; });
   out += "}";
   return out;
 }

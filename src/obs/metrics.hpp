@@ -33,11 +33,14 @@ class MetricsSampler final : public Sink {
     std::uint32_t inflight_pin_jobs = 0;
     std::uint32_t open_sends = 0;      // posted, not yet done/aborted
     std::uint32_t open_pulls = 0;      // started, not yet done/aborted
+    std::uint64_t port_queue_depth = 0;  // frames across all switch ports
     // Counters (events inside the interval ending at t).
     std::uint32_t overlap_misses = 0;
     std::uint32_t retransmits = 0;     // send retransmits + pull retries
     std::uint64_t copied_bytes = 0;    // kCopyIn payload landed
     std::uint32_t pressure_denials = 0;
+    std::uint32_t congestion_drops = 0;  // switch queue overflows
+    std::uint64_t uplink_busy_ns = 0;    // uplink serialization time spent
   };
 
   explicit MetricsSampler(sim::Time interval = 50 * sim::kMicrosecond,
@@ -80,12 +83,16 @@ class MetricsSampler final : public Sink {
   std::unordered_set<std::uint64_t> pin_jobs_;
   std::unordered_set<std::uint64_t> sends_;
   std::unordered_set<std::uint64_t> pulls_;
+  std::unordered_map<std::uint32_t, std::uint64_t> port_depths_;  // port->depth
+  std::uint64_t port_queue_depth_ = 0;  // running sum over port_depths_
 
   // Counter accumulators for the open interval.
   std::uint32_t overlap_misses_ = 0;
   std::uint32_t retransmits_ = 0;
   std::uint64_t copied_bytes_ = 0;
   std::uint32_t pressure_denials_ = 0;
+  std::uint32_t congestion_drops_ = 0;
+  std::uint64_t uplink_busy_ns_ = 0;
 
   std::vector<Sample> samples_;
   std::uint32_t compactions_ = 0;

@@ -162,6 +162,83 @@ class CompareGatingTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
 
+class CompareFairnessTest(unittest.TestCase):
+    """tenant_fairness digest: Jain drops gate, new metrics record-only."""
+
+    @staticmethod
+    def fairness(jain_ok, jain_denials=1.0):
+        return {"tenants": 256, "jain_ok_pairs": jain_ok,
+                "jain_pin_denials": jain_denials,
+                "p99_spread_ratio": 1.2, "arb_requests": 100,
+                "arb_grants": 40, "arb_sheds": 40}
+
+    def test_fairness_missing_from_baseline_is_recorded_not_gated(self):
+        base = point("seed", {"cluster": {"invariant_violations": 0,
+                                          "send_latency_ns": hist(1000)}})
+        cur = point("pr", {"cluster": {"invariant_violations": 0,
+                                       "send_latency_ns": hist(1000),
+                                       "tenant_fairness":
+                                           self.fairness(0.99)}})
+        proc, delta = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("tenant_fairness.jain_ok_pairs missing from baseline",
+                      proc.stdout)
+        self.assertEqual(delta["verdict"], "PASS")
+        self.assertEqual(
+            delta["benches"]["cluster"]["tenant_fairness"]["jain_ok_pairs"],
+            [None, 0.99])
+
+    def test_jain_drop_beyond_tolerance_fails(self):
+        base = point("seed", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.99)}})
+        cur = point("pr", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.90)}})
+        proc, delta = run_compare(base, cur, "--fairness-threshold", "0.02")
+        self.assertEqual(proc.returncode, 1)
+        self.assertTrue(any("jain_ok_pairs dropped" in f
+                            for f in delta["failures"]))
+
+    def test_jain_drop_within_tolerance_passes(self):
+        base = point("seed", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.99)}})
+        cur = point("pr", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.98)}})
+        proc, _ = run_compare(base, cur, "--fairness-threshold", "0.02")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_jain_gain_never_fails(self):
+        base = point("seed", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.90)}})
+        cur = point("pr", {"cluster": {
+            "invariant_violations": 0,
+            "tenant_fairness": self.fairness(0.99)}})
+        proc, _ = run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_collect_folds_fairness_digest(self):
+        report = {"invariant_violations": 0,
+                  "tenant_fairness": self.fairness(0.97)}
+        with tempfile.TemporaryDirectory() as td:
+            rpath = os.path.join(td, "run.report.json")
+            opath = os.path.join(td, "point.json")
+            write_json(rpath, report)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT, "collect", "--label", "t",
+                 "--out", opath, f"cluster={rpath}"],
+                capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            with open(opath) as f:
+                pt = json.load(f)
+        tf = pt["benches"]["cluster"]["tenant_fairness"]
+        self.assertEqual(tf["jain_ok_pairs"], 0.97)
+        self.assertEqual(tf["arb_sheds"], 40)
+
+
 class CollectThroughputTest(unittest.TestCase):
     def test_collect_folds_throughput_from_report(self):
         report = {

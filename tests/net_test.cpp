@@ -198,6 +198,43 @@ TEST(FabricLoss, RandomDropsAreApplied) {
             static_cast<std::uint64_t>(kFrames));
 }
 
+TEST(IngressSharing, SimultaneousSendersSerializeAtPortLineRate) {
+  // Several senders blasting one receiver share its ingress port: the
+  // frames clock in one at a time at line rate, in deterministic
+  // (attach-order) sequence — the incast primitive the cluster topology's
+  // bounded queues build on.
+  sim::Engine eng;
+  Fabric fabric(eng);
+  cpu::Core rx_core(eng, "rx");
+  cpu::Core tx_core0(eng, "s0"), tx_core1(eng, "s1"), tx_core2(eng, "s2");
+  Nic rx(eng, fabric, rx_core);
+  Nic tx0(eng, fabric, tx_core0), tx1(eng, fabric, tx_core1),
+      tx2(eng, fabric, tx_core2);
+  std::vector<std::pair<sim::Time, int>> arrivals;
+  rx.set_rx_handler([&](Frame&& f) {
+    arrivals.emplace_back(eng.now(), static_cast<int>(f.payload[0]));
+  });
+  Nic* senders[] = {&tx0, &tx1, &tx2};
+  for (int s = 0; s < 3; ++s) {
+    Frame f;
+    f.dst = rx.node_id();
+    f.payload.assign(8192, static_cast<std::byte>(s));
+    ASSERT_TRUE(senders[static_cast<std::size_t>(s)]->send(std::move(f)));
+  }
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const sim::Time wire = fabric.serialization_time(
+      Frame{0, 0, std::vector<std::byte>(8192)}.wire_bytes());
+  // All three finish egress together; the shared ingress then serializes
+  // them back to back — consecutive arrivals exactly one wire time apart.
+  const sim::Time first = 2 * wire + fabric.latency() + 1000;
+  for (int s = 0; s < 3; ++s) {
+    const auto& [t, who] = arrivals[static_cast<std::size_t>(s)];
+    EXPECT_EQ(who, s) << "ingress order must follow attach order";
+    EXPECT_EQ(t, first + static_cast<sim::Time>(s) * wire);
+  }
+}
+
 TEST(FabricErrors, UnknownDestinationThrows) {
   sim::Engine eng;
   Fabric fabric(eng);
