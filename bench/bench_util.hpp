@@ -16,10 +16,12 @@
 #include "obs/bus.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/invariants.hpp"
 #include "obs/latency.hpp"
 #include "obs/lifecycle.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "sim/engine.hpp"
 
 namespace pinsim::bench {
@@ -117,23 +119,39 @@ struct Options {
 };
 
 /// Observability rig for one Cluster run: invariant checker, latency
-/// recorder, critical-path analyzer and metrics sampler are always
-/// attached; a Chrome-trace writer joins when
-/// `trace_path` is non-empty. Declare it AFTER the Cluster (teardown order:
-/// endpoints emit pin-unpin events from their destructors, so the bus must
-/// outlive the hosts — `finish()` detaches everything first and benches
-/// should call it before the Cluster dies; the destructor is the backstop).
+/// recorder, critical-path analyzer, metrics sampler and flight recorder
+/// are always attached, and a dispatch profiler installs on the engine; a
+/// Chrome-trace writer joins (and the profiler starts capturing wall-clock
+/// self time) when `trace_path` is non-empty. Declare it AFTER the Cluster.
+///
+/// Teardown order: endpoints emit pin-unpin events from their destructors,
+/// so the bus must outlive the hosts — `finish()` detaches everything first
+/// and benches should call it before the Cluster dies; the destructor is
+/// the backstop. Getting this wrong is no longer silent UB: the Bus
+/// destructor aborts with a diagnostic while emitters are still registered
+/// (obs/bus.hpp).
 struct ObsRig {
   explicit ObsRig(Cluster& c, const std::string& trace_path = std::string())
-      : cluster(&c), bus(c.eng) {
+      : cluster(&c),
+        bus(c.eng),
+        flight(flight_config(trace_path)),
+        profiler(/*wall_clock=*/!trace_path.empty()) {
     bus.attach(&checker);
     bus.attach(&latency);
     bus.attach(&critical_path);
     bus.attach(&metrics);
     bus.attach(&lifecycle);
+    bus.attach(&flight);
+    // Post-mortem trigger: an invariant violation dumps the flight ring.
+    checker.set_violation_hook([this](const obs::InvariantChecker::Violation&
+                                          v) {
+      flight.dump("invariant: " + v.message);
+    });
+    profiler.attach(c.eng);
     if (!trace_path.empty()) {
       chrome = std::make_unique<obs::ChromeTraceWriter>(trace_path);
       bus.attach(chrome.get());
+      flame_path = flight_config(trace_path).dump_prefix + ".flame.json";
       // Wall-clock throughput is measured only on instrumented runs: the
       // determinism suite byte-compares json_report() output, and a wall
       // clock in that path would make the report machine-dependent.
@@ -161,8 +179,9 @@ struct ObsRig {
     if (!finished) detach();
   }
 
-  /// Flushes every sink (writing the Chrome trace if any), prints the
-  /// invariant report to stderr on failure and detaches from the cluster.
+  /// Flushes every sink (writing the Chrome trace if any), writes the flame
+  /// profile on instrumented runs, prints the invariant report to stderr on
+  /// failure and detaches from the cluster.
   /// Returns the number of invariant violations (0 = clean).
   int finish() {
     if (!finished) {
@@ -170,10 +189,24 @@ struct ObsRig {
       if (!checker.ok()) {
         std::fprintf(stderr, "%s", checker.report().c_str());
       }
+      if (!flame_path.empty()) {
+        profiler.write_speedscope(flame_path, flame_path);
+      }
       detach();
       finished = true;
     }
     return static_cast<int>(checker.violation_count());
+  }
+
+  /// Engine sanity gate for bench end-of-run: runs Engine::self_check and,
+  /// on failure, dumps the flight-recorder window and reports why. Returns
+  /// true when the engine state is consistent.
+  bool check_engine() {
+    std::string why;
+    if (cluster->eng.self_check(&why)) return true;
+    std::fprintf(stderr, "engine self-check failed: %s\n", why.c_str());
+    flight.dump("engine self-check: " + why);
+    return false;
   }
 
   /// One JSON object for the whole run: per-endpoint protocol counters plus
@@ -197,6 +230,12 @@ struct ObsRig {
     out += metrics.json();
     out += ",\"lifecycle\":";
     out += lifecycle.json();
+    // Deterministic on untraced runs (dispatch counts, sim lag, ring
+    // counters); wall-clock fields join only when wall_metrics is on.
+    out += ",\"profile\":";
+    out += profiler.json();
+    out += ",\"flight\":";
+    out += flight.json();
     if (wall_metrics) {
       // pinlint: allow(D1: wall-clock throughput metric, never in sim state)
       const auto now = std::chrono::steady_clock::now();
@@ -252,7 +291,10 @@ struct ObsRig {
   obs::CriticalPathAnalyzer critical_path;
   obs::MetricsSampler metrics;
   obs::LifecycleRecorder lifecycle;
+  obs::FlightRecorder flight;
+  obs::Profiler profiler;
   std::unique_ptr<obs::ChromeTraceWriter> chrome;
+  std::string flame_path;  // written at finish() on instrumented runs
   bool finished = false;
   // Wall-clock throughput baseline (instrumented runs only, see ctor).
   bool wall_metrics = false;
@@ -262,7 +304,26 @@ struct ObsRig {
   sim::Time sim_start = 0;
 
  private:
+  /// Flight dumps land next to the Chrome trace: "<tag>.trace.json" yields
+  /// "<tag>-<n>.flight.json"; untraced runs use the cwd "flight" prefix.
+  static obs::FlightRecorder::Config flight_config(
+      const std::string& trace_path) {
+    obs::FlightRecorder::Config fc;
+    if (!trace_path.empty()) {
+      const std::string suffix = ".trace.json";
+      fc.dump_prefix =
+          trace_path.size() > suffix.size() &&
+                  trace_path.compare(trace_path.size() - suffix.size(),
+                                     suffix.size(), suffix) == 0
+              ? trace_path.substr(0, trace_path.size() - suffix.size())
+              : trace_path;
+    }
+    return fc;
+  }
+
   void detach() {
+    profiler.detach();
+    checker.set_violation_hook(nullptr);
     for (auto& h : cluster->hosts) {
       h->driver().set_bus(nullptr);
       if (h->dma() != nullptr) h->dma()->set_bus(nullptr);

@@ -136,7 +136,11 @@ int run_pingpong(const Stage& st, const bench::Options& opt,
       mismatches == 0 ? "bit-exact" : "CORRUPTED");
   // Stage boundary: the engine's structural invariants must survive the
   // fault barrage before the next stage reuses the pattern.
-  if (std::string why; !cluster.eng.self_check(&why)) {
+  if (rig != nullptr && !rig->check_engine()) {
+    std::printf("  pingpong: ENGINE SELF-CHECK FAILED (see flight dump)\n");
+    ++mismatches;
+  } else if (std::string why;
+             rig == nullptr && !cluster.eng.self_check(&why)) {
     std::printf("  pingpong: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
     ++mismatches;
   }
@@ -278,7 +282,11 @@ int run_alltoallv(const Stage& st, const bench::Options& opt,
                       .c_str());
     }
   }
-  if (std::string why; !cluster.eng.self_check(&why)) {
+  if (rig != nullptr && !rig->check_engine()) {
+    std::printf("  alltoallv: ENGINE SELF-CHECK FAILED (see flight dump)\n");
+    ++mismatches;
+  } else if (std::string why;
+             rig == nullptr && !cluster.eng.self_check(&why)) {
     std::printf("  alltoallv: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
     ++mismatches;
   }

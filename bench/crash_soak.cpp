@@ -347,10 +347,10 @@ StageResult run_stage(const Stage& st, const bench::Options& opt,
   }
 
   // Stage boundary: the engine's own structural invariants must hold after
-  // hundreds of kill/restart/flap events.
-  std::string why;
-  if (!eng.self_check(&why)) {
-    std::printf("  FAIL: engine self-check: %s\n", why.c_str());
+  // hundreds of kill/restart/flap events. A failure dumps the flight
+  // recorder's window for the post-mortem.
+  if (!obs.check_engine()) {
+    std::printf("  FAIL: engine self-check (see flight dump)\n");
     ++res.failures;
   }
 

@@ -101,13 +101,14 @@ int main(int argc, char** argv) {
     cfg.buffer_rotation = 4;
     workloads::ImbSuite imb(*cluster.comm, cfg);
     (void)imb.pingpong(1024 * 1024);
+    const bool engine_ok = rig.check_engine();
     const int violations = rig.finish();
     rig.write_report(opt.trace_out + ".report.json");
     std::printf("\ntrace: %s.trace.json report: %s.report.json%s\n",
                 opt.trace_out.c_str(), opt.trace_out.c_str(),
                 violations == 0 ? "" : "  INVARIANT VIOLATIONS");
     std::printf("%s", rig.digest().c_str());
-    if (violations != 0) return 1;
+    if (violations != 0 || !engine_ok) return 1;
   }
   std::printf(
       "\nShape check vs paper: Cache and Overlap+Cache track permanent\n"

@@ -178,13 +178,14 @@ int instrumented_rendezvous(const std::string& prefix) {
   }(receiver.lib, dst, len));
   c.eng.run();
   c.eng.rethrow_task_failures();
+  const bool engine_ok = rig.check_engine();
   const int violations = rig.finish();
   rig.write_report(prefix + ".report.json");
   std::printf("trace: %s.trace.json report: %s.report.json%s\n",
               prefix.c_str(), prefix.c_str(),
               violations == 0 ? "" : "  INVARIANT VIOLATIONS");
   std::printf("%s", rig.digest().c_str());
-  return violations == 0 ? 0 : 1;
+  return violations == 0 && engine_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -265,7 +265,11 @@ int run_pingpong(const Stage& st, const bench::Options& opt,
   }
   // Stage boundary: the engine's structural invariants must survive the
   // pressure barrage before the next stage reuses the pattern.
-  if (std::string why; !cluster.eng.self_check(&why)) {
+  if (obs != nullptr && !obs->check_engine()) {
+    std::printf("  pingpong: ENGINE SELF-CHECK FAILED (see flight dump)\n");
+    ++bad;
+  } else if (std::string why;
+             obs == nullptr && !cluster.eng.self_check(&why)) {
     std::printf("  pingpong: ENGINE SELF-CHECK FAILED: %s\n", why.c_str());
     ++bad;
   }

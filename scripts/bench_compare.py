@@ -16,6 +16,10 @@ Collected metrics per bench:
   * critical-path phase totals (ns) and completed/aborted/orphaned counts;
   * wall-clock throughput (events_per_sec, sim_ns_per_wall_ms) when the
     instrumented run recorded it;
+  * per-tag dispatch counts and events/sec from the hot-path profiler's
+    `profile` section (record-only: the per-tag wall-clock split is for
+    the human reading the trajectory, the aggregate throughput gate
+    already covers wall-clock regressions);
   * invariant violations (any non-zero fails the gate outright).
 
 compare exits 0 when every latency metric of every bench present in both
@@ -94,6 +98,26 @@ def collect(args):
                 k: tp[k]
                 for k in GATED_THROUGHPUT + ("events", "wall_ms")
                 if k in tp
+            }
+        prof = report.get("profile")
+        if prof is not None:
+            # Per-tag hot-handler profile. Wall-clock splits are recorded,
+            # never gated: they vary with the machine and the aggregate
+            # throughput metrics already gate wall-clock drops.
+            tags = {}
+            for t in prof.get("tags", []):
+                tname = t.get("name")
+                if not tname:
+                    continue
+                entry = {k: t[k] for k in
+                         ("dispatches", "sim_lag_ns", "self_ms",
+                          "events_per_sec")
+                         if k in t}
+                if entry:
+                    tags[tname] = entry
+            bench["profile"] = {
+                "total_dispatches": prof.get("total_dispatches", 0),
+                "tags": tags,
             }
         tf = report.get("tenant_fairness")
         if tf is not None:

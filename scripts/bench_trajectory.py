@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Consolidate the committed BENCH_<label>.json trajectory points into one
+per-metric table showing how each bench metric moved across PRs.
+
+The repo commits one BENCH point per bench-bearing PR (BENCH_seed.json,
+BENCH_pr4.json, ...). Each point is the output of `bench_compare.py
+collect`: {"label": ..., "benches": {name: {metric trees}}}. This script
+flattens every bench's metric tree into dotted keys (e.g.
+`fig6.send_latency_ns.p95`, `fig7.critical_path.phase_totals_ns.pin_stall`)
+and prints one row per metric with one column per point, in PR order —
+the whole perf history of the repo on one screen.
+
+  scripts/bench_trajectory.py                      # markdown to stdout
+  scripts/bench_trajectory.py --csv                # CSV instead
+  scripts/bench_trajectory.py --bench fig6         # one bench only
+  scripts/bench_trajectory.py --out TRAJECTORY.md  # write to a file
+  scripts/bench_trajectory.py BENCH_seed.json BENCH_pr8.json  # explicit
+
+Metrics that appear or disappear across points (new benches, new
+histograms) render as blank cells, never errors: the trajectory must stay
+printable as the metric set grows. Wall-clock metrics (throughput,
+per-tag events/sec) are machine-dependent across points recorded on
+different hosts; they are included for shape, not for gating — the gate
+lives in bench_compare.py. Stdlib only.
+"""
+
+import argparse
+import csv
+import io
+import json
+import os
+import re
+import sys
+
+
+def point_sort_key(label):
+    """seed first, then prN numerically, then anything else by name."""
+    if label == "seed":
+        return (0, 0, label)
+    m = re.fullmatch(r"pr(\d+)", label)
+    if m:
+        return (1, int(m.group(1)), label)
+    return (2, 0, label)
+
+
+def discover_points(root):
+    paths = []
+    for entry in sorted(os.listdir(root)):
+        if re.fullmatch(r"BENCH_[A-Za-z0-9_]+\.json", entry):
+            paths.append(os.path.join(root, entry))
+    return paths
+
+
+def load_point(path):
+    try:
+        with open(path) as f:
+            point = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trajectory: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    label = point.get("label")
+    if not isinstance(label, str) or not isinstance(
+            point.get("benches"), dict):
+        print(f"trajectory: {path} is not a bench point "
+              "(need label + benches)", file=sys.stderr)
+        return None
+    return point
+
+
+def flatten(prefix, node, out):
+    """Fold a metric tree into {dotted_key: scalar}."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            flatten(f"{prefix}.{key}", node[key], out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = node
+    # Non-numeric leaves (labels, verdict strings) carry no trajectory.
+
+
+def format_value(v):
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render_markdown(labels, rows):
+    out = io.StringIO()
+    header = ["metric"] + labels
+    widths = [len(h) for h in header]
+    body = []
+    for metric, values in rows:
+        cells = [metric] + [format_value(values.get(lb)) for lb in labels]
+        body.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    def line(cells):
+        padded = [c.ljust(w) for c, w in zip(cells, widths)]
+        return "| " + " | ".join(padded) + " |\n"
+    out.write(line(header))
+    out.write("|" + "|".join("-" * (w + 2) for w in widths) + "|\n")
+    for cells in body:
+        out.write(line(cells))
+    return out.getvalue()
+
+
+def render_csv(labels, rows):
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["metric"] + labels)
+    for metric, values in rows:
+        writer.writerow([metric] +
+                        [format_value(values.get(lb)) for lb in labels])
+    return out.getvalue()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("points", nargs="*", metavar="BENCH_x.json",
+                        help="explicit points; default: BENCH_*.json in "
+                             "the repo root")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of a markdown table")
+    parser.add_argument("--bench", default=None,
+                        help="restrict to one bench (e.g. fig6)")
+    parser.add_argument("--out", default=None,
+                        help="write to this file instead of stdout")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths = args.points or discover_points(root)
+    if not paths:
+        print("trajectory: no BENCH_*.json points found", file=sys.stderr)
+        return 2
+
+    points = []
+    for path in paths:
+        point = load_point(path)
+        if point is None:
+            return 2
+        points.append(point)
+    points.sort(key=lambda p: point_sort_key(p["label"]))
+    labels = [p["label"] for p in points]
+    if len(set(labels)) != len(labels):
+        print(f"trajectory: duplicate point labels: {labels}",
+              file=sys.stderr)
+        return 2
+
+    # metric -> {label: value}; metrics keyed "<bench>.<dotted.path>".
+    table = {}
+    for point in points:
+        for bench_name in sorted(point["benches"]):
+            if args.bench is not None and bench_name != args.bench:
+                continue
+            flat = {}
+            flatten(bench_name, point["benches"][bench_name], flat)
+            for metric, value in flat.items():
+                table.setdefault(metric, {})[point["label"]] = value
+
+    if not table:
+        who = f"bench {args.bench!r}" if args.bench else "any bench"
+        print(f"trajectory: no metrics found for {who}", file=sys.stderr)
+        return 2
+
+    rows = sorted(table.items())
+    text = render_csv(labels, rows) if args.csv \
+        else render_markdown(labels, rows)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"trajectory: wrote {len(rows)} metrics x "
+              f"{len(labels)} points to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,14 +29,16 @@ done
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 # On a failing tier, keep the observability artifacts the instrumented
-# soaks left behind (Chrome traces + JSON run reports, see DESIGN.md §6d) —
-# they carry the invariant-checker verdict and the event window around any
-# violation, which is usually all that is needed to diagnose the failure.
+# soaks left behind (Chrome traces + JSON run reports + flight-recorder
+# post-mortem dumps, see DESIGN.md §6d/§10) — they carry the
+# invariant-checker verdict and the event window around any violation,
+# which is usually all that is needed to diagnose the failure.
 archive_artifacts() {
   local preset="$1" build_dir="$2"
   local dest="ci-artifacts/${preset}"
   mkdir -p "${dest}"
   find "${build_dir}" -name '*.trace.json' -o -name '*.report.json' \
+    -o -name '*.flight.json' \
     2>/dev/null | while read -r f; do cp "$f" "${dest}/"; done
   echo "=== tier ${preset} FAILED; traces/reports archived in ${dest} ===" >&2
 }
@@ -133,6 +135,10 @@ fi
 #  3. against the committed BENCH_pr8.json, the first point carrying the
 #     cluster-soak stages and their tenant_fairness digests — this is where
 #     Jain-index drops gate.
+# The tier also runs the profiler-overhead smoke: an instrumented fig6 run
+# (dispatch profiler + flight recorder + trace sinks attached) must stay
+# within PINSIM_PERF_PROF_TOL relative slowdown of the plain run — a
+# backstop against the always-on observer hook growing per-dispatch cost.
 # The comparison deltas are archived when any gate fails.
 perf_tier() {
   echo "=== tier: perf ==="
@@ -159,6 +165,11 @@ perf_tier() {
     cluster_incast="${out}_cluster-s1.report.json" \
     cluster_composed="${out}_cluster-s2.report.json"
   local failed=0
+  if ! python3 scripts/profiler_overhead.py \
+      --bench build/bench/fig6_pingpong_pinning \
+      --workdir build/perf_prof -- --quick; then
+    failed=1
+  fi
   if ! python3 scripts/bench_compare.py compare \
       --baseline BENCH_seed.json --current build/BENCH_ci.json \
       --delta-out build/BENCH_delta.json; then

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Profiler-overhead smoke gate for the perf tier.
+
+Runs one bench binary twice — plain, and instrumented via --trace-out
+(which attaches the dispatch profiler, the flight recorder, and the trace
+sinks) — and fails when the instrumented wall time exceeds the plain wall
+time by more than the tolerance. This is a smoke gate for the observer
+hook, not a benchmark: the instrumented run legitimately does more work
+(trace/flame/report serialisation), wall time is machine-noisy, and quick
+runs are short — so the default tolerance is deliberately generous and
+each mode takes the minimum over a few repetitions. What the gate catches
+is the pathological case: a profiler hook accidentally made hot (a lock,
+a syscall, an allocation per dispatch) blows the budget by an order of
+magnitude, not by a percent.
+
+  scripts/profiler_overhead.py --bench build/bench/fig6_pingpong_pinning \
+      --workdir build/perf_prof [--tol 4.0] [--reps 3] [-- --quick]
+
+Exits 0 within tolerance, 1 over it, 2 on usage/run errors. Stdlib only.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+
+def min_wall_seconds(cmd, reps, cwd):
+    best = None
+    for _ in range(reps):
+        start = time.monotonic()
+        proc = subprocess.run(cmd, cwd=cwd, stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+        elapsed = time.monotonic() - start
+        if proc.returncode != 0:
+            print(f"overhead: {' '.join(cmd)} exited "
+                  f"{proc.returncode}", file=sys.stderr)
+            return None
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="bench binary to time")
+    parser.add_argument("--workdir", required=True,
+                        help="directory for the instrumented run's "
+                             "trace/report/flame artifacts")
+    parser.add_argument("--tol", type=float,
+                        default=float(os.environ.get(
+                            "PINSIM_PERF_PROF_TOL", "4.0")),
+                        help="max relative slowdown of the instrumented "
+                             "run (default 4.0 = up to 5x plain; wall "
+                             "time is noisy and the instrumented run "
+                             "also writes trace artifacts)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per mode; the minimum counts")
+    parser.add_argument("bench_args", nargs="*",
+                        help="extra bench arguments (after --)")
+    args = parser.parse_args()
+
+    bench = os.path.abspath(args.bench)
+    if not os.access(bench, os.X_OK):
+        print(f"overhead: {bench} is not executable", file=sys.stderr)
+        return 2
+    os.makedirs(args.workdir, exist_ok=True)
+
+    plain = min_wall_seconds([bench] + args.bench_args, args.reps,
+                             args.workdir)
+    if plain is None:
+        return 2
+    trace_prefix = os.path.join(os.path.abspath(args.workdir), "overhead")
+    instrumented = min_wall_seconds(
+        [bench] + args.bench_args + [f"--trace-out={trace_prefix}"],
+        args.reps, args.workdir)
+    if instrumented is None:
+        return 2
+
+    # Sub-50ms plain runs are all process startup and scheduler noise; a
+    # ratio against them means nothing, so the denominator gets a floor.
+    denom = max(plain, 0.05)
+    slowdown = (instrumented - plain) / denom
+    verdict = "PASS" if slowdown <= args.tol else "FAIL"
+    print(f"overhead: plain {plain * 1e3:.1f} ms, instrumented "
+          f"{instrumented * 1e3:.1f} ms, slowdown {slowdown:+.2f}x "
+          f"(tolerance {args.tol:.2f}x): {verdict}")
+    if verdict == "FAIL":
+        print("overhead: the dispatch-observer hook or a sink is doing "
+              "per-event work it should not; profile the profiler",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -328,7 +328,8 @@ void Endpoint::arm_send_rto(SendRequest& req) {
         } else {
           arm_send_rto(r);  // passive: receiver drives; just keep waiting
         }
-      }));
+      }),
+      {"core", "send_rto"});
 }
 
 void Endpoint::fail_send(std::uint32_t seq, bool send_abort, bool peer_dead) {
@@ -1119,11 +1120,12 @@ void Endpoint::arm_receiver_fast_retry(PullState& ps, std::size_t block_idx) {
     if (auto self = weak.lock()) {
       driver_.engine().schedule_after(
           driver_.config().protocol.rerequest_cooldown,
-          guarded([self] { (*self)(); }));
+          guarded([self] { (*self)(); }), {"core", "pull_retry"});
     }
   };
   driver_.engine().schedule_after(proto.rerequest_cooldown,
-                                  guarded([poll] { (*poll)(); }));
+                                  guarded([poll] { (*poll)(); }),
+                                  {"core", "pull_retry"});
 }
 
 void Endpoint::arm_sender_fast_retry(net::NodeId src, std::uint8_t src_ep,
@@ -1161,11 +1163,12 @@ void Endpoint::arm_sender_fast_retry(net::NodeId src, std::uint8_t src_ep,
     if (auto self = weak.lock()) {
       driver_.engine().schedule_after(
           driver_.config().protocol.rerequest_cooldown,
-          guarded([self] { (*self)(); }));
+          guarded([self] { (*self)(); }), {"core", "pull_retry"});
     }
   };
   driver_.engine().schedule_after(proto.rerequest_cooldown,
-                                  guarded([poll] { (*poll)(); }));
+                                  guarded([poll] { (*poll)(); }),
+                                  {"core", "pull_retry"});
 }
 
 void Endpoint::maybe_optimistic_rerequest(PullState& ps,
@@ -1235,7 +1238,8 @@ void Endpoint::send_notify(PullState& ps) {
         }
         ++counters_.retransmit_timeouts;
         send_notify(p);
-      }));
+      }),
+      {"core", "notify_rto"});
 }
 
 void Endpoint::arm_pull_rto(PullState& ps) {
@@ -1288,7 +1292,8 @@ void Endpoint::arm_pull_rto(PullState& ps) {
         }
         p.last_progress = progress;
         arm_pull_rto(p);
-      }));
+      }),
+      {"core", "pull_rto"});
 }
 
 void Endpoint::destroy_pull(std::uint32_t handle) {

@@ -321,15 +321,17 @@ void PinManager::retry_or_fail(Region& r) {
   emit(obs::EventKind::kPinRetry, r, "transient pin denial, backing off");
   std::weak_ptr<char> alive = alive_;
   const RegionId rid = r.id();
-  eng_.schedule_after(retry_backoff(job.retries),
-                      [this, rid, rp = &r, gen, alive] {
-    if (alive.expired()) return;  // the manager died while we slept
-    Tracked* t = find_alive(rid, rp);
-    if (t == nullptr || !t->job.active || t->job.generation != gen) {
-      return;  // invalidated or undeclared during the backoff
-    }
-    schedule_chunk(*t->region);
-  });
+  eng_.schedule_after(
+      retry_backoff(job.retries),
+      [this, rid, rp = &r, gen, alive] {
+        if (alive.expired()) return;  // the manager died while we slept
+        Tracked* t = find_alive(rid, rp);
+        if (t == nullptr || !t->job.active || t->job.generation != gen) {
+          return;  // invalidated or undeclared during the backoff
+        }
+        schedule_chunk(*t->region);
+      },
+      {"pin", "retry_backoff"});
 }
 
 void PinManager::release_early_waiters(Region& r, bool ok) {
@@ -473,15 +475,17 @@ void PinManager::invalidate_range(mem::VirtAddr start, mem::VirtAddr end) {
     emit(obs::EventKind::kPinRestart, r, "invalidated mid-pin, restarting");
     const std::uint64_t gen = job.generation;
     std::weak_ptr<char> alive = alive_;
-    eng_.schedule_after(retry_backoff(job.inval_restarts),
-                        [this, rid, rp, gen, alive] {
-      if (alive.expired()) return;  // the manager died during the backoff
-      Tracked* t2 = find_alive(rid, rp);
-      if (t2 == nullptr || !t2->job.active || t2->job.generation != gen) {
-        return;  // invalidated again or undeclared during the backoff
-      }
-      schedule_chunk(*t2->region);
-    });
+    eng_.schedule_after(
+        retry_backoff(job.inval_restarts),
+        [this, rid, rp, gen, alive] {
+          if (alive.expired()) return;  // the manager died during the backoff
+          Tracked* t2 = find_alive(rid, rp);
+          if (t2 == nullptr || !t2->job.active || t2->job.generation != gen) {
+            return;  // invalidated again or undeclared during the backoff
+          }
+          schedule_chunk(*t2->region);
+        },
+        {"pin", "restart_backoff"});
   }
 }
 

@@ -25,6 +25,13 @@ double Core::utilization() const noexcept {
   return static_cast<double>(stats_.total_busy()) / static_cast<double>(now);
 }
 
+namespace {
+
+constexpr const char* kPriorityLabel[] = {"bottom_half", "kernel", "user",
+                                          "idle"};
+
+}  // namespace
+
 void Core::dispatch() {
   for (std::size_t p = 0; p < queues_.size(); ++p) {
     auto& q = queues_[p];
@@ -34,14 +41,18 @@ void Core::dispatch() {
     running_ = true;
     ++stats_.jobs[p];
     stats_.busy[p] += job.duration;
-    eng_.schedule_after(job.duration, [this, done = std::move(job.done)]() mutable {
-      running_ = false;
-      done();
-      // The completion may have submitted follow-up work; if it started the
-      // core itself (submit() when idle dispatches immediately), running_ is
-      // already true again and this dispatch finds nothing extra to do wrong.
-      if (!running_) dispatch();
-    });
+    eng_.schedule_after(
+        job.duration,
+        [this, done = std::move(job.done)]() mutable {
+          running_ = false;
+          done();
+          // The completion may have submitted follow-up work; if it started
+          // the core itself (submit() when idle dispatches immediately),
+          // running_ is already true again and this dispatch finds nothing
+          // extra to do wrong.
+          if (!running_) dispatch();
+        },
+        {"cpu", kPriorityLabel[p]});
     return;
   }
 }

@@ -41,18 +41,21 @@ void DmaEngine::pump() {
   stats_.busy += t;
   ++stats_.copies;
   stats_.bytes += req.bytes;
-  eng_.schedule_after(t, [this, r = std::move(req)]() mutable {
-    if (r.perform) r.perform();
-    if (relay_.active()) {
-      obs::Event e;
-      e.kind = obs::EventKind::kDmaCopy;
-      e.node = node_;
-      e.len = r.bytes;
-      relay_.emit(e);
-    }
-    if (r.done) r.done();
-    pump();
-  });
+  eng_.schedule_after(
+      t,
+      [this, r = std::move(req)]() mutable {
+        if (r.perform) r.perform();
+        if (relay_.active()) {
+          obs::Event e;
+          e.kind = obs::EventKind::kDmaCopy;
+          e.node = node_;
+          e.len = r.bytes;
+          relay_.emit(e);
+        }
+        if (r.done) r.done();
+        pump();
+      },
+      {"ioat", "dma_done"});
 }
 
 }  // namespace pinsim::ioat

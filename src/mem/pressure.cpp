@@ -51,7 +51,8 @@ void PressureInjector::start_storm(sim::Engine& eng) {
   if (storming_) return;
   eng_ = &eng;
   storming_ = true;
-  pending_ = eng_->schedule_after(plan_.storm_period, [this] { tick(); });
+  pending_ = eng_->schedule_after(
+      plan_.storm_period, [this] { tick(); }, {"mem", "pressure_tick"});
 }
 
 void PressureInjector::stop_storm() {
@@ -63,7 +64,8 @@ void PressureInjector::stop_storm() {
 void PressureInjector::tick() {
   storm_once();
   if (storming_) {
-    pending_ = eng_->schedule_after(plan_.storm_period, [this] { tick(); });
+    pending_ = eng_->schedule_after(
+        plan_.storm_period, [this] { tick(); }, {"mem", "pressure_tick"});
   }
 }
 

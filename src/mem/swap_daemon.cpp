@@ -12,7 +12,8 @@ void SwapDaemon::watch(AddressSpace* as) { spaces_.push_back(as); }
 void SwapDaemon::start() {
   if (running_) return;
   running_ = true;
-  pending_ = eng_.schedule_after(cfg_.period, [this] { tick(); });
+  pending_ = eng_.schedule_after(
+      cfg_.period, [this] { tick(); }, {"mem", "swap_tick"});
 }
 
 void SwapDaemon::stop() {
@@ -24,7 +25,8 @@ void SwapDaemon::stop() {
 void SwapDaemon::tick() {
   scan_once();
   if (running_) {
-    pending_ = eng_.schedule_after(cfg_.period, [this] { tick(); });
+    pending_ = eng_.schedule_after(
+        cfg_.period, [this] { tick(); }, {"mem", "swap_tick"});
   }
 }
 

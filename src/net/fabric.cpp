@@ -92,29 +92,35 @@ void Fabric::deliver_frame(Frame frame, sim::Time extra_latency) {
     done = eng_.now() + cfg_.latency + extra_latency + wire;
   }
   ++delivered_;
-  eng_.schedule_at(done, [this, f = std::move(frame)]() mutable {
-    if (!port_up(f.dst)) {
-      // The link dropped while the frame was in flight.
-      --delivered_;
-      ++fault_dropped_;
-      ++link_down_drops_;
-      return;
-    }
-    nics_[f.dst]->deliver(std::move(f));
-  });
+  eng_.schedule_at(
+      done,
+      [this, f = std::move(frame)]() mutable {
+        if (!port_up(f.dst)) {
+          // The link dropped while the frame was in flight.
+          --delivered_;
+          ++fault_dropped_;
+          ++link_down_drops_;
+          return;
+        }
+        nics_[f.dst]->deliver(std::move(f));
+      },
+      {"net", "fabric_deliver"});
 }
 
 void Fabric::deliver_after(Frame frame, sim::Time propagation) {
   ++delivered_;
-  eng_.schedule_after(propagation, [this, f = std::move(frame)]() mutable {
-    if (!port_up(f.dst)) {
-      --delivered_;
-      ++fault_dropped_;
-      ++link_down_drops_;
-      return;
-    }
-    nics_[f.dst]->deliver(std::move(f));
-  });
+  eng_.schedule_after(
+      propagation,
+      [this, f = std::move(frame)]() mutable {
+        if (!port_up(f.dst)) {
+          --delivered_;
+          ++fault_dropped_;
+          ++link_down_drops_;
+          return;
+        }
+        nics_[f.dst]->deliver(std::move(f));
+      },
+      {"net", "fabric_propagate"});
 }
 
 }  // namespace pinsim::net

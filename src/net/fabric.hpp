@@ -46,7 +46,9 @@ class Fabric {
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
-  virtual ~Fabric() = default;
+  virtual ~Fabric() {
+    if (bus_ != nullptr) bus_->unregister_emitter();
+  }
 
   /// Registers a NIC and assigns its node id.
   virtual NodeId attach(Nic* nic);
@@ -97,8 +99,14 @@ class Fabric {
     return nics_.size();
   }
 
-  /// Lifecycle-event emission point (kLifeLinkDown/Up); optional.
-  void set_bus(obs::Bus* bus) noexcept { bus_ = bus; }
+  /// Lifecycle-event emission point (kLifeLinkDown/Up); optional. The
+  /// fabric registers with the bus's teardown-order guard.
+  void set_bus(obs::Bus* bus) noexcept {
+    if (bus_ == bus) return;
+    if (bus_ != nullptr) bus_->unregister_emitter();
+    if (bus != nullptr) bus->register_emitter();
+    bus_ = bus;
+  }
 
  protected:
   /// The shared admission pipeline: administrative link state, the legacy

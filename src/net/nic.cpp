@@ -35,11 +35,14 @@ void Nic::pump_tx() {
   stats_.tx_bytes += frame.payload.size();
   // The frame leaves the port after its serialization time, then the next
   // queued frame starts clocking out.
-  tx_done_ = eng_.schedule_after(wire, [this, f = std::move(frame)]() mutable {
-    tx_done_ = {};
-    fabric_.transmit(std::move(f));
-    pump_tx();
-  });
+  tx_done_ = eng_.schedule_after(
+      wire,
+      [this, f = std::move(frame)]() mutable {
+        tx_done_ = {};
+        fabric_.transmit(std::move(f));
+        pump_tx();
+      },
+      {"net", "nic_tx"});
 }
 
 std::size_t Nic::reset() {

@@ -41,12 +41,15 @@ void SwitchPort::pump() {
   busy_ = true;
   const sim::Time wire = serialization_time(frame.wire_bytes());
   stats_.busy += wire;
-  eng_.schedule_after(wire, [this, wire, f = std::move(frame)]() mutable {
-    busy_ = false;
-    ++stats_.drained;
-    if (drain_) drain_(std::move(f), wire);
-    pump();
-  });
+  eng_.schedule_after(
+      wire,
+      [this, wire, f = std::move(frame)]() mutable {
+        busy_ = false;
+        ++stats_.drained;
+        if (drain_) drain_(std::move(f), wire);
+        pump();
+      },
+      {"net", "port_drain"});
 }
 
 }  // namespace pinsim::net

@@ -60,12 +60,13 @@ void Topology::ensure_rack(std::size_t rack) {
       up->set_drain_handler([this, raw, pid](Frame&& f, sim::Time wire) {
         emit_port_tx(pid, /*is_uplink=*/true, wire, f.wire_bytes());
         emit_queue_depth(*raw, pid, /*is_uplink=*/true);
-        eng_.schedule_after(topo_.switch_hop_latency,
-                            [this, f = std::move(f)]() mutable {
-                              offer_or_drop(*downlinks_[f.dst], f.dst,
-                                            /*is_uplink=*/false,
-                                            std::move(f));
-                            });
+        eng_.schedule_after(
+            topo_.switch_hop_latency,
+            [this, f = std::move(f)]() mutable {
+              offer_or_drop(*downlinks_[f.dst], f.dst,
+                            /*is_uplink=*/false, std::move(f));
+            },
+            {"net", "switch_hop"});
       });
       rk.uplinks.push_back(std::move(up));
     }
@@ -95,11 +96,13 @@ void Topology::route(Frame frame, sim::Time extra_latency) {
     return;
   }
   if (src_rack == dst_rack) {
-    eng_.schedule_after(topo_.switch_hop_latency,
-                        [this, f = std::move(frame)]() mutable {
-                          offer_or_drop(*downlinks_[f.dst], f.dst,
-                                        /*is_uplink=*/false, std::move(f));
-                        });
+    eng_.schedule_after(
+        topo_.switch_hop_latency,
+        [this, f = std::move(frame)]() mutable {
+          offer_or_drop(*downlinks_[f.dst], f.dst,
+                        /*is_uplink=*/false, std::move(f));
+        },
+        {"net", "switch_hop"});
     return;
   }
   // Cross-rack: hash the flow onto one of the source rack's shared uplinks
@@ -108,11 +111,12 @@ void Topology::route(Frame frame, sim::Time extra_latency) {
       static_cast<std::size_t>(frame.src ^ frame.dst) % topo_.uplinks_per_rack;
   SwitchPort* up = racks_[src_rack].uplinks[i].get();
   const std::uint32_t pid = uplink_port_id(topo_, src_rack, i);
-  eng_.schedule_after(topo_.switch_hop_latency,
-                      [this, up, pid, f = std::move(frame)]() mutable {
-                        offer_or_drop(*up, pid, /*is_uplink=*/true,
-                                      std::move(f));
-                      });
+  eng_.schedule_after(
+      topo_.switch_hop_latency,
+      [this, up, pid, f = std::move(frame)]() mutable {
+        offer_or_drop(*up, pid, /*is_uplink=*/true, std::move(f));
+      },
+      {"net", "switch_hop"});
 }
 
 void Topology::offer_or_drop(SwitchPort& port, std::uint32_t port_id,

@@ -62,17 +62,23 @@ void Watchdog::arm_beat() {
           ? 0
           : static_cast<sim::Time>(
                 rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter)));
-  beat_timer_ = eng_.schedule_after(cfg_.period + jitter, [this] {
-    beat_timer_ = {};
-    beat();
-  });
+  beat_timer_ = eng_.schedule_after(
+      cfg_.period + jitter,
+      [this] {
+        beat_timer_ = {};
+        beat();
+      },
+      {"net", "wd_beat"});
 }
 
 void Watchdog::arm_check() {
-  check_timer_ = eng_.schedule_after(cfg_.period, [this] {
-    check_timer_ = {};
-    check();
-  });
+  check_timer_ = eng_.schedule_after(
+      cfg_.period,
+      [this] {
+        check_timer_ = {};
+        check();
+      },
+      {"net", "wd_check"});
 }
 
 void Watchdog::beat() {

@@ -62,7 +62,10 @@ class Watchdog {
   using AnnouncementProvider = std::function<std::vector<std::byte>()>;
 
   Watchdog(sim::Engine& eng, Nic& nic, Config cfg);
-  ~Watchdog() { stop(); }
+  ~Watchdog() {
+    stop();
+    if (bus_ != nullptr) bus_->unregister_emitter();
+  }
 
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
@@ -76,7 +79,12 @@ class Watchdog {
   void set_announcement_provider(AnnouncementProvider p) {
     announce_ = std::move(p);
   }
-  void set_bus(obs::Bus* bus) noexcept { bus_ = bus; }
+  void set_bus(obs::Bus* bus) noexcept {
+    if (bus_ == bus) return;
+    if (bus_ != nullptr) bus_->unregister_emitter();
+    if (bus != nullptr) bus->register_emitter();
+    bus_ = bus;
+  }
 
   /// Starts watching `peer`. A peer added while the watchdog runs gets the
   /// full threshold of grace before it can time out.

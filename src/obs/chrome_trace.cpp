@@ -167,9 +167,16 @@ std::string ChromeTraceWriter::render() const {
   }
 
   // Trailing sentinel instant keeps the array well-formed after the last
-  // comma without tracking "first element" state above.
-  out += "{\"name\":\"trace_end\",\"ph\":\"i\",\"pid\":0,\"tid\":0,"
-         "\"ts\":0,\"s\":\"g\"}\n]}\n";
+  // comma without tracking "first element" state above. Stamped at the last
+  // event's time so the rendered stream stays timestamp-ordered.
+  const double end_ts =
+      events_.empty() ? 0.0 : static_cast<double>(events_.back().time) / 1000.0;
+  char tail[96];
+  std::snprintf(tail, sizeof tail,
+                "{\"name\":\"trace_end\",\"ph\":\"i\",\"pid\":0,\"tid\":0,"
+                "\"ts\":%.3f,\"s\":\"g\"}\n]}\n",
+                end_ts);
+  out += tail;
   return out;
 }
 

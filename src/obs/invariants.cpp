@@ -17,6 +17,7 @@ void InvariantChecker::violate(const Event& e, std::string message) {
     v.event = e;
     v.window.assign(window_.begin(), window_.end());
     violations_.push_back(std::move(v));
+    if (violation_hook_) violation_hook_(violations_.back());
   }
 }
 

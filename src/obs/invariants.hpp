@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,13 @@ class InvariantChecker final : public Sink {
   /// Human-readable report of every stored violation and its event window.
   [[nodiscard]] std::string report() const;
 
+  /// Called synchronously from violate() with the stored violation (only
+  /// for the first kMaxStored — later ones are counted, not stored). The
+  /// flight recorder hooks this to dump its window post-mortem.
+  void set_violation_hook(std::function<void(const Violation&)> hook) {
+    violation_hook_ = std::move(hook);
+  }
+
  private:
   static constexpr std::size_t kWindow = 64;        // events kept per violation
   static constexpr std::size_t kMaxStored = 32;     // violations kept verbatim
@@ -88,6 +96,7 @@ class InvariantChecker final : public Sink {
   std::deque<Event> window_;
   std::vector<Violation> violations_;
   std::uint64_t violation_count_ = 0;
+  std::function<void(const Violation&)> violation_hook_;
 };
 
 }  // namespace pinsim::obs

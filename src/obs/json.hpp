@@ -51,4 +51,160 @@ namespace pinsim::obs {
   return buf;
 }
 
+namespace detail {
+
+/// Recursive-descent JSON value parser used by json_valid(). `i` advances
+/// past the value; returns false on any syntax error or when nesting
+/// exceeds `depth`.
+inline bool json_skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i < s.size();
+}
+
+inline bool json_parse_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char e = s[i];
+      if (e == 'u') {
+        if (i + 4 >= s.size()) return false;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = s[i + static_cast<std::size_t>(k)];
+          const bool hex = (h >= '0' && h <= '9') || (h >= 'a' && h <= 'f') ||
+                           (h >= 'A' && h <= 'F');
+          if (!hex) return false;
+        }
+        i += 4;
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    }
+    ++i;
+  }
+  return false;
+}
+
+inline bool json_parse_value(std::string_view s, std::size_t& i, int depth);
+
+inline bool json_parse_number(std::string_view s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size()) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else if (s[i] >= '1' && s[i] <= '9') {
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  } else {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  }
+  return i > start;
+}
+
+inline bool json_parse_value(std::string_view s, std::size_t& i, int depth) {
+  if (depth <= 0) return false;
+  if (!json_skip_ws(s, i)) return false;
+  const char c = s[i];
+  if (c == '"') return json_parse_string(s, i);
+  if (c == '{') {
+    ++i;
+    if (!json_skip_ws(s, i)) return false;
+    if (s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!json_skip_ws(s, i)) return false;
+      if (!json_parse_string(s, i)) return false;
+      if (!json_skip_ws(s, i) || s[i] != ':') return false;
+      ++i;
+      if (!json_parse_value(s, i, depth - 1)) return false;
+      if (!json_skip_ws(s, i)) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    if (!json_skip_ws(s, i)) return false;
+    if (s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (!json_parse_value(s, i, depth - 1)) return false;
+      if (!json_skip_ws(s, i)) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (s.substr(i, 4) == "true") {
+    i += 4;
+    return true;
+  }
+  if (s.substr(i, 5) == "false") {
+    i += 5;
+    return true;
+  }
+  if (s.substr(i, 4) == "null") {
+    i += 4;
+    return true;
+  }
+  return json_parse_number(s, i);
+}
+
+}  // namespace detail
+
+/// Minimal JSON well-formedness check: true iff `s` is exactly one valid
+/// JSON value (plus surrounding whitespace). Strict enough to reject
+/// truncated writes, trailing garbage, and bad escapes; it does not build a
+/// document. Used by sinks' self-tests and by CI artifact validation.
+[[nodiscard]] inline bool json_valid(std::string_view s) noexcept {
+  std::size_t i = 0;
+  if (!detail::json_parse_value(s, i, /*depth=*/64)) return false;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+    ++i;
+  }
+  return true;
+}
+
 }  // namespace pinsim::obs

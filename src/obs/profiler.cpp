@@ -1,0 +1,180 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace pinsim::obs {
+
+namespace {
+
+// Wall-clock self time is host-noise profiling data; it is only rendered
+// into reports on instrumented runs, outside the byte-compared determinism
+// surface (DESIGN.md §10).
+std::uint64_t wall_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // pinlint: allow(D1: wall-clock profiling, never in sim state)
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr const char* kUntaggedComponent = "other";
+constexpr const char* kUntaggedLabel = "untagged";
+
+}  // namespace
+
+Profiler::Slot& Profiler::slot_for(const sim::TaskTag& tag) {
+  TagKey key{tag.component, tag.label};
+  auto [it, inserted] = index_.try_emplace(key, slots_.size());
+  if (inserted) {
+    Slot s;
+    s.component = tag.component == nullptr ? kUntaggedComponent
+                                           : tag.component;
+    s.label = tag.label == nullptr ? kUntaggedLabel : tag.label;
+    slots_.push_back(s);
+  }
+  return slots_[it->second];
+}
+
+void Profiler::on_dispatch_begin(const sim::TaskTag& tag,
+                                 sim::Time scheduled_at, sim::Time now) {
+  Slot& s = slot_for(tag);
+  ++s.dispatches;
+  ++total_dispatches_;
+  if (now > scheduled_at) {
+    s.sim_lag += static_cast<std::uint64_t>(now - scheduled_at);
+  }
+  cur_ = static_cast<std::size_t>(&s - slots_.data());
+  if (wall_clock_) cur_start_ns_ = wall_now_ns();
+}
+
+void Profiler::on_dispatch_end(const sim::TaskTag& tag) {
+  (void)tag;
+  if (cur_ == SIZE_MAX) return;
+  if (wall_clock_) {
+    const std::uint64_t end = wall_now_ns();
+    if (end > cur_start_ns_) slots_[cur_].self_ns += end - cur_start_ns_;
+  }
+  cur_ = SIZE_MAX;
+}
+
+std::vector<Profiler::TagStats> Profiler::stats() const {
+  // Merge by rendered name: the same literal tag can reach the profiler
+  // through different addresses across translation units. An ordered map
+  // gives the byte-stable name sort for free.
+  std::map<std::string, TagStats> merged;
+  for (const Slot& s : slots_) {
+    std::string name = std::string(s.component) + "/" + s.label;
+    TagStats& t = merged[name];
+    t.name = name;
+    t.dispatches += s.dispatches;
+    t.sim_lag_ns += s.sim_lag;
+    t.self_ns += s.self_ns;
+  }
+  std::vector<TagStats> out;
+  out.reserve(merged.size());
+  for (auto& [name, t] : merged) out.push_back(std::move(t));
+  return out;
+}
+
+std::string Profiler::json(std::size_t top_k) const {
+  const std::vector<TagStats> tags = stats();
+  std::string out = "{\"total_dispatches\":" + json_num(total_dispatches_);
+  out += ",\"tags\":[";
+  bool first = true;
+  for (const TagStats& t : tags) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json_str(t.name);
+    out += ",\"dispatches\":" + json_num(t.dispatches);
+    out += ",\"sim_lag_ns\":" + json_num(t.sim_lag_ns);
+    if (wall_clock_) {
+      // pinlint: allow(D1: wall-clock fields appear only on instrumented
+      // runs, which are excluded from determinism byte-compares)
+      const double self_ms = static_cast<double>(t.self_ns) / 1e6;
+      out += ",\"self_ms\":" + json_num(self_ms);
+      if (t.self_ns > 0) {
+        out += ",\"events_per_sec\":" +
+               json_num(static_cast<double>(t.dispatches) * 1e9 /
+                        static_cast<double>(t.self_ns));
+      }
+    }
+    out += "}";
+  }
+  out += "]";
+  if (wall_clock_ && !tags.empty()) {
+    std::vector<const TagStats*> hot;
+    hot.reserve(tags.size());
+    for (const TagStats& t : tags) hot.push_back(&t);
+    std::sort(hot.begin(), hot.end(),
+              [](const TagStats* a, const TagStats* b) {
+                if (a->self_ns != b->self_ns) return a->self_ns > b->self_ns;
+                return a->name < b->name;
+              });
+    if (hot.size() > top_k) hot.resize(top_k);
+    out += ",\"top\":[";
+    for (std::size_t i = 0; i < hot.size(); ++i) {
+      if (i != 0) out += ",";
+      out += json_str(hot[i]->name);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+std::string Profiler::speedscope_json(std::string_view name) const {
+  const std::vector<TagStats> tags = stats();
+  std::string frames;
+  std::string samples;
+  std::string weights;
+  double total = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    const TagStats& t = tags[i];
+    const double w = wall_clock_ ? static_cast<double>(t.self_ns) / 1e6
+                                 : static_cast<double>(t.dispatches);
+    if (!first) {
+      frames += ",";
+      samples += ",";
+      weights += ",";
+    }
+    first = false;
+    frames += "{\"name\":" + json_str(t.name) + "}";
+    samples += "[" + json_num(static_cast<std::uint64_t>(i)) + "]";
+    weights += json_num(w);
+    total += w;
+  }
+  std::string out =
+      "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\"";
+  out += ",\"shared\":{\"frames\":[" + frames + "]}";
+  out += ",\"profiles\":[{\"type\":\"sampled\"";
+  out += ",\"name\":" + json_str(name);
+  out += ",\"unit\":";
+  out += wall_clock_ ? "\"milliseconds\"" : "\"none\"";
+  out += ",\"startValue\":0,\"endValue\":" + json_num(total);
+  out += ",\"samples\":[" + samples + "]";
+  out += ",\"weights\":[" + weights + "]}]}";
+  return out;
+}
+
+bool Profiler::write_speedscope(const std::string& path,
+                                std::string_view name) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write flame profile to %s\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = speedscope_json(name);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "obs: short write on %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace pinsim::obs

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace pinsim::obs {
+
+/// Dispatch-level self-profiler: installs itself as the engine's
+/// sim::DispatchObserver and accumulates, per sim::TaskTag, the number of
+/// dispatches, the summed schedule->dispatch simulated-time lag, and (when
+/// wall-clock capture is enabled) the handler's wall-clock self time.
+///
+/// Determinism contract (DESIGN.md §10): dispatch counts and sim-time lag
+/// are pure functions of the event schedule and are safe to emit on any
+/// run. Wall-clock self time and the rates derived from it are host noise;
+/// json() only includes them when the profiler was built with
+/// `wall_clock = true`, which bench::ObsRig enables solely on traced
+/// (instrumented) runs — the same rule as its "throughput" section.
+///
+/// Tags are keyed by their string pointers on the hot path (one hash of two
+/// pointers per dispatch); slots for identical strings reaching the profiler
+/// through different literal addresses are merged by name in stats(), which
+/// also sorts by name so report output is byte-stable.
+class Profiler final : public sim::DispatchObserver {
+ public:
+  struct TagStats {
+    std::string name;              // "component/label"
+    std::uint64_t dispatches = 0;  // handlers run under this tag
+    std::uint64_t sim_lag_ns = 0;  // sum of dispatch-time minus schedule-time
+    std::uint64_t self_ns = 0;     // wall-clock self time (0 when disabled)
+  };
+
+  explicit Profiler(bool wall_clock = false) : wall_clock_(wall_clock) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+  ~Profiler() override { detach(); }
+
+  /// Installs this profiler on `eng`. At most one observer per engine; a
+  /// previously installed observer is replaced.
+  void attach(sim::Engine& eng) {
+    detach();
+    eng_ = &eng;
+    eng.set_dispatch_observer(this);
+  }
+
+  /// Uninstalls from the engine (only if still the active observer).
+  void detach() {
+    if (eng_ != nullptr && eng_->dispatch_observer() == this) {
+      eng_->set_dispatch_observer(nullptr);
+    }
+    eng_ = nullptr;
+  }
+
+  void on_dispatch_begin(const sim::TaskTag& tag, sim::Time scheduled_at,
+                         sim::Time now) override;
+  void on_dispatch_end(const sim::TaskTag& tag) override;
+
+  [[nodiscard]] bool wall_clock() const noexcept { return wall_clock_; }
+  [[nodiscard]] std::uint64_t total_dispatches() const noexcept {
+    return total_dispatches_;
+  }
+
+  /// Per-tag stats, merged by name and sorted by name (deterministic).
+  [[nodiscard]] std::vector<TagStats> stats() const;
+
+  /// The `"profile"` report section: `{"total_dispatches":N,"tags":[...]}`.
+  /// Each tag entry carries name/dispatches/sim_lag_ns always, plus
+  /// self_ms/events_per_sec when wall-clock capture is on. `top_k` bounds a
+  /// wall-clock-ranked `"top"` array (omitted entirely when disabled).
+  [[nodiscard]] std::string json(std::size_t top_k = 10) const;
+
+  /// Speedscope-compatible flame JSON ("sampled" profile, one frame per
+  /// tag). Weights are wall-clock self milliseconds when captured, dispatch
+  /// counts otherwise.
+  [[nodiscard]] std::string speedscope_json(std::string_view name) const;
+
+  /// Writes speedscope_json to `path`. Returns false (after a stderr
+  /// warning) on I/O failure; never throws — a failed flame dump must not
+  /// fail the run it profiled.
+  bool write_speedscope(const std::string& path, std::string_view name) const;
+
+ private:
+  struct Slot {
+    const char* component = nullptr;
+    const char* label = nullptr;
+    std::uint64_t dispatches = 0;
+    std::uint64_t sim_lag = 0;
+    std::uint64_t self_ns = 0;
+  };
+
+  struct TagKey {
+    const char* component;
+    const char* label;
+    bool operator==(const TagKey& o) const noexcept {
+      return component == o.component && label == o.label;
+    }
+  };
+  struct TagKeyHash {
+    std::size_t operator()(const TagKey& k) const noexcept {
+      const auto a = reinterpret_cast<std::uintptr_t>(k.component);
+      const auto b = reinterpret_cast<std::uintptr_t>(k.label);
+      return static_cast<std::size_t>(
+          (a ^ (b * 0x9e3779b97f4a7c15ULL)) >> 3);
+    }
+  };
+
+  Slot& slot_for(const sim::TaskTag& tag);
+
+  sim::Engine* eng_ = nullptr;
+  bool wall_clock_ = false;
+  std::uint64_t total_dispatches_ = 0;
+  std::vector<Slot> slots_;
+  std::unordered_map<TagKey, std::size_t, TagKeyHash> index_;
+  // In-flight dispatch: slot index (never a pointer — slots_ may realloc)
+  // and the wall-clock timestamp at on_dispatch_begin.
+  std::size_t cur_ = SIZE_MAX;
+  std::uint64_t cur_start_ns_ = 0;
+};
+
+}  // namespace pinsim::obs

@@ -11,9 +11,41 @@ namespace pinsim::obs {
 /// Relay (or hold a pointer to one with a stable address) and emit typed
 /// events through it; the relay renders the legacy string form for the
 /// tracer so every pre-existing `Tracer`-based test and tool keeps working.
+///
+/// A relay registers itself with the bus it points at and unregisters when
+/// repointed or destroyed, feeding the Bus teardown-order guard: destroying
+/// a bus that a live relay still targets aborts with a diagnostic instead
+/// of leaving a dangling pointer. Move-only — a copy would double-count its
+/// registration.
 class Relay {
  public:
-  void set_bus(Bus* b) noexcept { bus_ = b; }
+  Relay() = default;
+  Relay(const Relay&) = delete;
+  Relay& operator=(const Relay&) = delete;
+  Relay(Relay&& o) noexcept : bus_(o.bus_), tracer_(o.tracer_) {
+    o.bus_ = nullptr;
+    o.tracer_ = nullptr;
+  }
+  Relay& operator=(Relay&& o) noexcept {
+    if (this != &o) {
+      if (bus_ != nullptr) bus_->unregister_emitter();
+      bus_ = o.bus_;
+      tracer_ = o.tracer_;
+      o.bus_ = nullptr;
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Relay() {
+    if (bus_ != nullptr) bus_->unregister_emitter();
+  }
+
+  void set_bus(Bus* b) noexcept {
+    if (bus_ == b) return;
+    if (bus_ != nullptr) bus_->unregister_emitter();
+    if (b != nullptr) b->register_emitter();
+    bus_ = b;
+  }
   void set_tracer(sim::Tracer* t) noexcept { tracer_ = t; }
   [[nodiscard]] Bus* bus() const noexcept { return bus_; }
   [[nodiscard]] sim::Tracer* tracer() const noexcept { return tracer_; }

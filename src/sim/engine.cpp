@@ -85,7 +85,7 @@ void Engine::bucket_unlink(std::uint32_t idx) {
   }
 }
 
-Engine::EventId Engine::schedule_at(Time when, Callback cb) {
+Engine::EventId Engine::schedule_at(Time when, Callback cb, TaskTag tag) {
   assert(cb && "scheduling an empty callback");
   const std::uint64_t seq = next_seq_++;
   const std::uint32_t idx = alloc_node();
@@ -93,6 +93,8 @@ Engine::EventId Engine::schedule_at(Time when, Callback cb) {
   n.when = std::max(when, now_);
   n.seq = seq;
   n.cb = std::move(cb);
+  n.created = now_;
+  n.tag = tag;
   file_node(idx);
   ++live_;
   return EventId{seq, idx + 1};
@@ -119,6 +121,8 @@ bool Engine::fire_one() {
     if (n.where != Where::kDue || n.seq != seq) continue;  // cancelled
     assert(n.when == now_ && "due batch out of sync with the clock");
     Callback cb = std::move(n.cb);
+    const TaskTag tag = n.tag;
+    const Time created = n.created;
     free_node(idx);
     --live_;
     ++processed_;
@@ -129,7 +133,13 @@ bool Engine::fire_one() {
       due_.clear();
       due_cursor_ = 0;
     }
-    cb();
+    if (observer_ != nullptr) {
+      observer_->on_dispatch_begin(tag, created, now_);
+      cb();
+      observer_->on_dispatch_end(tag);
+    } else {
+      cb();
+    }
     return true;
   }
   due_.clear();

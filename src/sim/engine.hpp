@@ -10,6 +10,39 @@
 
 namespace pinsim::sim {
 
+/// Schedule-site identity stamped on a scheduled closure: which component
+/// filed it ("net", "pin", "cpu", ...) and what the handler does
+/// ("nic_tx", "send_rto", ...) — the EventKind-style taxonomy for engine
+/// callbacks. Both strings must have static storage duration (string
+/// literals); the engine and any dispatch observer keep only the pointers.
+/// A default-constructed tag means "untagged" and is always legal.
+struct TaskTag {
+  const char* component = nullptr;
+  const char* label = nullptr;
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return component == nullptr && label == nullptr;
+  }
+};
+
+/// Hook around every engine dispatch. At most one observer is attached at a
+/// time (obs::Profiler in practice); with none attached the hot path pays a
+/// single pointer compare. Observers must not destroy the engine or mutate
+/// the queue from inside the hooks; scheduling from the observed callback
+/// itself is of course fine.
+class DispatchObserver {
+ public:
+  virtual ~DispatchObserver() = default;
+  /// Runs immediately before a callback fires. `tag` is the schedule-site
+  /// tag (empty for untagged sites), `scheduled_at` the simulated time the
+  /// closure was filed, `now` the dispatch time — their difference is the
+  /// schedule->dispatch sim-time lag.
+  virtual void on_dispatch_begin(const TaskTag& tag, Time scheduled_at,
+                                 Time now) = 0;
+  /// Runs after the callback returns (skipped if the callback throws; the
+  /// exception propagates out of the engine either way).
+  virtual void on_dispatch_end(const TaskTag& tag) = 0;
+};
+
 /// Discrete-event simulation engine.
 ///
 /// Events are (time, sequence)-ordered: two events scheduled for the same
@@ -51,11 +84,20 @@ class Engine {
 
   /// Schedules `cb` at absolute time `when`. Scheduling in the past fires at
   /// `now()` (the event still runs after the current callback returns).
-  EventId schedule_at(Time when, Callback cb);
+  /// `tag` names the schedule site for dispatch observers (profilers); it
+  /// costs two pointer copies and is invisible to untagged callers.
+  EventId schedule_at(Time when, Callback cb, TaskTag tag = {});
 
   /// Schedules `cb` `delay` nanoseconds from `now()`.
-  EventId schedule_after(Time delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  EventId schedule_after(Time delay, Callback cb, TaskTag tag = {}) {
+    return schedule_at(now_ + delay, std::move(cb), tag);
+  }
+
+  /// Attaches (or, with nullptr, detaches) the dispatch observer. The
+  /// observer must outlive its attachment — detach before destroying it.
+  void set_dispatch_observer(DispatchObserver* o) noexcept { observer_ = o; }
+  [[nodiscard]] DispatchObserver* dispatch_observer() const noexcept {
+    return observer_;
   }
 
   /// Cancels a pending event. Returns false if it already fired, was already
@@ -129,6 +171,8 @@ class Engine {
     Time when = 0;
     std::uint64_t seq = 0;  // generation tag; 0 = never scheduled/freed
     Callback cb;
+    Time created = 0;  // now() at the schedule call (observer lag metric)
+    TaskTag tag;       // schedule-site identity for dispatch observers
     std::uint32_t prev = kNil;  // intrusive list links within a bucket
     std::uint32_t next = kNil;  // (free-list chaining reuses `next`)
     std::uint16_t level = 0;
@@ -167,6 +211,7 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  DispatchObserver* observer_ = nullptr;
   bool stopped_ = false;
   std::vector<std::exception_ptr> failures_;
 };

@@ -50,7 +50,8 @@ void LifecycleInjector::arm_crash(std::size_t v) {
   const Time up = static_cast<Time>(
       rng_.uniform(static_cast<std::uint64_t>(plan_.uptime_min),
                    static_cast<std::uint64_t>(plan_.uptime_max)));
-  victims_[v].timer = eng_.schedule_after(up, [this, v] { on_crash(v); });
+  victims_[v].timer = eng_.schedule_after(
+      up, [this, v] { on_crash(v); }, {"life", "crash"});
 }
 
 void LifecycleInjector::on_crash(std::size_t v) {
@@ -62,7 +63,8 @@ void LifecycleInjector::on_crash(std::size_t v) {
   const Time down = static_cast<Time>(
       rng_.uniform(static_cast<std::uint64_t>(plan_.downtime_min),
                    static_cast<std::uint64_t>(plan_.downtime_max)));
-  victims_[v].timer = eng_.schedule_after(down, [this, v] { on_restart(v); });
+  victims_[v].timer = eng_.schedule_after(
+      down, [this, v] { on_restart(v); }, {"life", "restart"});
 }
 
 void LifecycleInjector::on_restart(std::size_t v) {
@@ -98,11 +100,14 @@ void LifecycleInjector::flap_link(std::size_t port) {
   const Time dur = static_cast<Time>(
       rng_.uniform(static_cast<std::uint64_t>(plan_.flap_min),
                    static_cast<std::uint64_t>(plan_.flap_max)));
-  ports_[port].timer = eng_.schedule_after(dur, [this, port] {
-    ports_[port].timer = {};
-    ports_[port].flapping = false;
-    if (hooks_.link) hooks_.link(port, true);
-  });
+  ports_[port].timer = eng_.schedule_after(
+      dur,
+      [this, port] {
+        ports_[port].timer = {};
+        ports_[port].flapping = false;
+        if (hooks_.link) hooks_.link(port, true);
+      },
+      {"life", "link"});
 }
 
 }  // namespace pinsim::sim

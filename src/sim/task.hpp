@@ -209,7 +209,8 @@ inline Detached detached_runner(Engine& eng, Task<void> t) {
 /// inside the caller).
 inline void spawn(Engine& eng, Task<void> t) {
   auto runner = detail::detached_runner(eng, std::move(t));
-  eng.schedule_after(0, [h = runner.handle] { h.resume(); });
+  eng.schedule_after(0, [h = runner.handle] { h.resume(); },
+                     {"sim", "spawn"});
 }
 
 /// Awaitable pause for `d` simulated nanoseconds. Always suspends (a zero
@@ -219,7 +220,7 @@ struct DelayAwaiter {
   Time d;
   [[nodiscard]] bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
-    eng.schedule_after(d, [h] { h.resume(); });
+    eng.schedule_after(d, [h] { h.resume(); }, {"sim", "delay"});
   }
   void await_resume() const noexcept {}
 };
@@ -241,7 +242,7 @@ class Gate {
     if (open_) return;
     open_ = true;
     for (auto h : waiters_) {
-      eng_->schedule_after(0, [h] { h.resume(); });
+      eng_->schedule_after(0, [h] { h.resume(); }, {"sim", "gate"});
     }
     waiters_.clear();
   }

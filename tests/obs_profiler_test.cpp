@@ -1,0 +1,181 @@
+// Dispatch-level self-profiler against hand-built engine schedules: tag
+// accumulation, schedule->dispatch sim lag, the untagged bucket, and the
+// determinism contract — without wall-clock capture, json() is a pure
+// function of the schedule and must be byte-identical across runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "sim/engine.hpp"
+
+namespace pinsim::obs {
+namespace {
+
+constexpr sim::TaskTag kTxTag{"net", "tx"};
+constexpr sim::TaskTag kRtoTag{"core", "rto"};
+
+TEST(Profiler, AccumulatesPerTagCountsAndSimLag) {
+  sim::Engine eng;
+  Profiler prof;
+  prof.attach(eng);
+  ASSERT_EQ(eng.dispatch_observer(), &prof);
+
+  // Three tx dispatches with 10/20/30 ns schedule->dispatch lag, one rto
+  // with 5 ns. All filed at t=0, so the lag is exactly the delay.
+  for (sim::Time d : {10, 20, 30}) {
+    eng.schedule_after(d, [] {}, kTxTag);
+  }
+  eng.schedule_after(5, [] {}, kRtoTag);
+  eng.run();
+
+  EXPECT_EQ(prof.total_dispatches(), 4u);
+  const auto stats = prof.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  // stats() sorts by name: core/rto before net/tx.
+  EXPECT_EQ(stats[0].name, "core/rto");
+  EXPECT_EQ(stats[0].dispatches, 1u);
+  EXPECT_EQ(stats[0].sim_lag_ns, 5u);
+  EXPECT_EQ(stats[1].name, "net/tx");
+  EXPECT_EQ(stats[1].dispatches, 3u);
+  EXPECT_EQ(stats[1].sim_lag_ns, 60u);
+  // No wall-clock capture: self time must stay exactly zero.
+  EXPECT_EQ(stats[0].self_ns, 0u);
+  EXPECT_EQ(stats[1].self_ns, 0u);
+}
+
+TEST(Profiler, UntaggedDispatchesLandInTheOtherBucket) {
+  sim::Engine eng;
+  Profiler prof;
+  prof.attach(eng);
+  eng.schedule_after(1, [] {});
+  eng.schedule_after(2, [] {});
+  eng.run();
+  const auto stats = prof.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "other/untagged");
+  EXPECT_EQ(stats[0].dispatches, 2u);
+}
+
+TEST(Profiler, MergesSameTagTextReachingViaDifferentAddresses) {
+  // The hot path keys on string pointers; stats() must merge slots whose
+  // text is identical but whose addresses differ (same literal tag used
+  // from different translation units).
+  static const char comp_a[] = "net";
+  static const char comp_b[] = "net";
+  static const char label_a[] = "tx";
+  static const char label_b[] = "tx";
+  ASSERT_NE(static_cast<const void*>(comp_a),
+            static_cast<const void*>(comp_b));
+
+  sim::Engine eng;
+  Profiler prof;
+  prof.attach(eng);
+  eng.schedule_after(1, [] {}, sim::TaskTag{comp_a, label_a});
+  eng.schedule_after(2, [] {}, sim::TaskTag{comp_b, label_b});
+  eng.run();
+  const auto stats = prof.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "net/tx");
+  EXPECT_EQ(stats[0].dispatches, 2u);
+}
+
+std::string run_tagged_schedule_json() {
+  sim::Engine eng;
+  Profiler prof(/*wall_clock=*/false);
+  prof.attach(eng);
+  eng.schedule_after(10, [] {}, kTxTag);
+  eng.schedule_after(10, [] {}, kRtoTag);
+  eng.schedule_after(25, [] {}, kTxTag);
+  eng.schedule_after(40, [] {});
+  eng.run();
+  return prof.json();
+}
+
+TEST(Profiler, JsonWithoutWallClockIsByteStableAndValid) {
+  const std::string a = run_tagged_schedule_json();
+  const std::string b = run_tagged_schedule_json();
+  // The determinism surface: identical schedules must render identical
+  // bytes — this is what lets the profile section ride inside the
+  // byte-compared ObsRig report on untraced runs.
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(json_valid(a)) << a;
+  // None of the wall-clock host-noise fields may leak in.
+  EXPECT_EQ(a.find("self_ms"), std::string::npos) << a;
+  EXPECT_EQ(a.find("events_per_sec"), std::string::npos) << a;
+  EXPECT_EQ(a.find("\"top\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\"total_dispatches\":4"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"sim_lag_ns\""), std::string::npos) << a;
+}
+
+TEST(Profiler, WallClockModeAddsSelfTimeFieldsAndTopList) {
+  sim::Engine eng;
+  Profiler prof(/*wall_clock=*/true);
+  prof.attach(eng);
+  eng.schedule_after(1, [] {}, kTxTag);
+  eng.schedule_after(2, [] {}, kRtoTag);
+  eng.run();
+  const std::string j = prof.json(/*top_k=*/1);
+  EXPECT_TRUE(json_valid(j)) << j;
+  EXPECT_NE(j.find("self_ms"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"top\":["), std::string::npos) << j;
+  // top_k caps the hot list: two tags, one entry.
+  const auto top = j.find("\"top\":[");
+  const auto close = j.find(']', top);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_EQ(j.substr(top, close - top).find(','), std::string::npos) << j;
+}
+
+TEST(Profiler, SpeedscopeJsonIsValidInBothModes) {
+  for (bool wall : {false, true}) {
+    sim::Engine eng;
+    Profiler prof(wall);
+    prof.attach(eng);
+    eng.schedule_after(1, [] {}, kTxTag);
+    eng.schedule_after(2, [] {}, kTxTag);
+    eng.schedule_after(3, [] {}, kRtoTag);
+    eng.run();
+    const std::string flame = prof.speedscope_json("unit-test");
+    EXPECT_TRUE(json_valid(flame)) << flame;
+    EXPECT_NE(flame.find("speedscope.app/file-format-schema.json"),
+              std::string::npos);
+    EXPECT_NE(flame.find("\"type\":\"sampled\""), std::string::npos);
+    EXPECT_NE(flame.find("net/tx"), std::string::npos);
+    // Counts mode weighs frames by dispatches; wall mode by self ms.
+    EXPECT_NE(flame.find(wall ? "\"milliseconds\"" : "\"none\""),
+              std::string::npos)
+        << flame;
+  }
+}
+
+TEST(Profiler, DetachStopsCountingAndClearsTheEngineHook) {
+  sim::Engine eng;
+  Profiler prof;
+  prof.attach(eng);
+  eng.schedule_after(1, [] {}, kTxTag);
+  eng.run();
+  EXPECT_EQ(prof.total_dispatches(), 1u);
+  prof.detach();
+  EXPECT_EQ(eng.dispatch_observer(), nullptr);
+  eng.schedule_after(1, [] {}, kTxTag);
+  eng.run();
+  EXPECT_EQ(prof.total_dispatches(), 1u);
+}
+
+TEST(Profiler, DetachLeavesAForeignObserverAlone) {
+  // Replacing the observer then destroying the old profiler must not
+  // detach the new one (detach only clears the hook if it still owns it).
+  sim::Engine eng;
+  Profiler second;
+  {
+    Profiler first;
+    first.attach(eng);
+    second.attach(eng);
+    ASSERT_EQ(eng.dispatch_observer(), &second);
+  }  // first's dtor runs detach()
+  EXPECT_EQ(eng.dispatch_observer(), &second);
+}
+
+}  // namespace
+}  // namespace pinsim::obs
