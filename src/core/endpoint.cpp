@@ -1390,6 +1390,9 @@ void Endpoint::charge_rx_copy(std::size_t bytes, sim::UniqueFunction raw) {
     // Bottom half only writes the descriptor; the engine moves the data.
     const sim::Time cpu_cost = driver_.cpu().copy_cost(bytes);
     irq.submit(cpu::Priority::kBottomHalf, 300,
+               // pinlint: allow(D7: dma and irq are host hardware owned by
+               // the Driver, which outlives every endpoint; the endpoint
+               // state itself rides inside `after`, already guarded above)
                [dma, bytes, cpu_cost, after = std::move(after),
                 &irq]() mutable {
                  if (dma->full()) {

@@ -43,6 +43,8 @@ void Core::dispatch() {
     stats_.busy[p] += job.duration;
     eng_.schedule_after(
         job.duration,
+        // pinlint: allow(D7: the core is host hardware owned by Driver for
+        // the life of the engine; jobs never outlive the machine they run on)
         [this, done = std::move(job.done)]() mutable {
           running_ = false;
           done();

@@ -13,7 +13,12 @@ void SwapDaemon::start() {
   if (running_) return;
   running_ = true;
   pending_ = eng_.schedule_after(
-      cfg_.period, [this] { tick(); }, {"mem", "swap_tick"});
+      cfg_.period,
+      [this, alive = std::weak_ptr<void>(alive_)] {
+        if (alive.expired()) return;
+        tick();
+      },
+      {"mem", "swap_tick"});
 }
 
 void SwapDaemon::stop() {
@@ -26,7 +31,12 @@ void SwapDaemon::tick() {
   scan_once();
   if (running_) {
     pending_ = eng_.schedule_after(
-        cfg_.period, [this] { tick(); }, {"mem", "swap_tick"});
+        cfg_.period,
+        [this, alive = std::weak_ptr<void>(alive_)] {
+          if (alive.expired()) return;
+          tick();
+        },
+        {"mem", "swap_tick"});
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mem/address_space.hpp"
@@ -28,6 +29,9 @@ class SwapDaemon {
   SwapDaemon(sim::Engine& eng, PhysicalMemory& pm, Config cfg);
   SwapDaemon(sim::Engine& eng, PhysicalMemory& pm)
       : SwapDaemon(eng, pm, Config()) {}
+  ~SwapDaemon() { stop(); }
+  SwapDaemon(const SwapDaemon&) = delete;
+  SwapDaemon& operator=(const SwapDaemon&) = delete;
 
   /// Address spaces to scan. Not owned; caller keeps them alive while the
   /// daemon runs.
@@ -55,6 +59,10 @@ class SwapDaemon {
   bool running_ = false;
   sim::Engine::EventId pending_{};
   std::uint64_t total_reclaimed_ = 0;
+  // Liveness token for the periodic tick (D7): a queued tick revalidates
+  // through a weak copy, so a daemon destroyed mid-flight (or a missed
+  // cancel) degrades to a no-op instead of a use-after-free.
+  std::shared_ptr<void> alive_ = std::make_shared<int>(0);
 };
 
 }  // namespace pinsim::mem

@@ -94,6 +94,9 @@ void Fabric::deliver_frame(Frame frame, sim::Time extra_latency) {
   ++delivered_;
   eng_.schedule_at(
       done,
+      // pinlint: allow(D7: the fabric is the physical network, constructed
+      // before and destroyed after the engine drains; dead destination
+      // ports are fenced by the port_up() check below)
       [this, f = std::move(frame)]() mutable {
         if (!port_up(f.dst)) {
           // The link dropped while the frame was in flight.
@@ -111,6 +114,9 @@ void Fabric::deliver_after(Frame frame, sim::Time propagation) {
   ++delivered_;
   eng_.schedule_after(
       propagation,
+      // pinlint: allow(D7: the fabric is the physical network, constructed
+      // before and destroyed after the engine drains; dead destination
+      // ports are fenced by the port_up() check below)
       [this, f = std::move(frame)]() mutable {
         if (!port_up(f.dst)) {
           --delivered_;

@@ -37,6 +37,8 @@ void Nic::pump_tx() {
   // queued frame starts clocking out.
   tx_done_ = eng_.schedule_after(
       wire,
+      // pinlint: allow(D7: the NIC is host hardware that outlives the
+      // engine; reset() cancels the in-flight tx_done_ event)
       [this, f = std::move(frame)]() mutable {
         tx_done_ = {};
         fabric_.transmit(std::move(f));
@@ -76,6 +78,9 @@ void Nic::deliver(Frame frame) {
   // runs there.
   cpu::Core& core = rx_select_ ? rx_select_(frame) : irq_core_;
   core.submit(cpu::Priority::kBottomHalf, cfg_.rx_frame_overhead,
+              // pinlint: allow(D7: the NIC is host hardware that outlives
+              // the engine; stale bottom halves from a ring reset are
+              // fenced by the generation check below)
               [this, gen = reset_gen_, f = std::move(frame)]() mutable {
                 --rx_inflight_;
                 // A reset since enqueue wiped this frame's ring slot.

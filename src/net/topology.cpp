@@ -62,6 +62,8 @@ void Topology::ensure_rack(std::size_t rack) {
         emit_queue_depth(*raw, pid, /*is_uplink=*/true);
         eng_.schedule_after(
             topo_.switch_hop_latency,
+            // pinlint: allow(D7: the topology is network hardware that
+            // outlives the engine; per-port faults drop in offer_or_drop)
             [this, f = std::move(f)]() mutable {
               offer_or_drop(*downlinks_[f.dst], f.dst,
                             /*is_uplink=*/false, std::move(f));
@@ -98,6 +100,8 @@ void Topology::route(Frame frame, sim::Time extra_latency) {
   if (src_rack == dst_rack) {
     eng_.schedule_after(
         topo_.switch_hop_latency,
+        // pinlint: allow(D7: the topology is network hardware that
+        // outlives the engine; per-port faults drop in offer_or_drop)
         [this, f = std::move(frame)]() mutable {
           offer_or_drop(*downlinks_[f.dst], f.dst,
                         /*is_uplink=*/false, std::move(f));
@@ -113,6 +117,8 @@ void Topology::route(Frame frame, sim::Time extra_latency) {
   const std::uint32_t pid = uplink_port_id(topo_, src_rack, i);
   eng_.schedule_after(
       topo_.switch_hop_latency,
+      // pinlint: allow(D7: the topology owns its uplink ports and both are
+      // network hardware that outlives the engine; racks_ never shrinks)
       [this, up, pid, f = std::move(frame)]() mutable {
         offer_or_drop(*up, pid, /*is_uplink=*/true, std::move(f));
       },

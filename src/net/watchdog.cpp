@@ -64,6 +64,8 @@ void Watchdog::arm_beat() {
                 rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter)));
   beat_timer_ = eng_.schedule_after(
       cfg_.period + jitter,
+      // pinlint: allow(D7: ~Watchdog calls stop(), which cancels
+      // beat_timer_ before `this` can dangle)
       [this] {
         beat_timer_ = {};
         beat();
@@ -74,6 +76,8 @@ void Watchdog::arm_beat() {
 void Watchdog::arm_check() {
   check_timer_ = eng_.schedule_after(
       cfg_.period,
+      // pinlint: allow(D7: ~Watchdog calls stop(), which cancels
+      // check_timer_ before `this` can dangle)
       [this] {
         check_timer_ = {};
         check();

@@ -51,7 +51,10 @@ void LifecycleInjector::arm_crash(std::size_t v) {
       rng_.uniform(static_cast<std::uint64_t>(plan_.uptime_min),
                    static_cast<std::uint64_t>(plan_.uptime_max)));
   victims_[v].timer = eng_.schedule_after(
-      up, [this, v] { on_crash(v); }, {"life", "crash"});
+      up,
+      // pinlint: allow(D7: ~LifecycleInjector calls stop(), which cancels
+      // every victim timer before `this` can dangle)
+      [this, v] { on_crash(v); }, {"life", "crash"});
 }
 
 void LifecycleInjector::on_crash(std::size_t v) {
@@ -64,7 +67,10 @@ void LifecycleInjector::on_crash(std::size_t v) {
       rng_.uniform(static_cast<std::uint64_t>(plan_.downtime_min),
                    static_cast<std::uint64_t>(plan_.downtime_max)));
   victims_[v].timer = eng_.schedule_after(
-      down, [this, v] { on_restart(v); }, {"life", "restart"});
+      down,
+      // pinlint: allow(D7: ~LifecycleInjector calls stop(), which cancels
+      // every victim timer before `this` can dangle)
+      [this, v] { on_restart(v); }, {"life", "restart"});
 }
 
 void LifecycleInjector::on_restart(std::size_t v) {
@@ -102,6 +108,8 @@ void LifecycleInjector::flap_link(std::size_t port) {
                    static_cast<std::uint64_t>(plan_.flap_max)));
   ports_[port].timer = eng_.schedule_after(
       dur,
+      // pinlint: allow(D7: ~LifecycleInjector calls stop(), which cancels
+      // every port timer before `this` can dangle)
       [this, port] {
         ports_[port].timer = {};
         ports_[port].flapping = false;

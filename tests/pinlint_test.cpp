@@ -1,8 +1,9 @@
 // Drives the pinlint binary (built by tools/pinlint) over the fixture
-// snippets in tools/pinlint/testdata: each rule D1-D6 must fire on its
+// snippets in tools/pinlint/testdata: each rule D0-D9 must fire on its
 // violation fixture with the exact rule id, the annotated fixtures must
 // scan clean, and the baseline must suppress listed diagnostics while
-// rejecting stale entries. PINLINT_BIN and PINLINT_TESTDATA come from the
+// rejecting stale entries. The SARIF report is validated with the repo's
+// own obs::json_valid. PINLINT_BIN and PINLINT_TESTDATA come from the
 // build (tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 #include <sys/wait.h>
@@ -11,6 +12,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include "obs/json.hpp"
 
 namespace {
 
@@ -209,6 +212,138 @@ TEST(Pinlint, UsageErrorsExitTwo) {
   EXPECT_EQ(run_pinlint("--bogus-flag src").exit_code, 2);
   EXPECT_EQ(run_pinlint("--root=" + fixture("d1") + " no/such/dir").exit_code,
             2);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+TEST(Pinlint, D0FlagsEmptySuppressionReasonsWhichAlsoSuppressNothing) {
+  const auto r = run_pinlint("--root=" + fixture("d0") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // allow(D3), allow(D3:) and unordered-ok() each fire once.
+  EXPECT_EQ(count_hits(r.output, ": D0: "), 3) << r.output;
+  EXPECT_NE(r.output.find("carries no reason"), std::string::npos);
+  // A reasonless annotation also fails to suppress the underlying rule.
+  EXPECT_EQ(count_hits(r.output, ": D3: "), 2) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D2: "), 1) << r.output;
+  // The properly reasoned allow(D3: ...) suppresses its site silently.
+  EXPECT_NE(r.output.find("6 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(Pinlint, D7FlagsDeferredCapturesWithoutRevalidation) {
+  // Fixture modeled on the PR 7 UAF: a pin-chunk completion that captures
+  // the endpoint and fires after it died.
+  const auto r = run_pinlint("--root=" + fixture("d7") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D7: "), 2) << r.output;
+  EXPECT_NE(r.output.find("captures 'this', raw pointer 'c'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("captures 'this', '&c'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("without revalidation"), std::string::npos);
+  // The weak-token, find_alive(), guarded(...) and allow(D7: ...) variants
+  // in the same file all pass: exactly the two raw sites fire.
+}
+
+TEST(Pinlint, D7BaselineSuppressesListedFindings) {
+  const auto r = run_pinlint("--root=" + fixture("d7") + " --baseline=" +
+                             fixture("baselines/suppress_d7.txt") + " src");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D7: "), 0) << r.output;
+}
+
+TEST(Pinlint, D8FlagsUntaggedAndEmptyTaggedScheduleSites) {
+  const auto r = run_pinlint("--root=" + fixture("d8") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D8: "), 2) << r.output;
+  EXPECT_NE(r.output.find("does not stamp a TaskTag"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("empty TaskTag {}"), std::string::npos) << r.output;
+  // Tagged calls, the explicitly typed tag, the declarations of
+  // schedule_at/schedule_after themselves, and the allow(D8: ...) site must
+  // not fire.
+}
+
+TEST(Pinlint, D9FlagsLayeringBackEdgesAndIncludeCycles) {
+  const auto r = run_pinlint("--root=" + fixture("d9") + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(count_hits(r.output, ": D9: "), 2) << r.output;
+  EXPECT_NE(r.output.find("layering back-edge: 'mem' may not depend on "
+                          "'core'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("include cycle: src/core/library.hpp -> "
+                          "src/mem/pinner.hpp -> src/core/library.hpp"),
+            std::string::npos)
+      << r.output;
+  // core -> mem and both -> sim are forward edges: only the one back-edge
+  // and the one cycle may be reported.
+}
+
+TEST(Pinlint, DotEmitsModuleGraphWithViolationsInRed) {
+  const std::string dot = testing::TempDir() + "pinlint_d9.dot";
+  const auto r =
+      run_pinlint("--root=" + fixture("d9") + " --dot=" + dot + " src");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string g = slurp(dot);
+  ASSERT_FALSE(g.empty()) << "missing dot artifact " << dot;
+  EXPECT_NE(g.find("digraph pinsim_includes"), std::string::npos) << g;
+  // The back-edge is present and painted red; the legal core -> mem edge
+  // is present and is not.
+  const auto bad = g.find("\"mem\" -> \"core\"");
+  ASSERT_NE(bad, std::string::npos) << g;
+  EXPECT_NE(g.find("color=red", bad), std::string::npos) << g;
+  const auto good = g.find("\"core\" -> \"mem\"");
+  ASSERT_NE(good, std::string::npos) << g;
+  EXPECT_EQ(g.substr(good, g.find('\n', good) - good).find("color=red"),
+            std::string::npos)
+      << g;
+  std::remove(dot.c_str());
+}
+
+TEST(Pinlint, SarifReportValidatesAndCarriesFindings) {
+  const std::string sarif = testing::TempDir() + "pinlint_d7.sarif";
+  const auto r = run_pinlint("--root=" + fixture("d7") + " --sarif=" + sarif +
+                             " --quiet src");
+  EXPECT_EQ(r.exit_code, 1);
+  const std::string j = slurp(sarif);
+  ASSERT_FALSE(j.empty()) << "missing SARIF report " << sarif;
+  EXPECT_TRUE(pinsim::obs::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"version\":\"2.1.0\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"name\":\"pinlint\""), std::string::npos) << j;
+  EXPECT_EQ(count_hits(j, "\"ruleId\":\"D7\""), 2) << j;
+  EXPECT_NE(j.find("\"uri\":\"src/core/pin_chunk.cpp\""), std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"startLine\":"), std::string::npos) << j;
+  // Rule metadata covers the whole pack, not just the rules that fired.
+  EXPECT_NE(j.find("\"id\":\"D1\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"id\":\"D9\""), std::string::npos) << j;
+  std::remove(sarif.c_str());
+}
+
+TEST(Pinlint, SarifIsWrittenEvenWhenCleanAndOnStaleBaseline) {
+  const std::string sarif = testing::TempDir() + "pinlint_clean.sarif";
+  auto r = run_pinlint("--root=" + fixture("clean") + " --sarif=" + sarif +
+                       " --quiet src");
+  EXPECT_EQ(r.exit_code, 0);
+  std::string j = slurp(sarif);
+  ASSERT_FALSE(j.empty());
+  EXPECT_TRUE(pinsim::obs::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"results\":[]"), std::string::npos) << j;
+  // A stale baseline entry surfaces as a synthetic stale-baseline result.
+  r = run_pinlint("--root=" + fixture("clean") + " --baseline=" +
+                  fixture("baselines/stale.txt") + " --sarif=" + sarif +
+                  " --quiet src");
+  EXPECT_EQ(r.exit_code, 1);
+  j = slurp(sarif);
+  EXPECT_TRUE(pinsim::obs::json_valid(j)) << j;
+  EXPECT_NE(j.find("\"ruleId\":\"stale-baseline\""), std::string::npos) << j;
+  std::remove(sarif.c_str());
 }
 
 }  // namespace

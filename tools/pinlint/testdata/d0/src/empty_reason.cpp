@@ -1,0 +1,31 @@
+// Fixture: suppression hygiene (D0). An escape hatch without a reason is
+// itself a diagnostic — and it also suppresses nothing, so the underlying
+// rule still fires alongside it.
+#include <unordered_map>
+
+namespace fx {
+
+inline int* leak_a() {
+  // pinlint: allow(D3)
+  return new int(1);  // D0 on the annotation + D3 still fires
+}
+
+inline int* leak_b() {
+  // pinlint: allow(D3:)
+  return new int(2);  // D0 + D3
+}
+
+inline int sum(const std::unordered_map<int, int>& m) {
+  std::unordered_map<int, int> copy = m;
+  int s = 0;
+  // pinlint: unordered-ok()
+  for (const auto& [k, v] : copy) s += v;  // D0 + D2
+  return s;
+}
+
+inline int* ok() {
+  // pinlint: allow(D3: fixture-owned allocation, freed by the caller)
+  return new int(3);  // properly suppressed, no D0
+}
+
+}  // namespace fx

@@ -1,0 +1,81 @@
+// Fixture: deferred-callback lifetime (D7), modeled on the PR 7 ASan UAF
+// where a pin-chunk completion fired after its endpoint died. Every lambda
+// below goes to a scheduler sink; only the ones that revalidate (weak
+// token, find_alive) or carry an explicit allow pass.
+#include <functional>
+#include <memory>
+
+namespace fx {
+
+struct Engine {
+  using Callback = std::function<void()>;
+  struct Tag {
+    const char* component;
+    const char* label;
+  };
+  void schedule_after(long delay, Callback cb, Tag tag);
+};
+
+struct Chunk {
+  int pages = 0;
+};
+
+struct Endpoint {
+  Engine& eng;
+  int pinned = 0;
+  std::shared_ptr<void> alive = std::make_shared<int>(0);
+
+  Chunk* find_alive(int id);
+  std::function<void()> guarded(std::function<void()> f);
+
+  void pin_chunk_bad(Chunk* c) {
+    // FIRES: captures `this` and a raw Chunk* with no revalidation — the
+    // endpoint (or the chunk) can die before the completion runs.
+    eng.schedule_after(
+        5, [this, c] { pinned += c->pages; }, {"core", "pin_chunk"});
+  }
+
+  void pin_chunk_ref(Chunk& c) {
+    // FIRES: reference capture of caller-owned state.
+    eng.schedule_after(
+        5, [&c, this] { pinned += c.pages; }, {"core", "pin_chunk"});
+  }
+
+  void pin_chunk_weak(Chunk c) {
+    // OK: weak-token revalidation before touching members.
+    eng.schedule_after(
+        5,
+        [this, c, w = std::weak_ptr<void>(alive)] {
+          if (w.expired()) return;
+          pinned += c.pages;
+        },
+        {"core", "pin_chunk"});
+  }
+
+  void pin_chunk_revalidated(int id) {
+    // OK: find_alive() lookup inside the body.
+    eng.schedule_after(
+        5,
+        [this, id] {
+          Chunk* c = find_alive(id);
+          if (c == nullptr) return;
+          pinned += c->pages;
+        },
+        {"core", "pin_chunk"});
+  }
+
+  void pin_chunk_wrapped(Chunk c) {
+    // OK: the guarded(...) adapter owns the liveness check.
+    eng.schedule_after(5, guarded([this, c] { pinned += c.pages; }),
+                       {"core", "pin_chunk"});
+  }
+
+  void pin_chunk_allowed(Chunk c) {
+    eng.schedule_after(
+        5,
+        // pinlint: allow(D7: fixture endpoint outlives the engine by design)
+        [this, c] { pinned += c.pages; }, {"core", "pin_chunk"});
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,32 @@
+// Fixture: TaskTag coverage (D8). Every schedule site must stamp a
+// non-empty {"component", "label"} tag; untagged or empty-tagged work
+// melts into the profiler's "(untagged)" bucket and hides from the top-K
+// hot-path report.
+#include <functional>
+
+namespace fx {
+
+struct Engine {
+  using Callback = std::function<void()>;
+  struct Tag {
+    const char* component;
+    const char* label;
+  };
+  void schedule_at(long t, Callback cb, Tag tag = {});
+  void schedule_after(long d, Callback cb, Tag tag = {});
+};
+
+inline void drive(Engine& eng, int hits) {
+  // FIRES: no TaskTag argument at all.
+  eng.schedule_at(10, [hits] { (void)hits; });
+  // FIRES: an empty TaskTag {}.
+  eng.schedule_after(5, [hits] { (void)hits; }, {});
+  // OK: braced tag.
+  eng.schedule_after(5, [hits] { (void)hits; }, {"core", "drive"});
+  // OK: explicitly typed tag.
+  eng.schedule_at(20, [hits] { (void)hits; }, Engine::Tag{"core", "drive"});
+  // pinlint: allow(D8: fixture exercises the untagged legacy path)
+  eng.schedule_at(30, [hits] { (void)hits; });
+}
+
+}  // namespace fx

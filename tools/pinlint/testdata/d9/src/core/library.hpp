@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: core legitimately depends on mem and sim — but mem/pinner.hpp
+// reaches back up into core, closing an include cycle through this header.
+#include "mem/pinner.hpp"
+#include "sim/engine.hpp"
+
+namespace fx::core {
+
+struct Library {
+  fx::mem::Pinner pinner;
+};
+
+}  // namespace fx::core

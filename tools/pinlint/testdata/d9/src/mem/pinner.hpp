@@ -1,0 +1,14 @@
+#pragma once
+
+// Fixture: a mem-layer component reaching up into core — the D9 back-edge
+// (mem may only depend on mem, obs, sim), which also closes a cycle.
+#include "core/library.hpp"
+#include "sim/engine.hpp"
+
+namespace fx::mem {
+
+struct Pinner {
+  fx::sim::Engine* eng = nullptr;
+};
+
+}  // namespace fx::mem

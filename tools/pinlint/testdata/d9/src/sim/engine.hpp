@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture bottom layer: sim depends on nothing.
+namespace fx::sim {
+
+struct Engine {
+  long now = 0;
+};
+
+}  // namespace fx::sim
